@@ -1,0 +1,96 @@
+"""Benches: ablations of Falcon's design choices (DESIGN.md §5).
+
+These are not paper figures; they probe the knobs the paper fixes
+(K = 1.02, B = 10, BO's 20-observation window, GP-Hedge, 3–5 s sample
+intervals) and check each setting's claimed rationale holds in the
+model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ablations
+from repro.units import Mbps
+
+
+def test_ablation_k(benchmark, once):
+    """K trades convergence headroom against stability (paper §3.1)."""
+    points = once(benchmark, ablations.sweep_k, ks=(1.005, 1.02, 1.10), seed=0, duration=420.0)
+    print()
+    print(ablations.render_k(points))
+    by_k = {p.K: p for p in points}
+
+    # K=1.10: concave region ends at 2/ln(1.10) ~ 21 — the search parks
+    # far below the optimum of 48.
+    assert by_k[1.10].single_concurrency < 30
+    # K=1.02 (the paper's choice) gets much closer to the optimum...
+    assert by_k[1.02].single_concurrency > by_k[1.10].single_concurrency + 8
+    # ...while keeping competing pairs fair.
+    assert by_k[1.02].pair_jain >= 0.9
+    # K=1.005 expects only 0.5% gain per worker: the pair over-provisions
+    # relative to K=1.02.
+    assert by_k[1.005].pair_total_concurrency >= by_k[1.02].pair_total_concurrency
+
+
+def test_ablation_b(benchmark, once):
+    """B=10 keeps loss ~1% at near-full utilisation (paper §3.1)."""
+    points = once(benchmark, ablations.sweep_b, bs=(0.0, 10.0, 80.0), seed=0, duration=300.0)
+    print()
+    print(ablations.render_b(points))
+    by_b = {p.B: p for p in points}
+
+    # Without a loss term the agent tolerates more loss than with B=10.
+    assert by_b[0.0].steady_loss >= by_b[10.0].steady_loss
+    # The paper's B=10: loss stays ~1%, utilisation >90%.
+    assert by_b[10.0].steady_loss <= 0.025
+    assert by_b[10.0].steady_throughput_bps >= 85 * Mbps
+    # A draconian B sacrifices concurrency (and with it some margin).
+    assert by_b[80.0].steady_concurrency <= by_b[0.0].steady_concurrency
+
+
+def test_ablation_bo_window(benchmark, once):
+    """The 20-observation window adapts to shifts; full history lags."""
+    points = once(benchmark, ablations.bo_window, windows=(20, 200), seed=0)
+    print()
+    for p in points:
+        print(f"window={p.window}: before={p.before_bps/1e9:.1f}G after={p.after_bps/1e9:.1f}G "
+              f"recovery={p.recovery:.2f}")
+    windowed = next(p for p in points if p.window == 20)
+    unbounded = next(p for p in points if p.window == 200)
+    # Both survive, but the windowed surrogate re-converges at least as
+    # well as the history-anchored one after the bottleneck halves —
+    # and delivers most of the *new* ceiling (write capacity halved:
+    # 28 -> 14 Gbps achievable).
+    assert windowed.after_bps >= 0.9 * unbounded.after_bps
+    assert windowed.after_bps >= 0.85 * 14e9
+
+
+def test_ablation_acquisitions(benchmark, once):
+    """GP-Hedge is competitive with the best single acquisition."""
+    points = once(benchmark, ablations.acquisition_portfolio, seed=0, duration=360.0)
+    print()
+    for p in points:
+        print(f"{p.name}: tput={p.steady_throughput_bps/1e9:.2f}G explore_std={p.exploration_std:.1f}")
+    by_name = {p.name: p for p in points}
+    best_single = max(
+        by_name[n].steady_throughput_bps for n in ("ei-only", "pi-only", "ucb-only")
+    )
+    assert by_name["gp-hedge"].steady_throughput_bps >= 0.9 * best_single
+
+
+def test_ablation_sample_interval(benchmark, once):
+    """3-5 s sample transfers balance accuracy against search time."""
+    points = once(
+        benchmark, ablations.sample_interval, intervals=(1.0, 5.0, 10.0), seed=0, duration=400.0
+    )
+    print()
+    for p in points:
+        print(f"interval={p.interval}s: t85={p.time_to_85pct:.0f}s "
+              f"steady={p.steady_throughput_bps/1e6:.0f} Mbps")
+    by_iv = {p.interval: p for p in points}
+    # Very long intervals slow convergence proportionally.
+    assert by_iv[10.0].time_to_85pct >= by_iv[5.0].time_to_85pct
+    # The paper's 5 s choice reaches a steady state as good as any.
+    best = max(p.steady_throughput_bps for p in points)
+    assert by_iv[5.0].steady_throughput_bps >= 0.85 * best

@@ -1,0 +1,29 @@
+"""Bench: Fig. 1 — concurrency's impact and the moving optimum."""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_concurrency
+from repro.units import Gbps
+
+
+def test_fig01(benchmark, once):
+    result = once(benchmark, fig01_concurrency.run, measure_time=15.0)
+    print()
+    print(result.render())
+
+    # (a) Paper: concurrency=1 yields <8 Gbps (HPCLab) / <2 Gbps (XSEDE);
+    # concurrent transfers raise throughput 3-15x.
+    hpclab = result.curves["HPCLab"]
+    xsede = result.curves["XSEDE"]
+    assert hpclab[0].throughput_bps < 8 * Gbps
+    assert xsede[0].throughput_bps < 2 * Gbps
+    assert result.speedup("HPCLab") >= 3.0
+    assert result.speedup("XSEDE") >= 3.0
+
+    # Throughput must flatten or dip past the optimum, not keep rising.
+    best_hpclab = max(p.throughput_bps for p in hpclab)
+    assert hpclab[-1].throughput_bps <= best_hpclab
+
+    # (b) Paper: the optimal concurrency is NOT one value for all
+    # (dataset, network) pairs.
+    assert len(set(result.optima.values())) >= 2

@@ -1,0 +1,22 @@
+"""Bench: Fig. 2 — state-of-the-art underperformance and unfairness."""
+
+from __future__ import annotations
+
+from repro.experiments import fig02_state_of_art
+from repro.units import Gbps
+
+
+def test_fig02(benchmark, once):
+    result = once(benchmark, fig02_state_of_art.run, settle=200.0)
+    print()
+    print(result.render())
+
+    # (a) Paper: Globus < 6 Gbps on the 40G path; HARP ~50% of achievable.
+    assert result.globus_bps < 6.5 * Gbps
+    assert 0.35 * result.achievable_bps <= result.harp_bps <= 0.75 * result.achievable_bps
+    assert result.harp_bps > result.globus_bps
+
+    # (b) Paper: the late-coming HARP gets ~2x the incumbent's share
+    # by picking a setting that favours itself.
+    assert result.harp_second_cc > result.harp_first_cc
+    assert result.late_comer_ratio >= 1.5

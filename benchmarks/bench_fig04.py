@@ -1,0 +1,26 @@
+"""Bench: Fig. 4 — packet loss vs concurrency on the Emulab bottleneck."""
+
+from __future__ import annotations
+
+from repro.experiments import fig04_overhead
+from repro.units import Mbps
+
+
+def test_fig04(benchmark, once):
+    result = once(benchmark, fig04_overhead.run, measure_time=20.0)
+    print()
+    print(result.render())
+
+    # Paper: 10 concurrent transfers saturate the 100 Mbps link...
+    assert result.throughput_at(10) >= 95 * Mbps
+    # ...below 10 the loss stays under 2%...
+    for n in (1, 4, 8):
+        assert result.loss_at(n) < 0.02
+    # ...and pushing to 32 buys no throughput but ~10% loss.
+    assert result.throughput_at(32) <= result.throughput_at(10) * 1.02
+    assert 0.05 <= result.loss_at(32) <= 0.13
+    assert result.loss_at(32) >= 3 * result.loss_at(10)
+
+    # Loss grows monotonically past saturation.
+    losses = [result.loss_at(n) for n in (10, 12, 16, 20, 24, 28, 32)]
+    assert losses == sorted(losses)

@@ -1,0 +1,27 @@
+"""Bench: Fig. 6 — linear vs nonlinear concurrency regret."""
+
+from __future__ import annotations
+
+from repro.experiments import fig06_utility_forms
+
+
+def test_fig06(benchmark, once):
+    result = once(benchmark, fig06_utility_forms.run, seed=1, duration=600.0)
+    print()
+    print(result.render())
+
+    # (a) Paper: estimated peaks at ~48 (C=0.01), ~25 (C=0.02), 48 (K=1.02).
+    assert abs(result.peak_linear_c001 - 48) <= 3
+    assert abs(result.peak_linear_c002 - 25) <= 3
+    assert abs(result.peak_nonlinear - 48) <= 3
+
+    # (b) Paper: empirically, linear C=0.02 converges near 26 — well
+    # short of the optimum — while the nonlinear form gets close to 48.
+    assert result.empirical_linear_c002 <= 30
+    assert result.empirical_nonlinear >= 35
+    assert result.empirical_nonlinear > result.empirical_linear_c002 + 8
+
+    # (c) Paper: with two competing agents, linear C=0.01 over-provisions
+    # (36-38 workers each) while the nonlinear pair splits near 48 total.
+    assert result.competing_linear_c001_total >= 1.15 * 48
+    assert result.competing_nonlinear_total <= result.competing_linear_c001_total

@@ -1,0 +1,27 @@
+"""Bench: Fig. 7 — HC vs GD vs BO convergence speed (optimum = 48)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_convergence
+from repro.units import Mbps
+
+
+def test_fig07(benchmark, once):
+    result = once(benchmark, fig07_convergence.run, seed=0, duration=500.0)
+    print()
+    print(result.render())
+    print(f"HC/GD slowdown: {result.slowdown('hc', 'gd'):.1f}x (paper ~7x)")
+
+    hc, gd, bo = result.runs["hc"], result.runs["gd"], result.runs["bo"]
+
+    # Paper: HC needs >250 s; GD and BO converge in tens of seconds.
+    assert hc.time_to_85pct > 180.0
+    assert gd.time_to_85pct < 120.0
+    assert bo.time_to_85pct < 120.0
+    assert result.slowdown("hc", "gd") >= 2.5
+    assert result.slowdown("hc", "bo") >= 2.5
+
+    # All three end up delivering most of the 1 Gbps link.
+    for run in result.runs.values():
+        assert run.steady_throughput_bps >= 600 * Mbps
+        assert run.steady_concurrency >= 30

@@ -1,0 +1,30 @@
+"""Bench: Fig. 11 — competing Falcon-GD agents (HPCLab join/leave)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_gd_competition
+from repro.units import Gbps
+
+
+def test_fig11(benchmark, once):
+    result = once(benchmark, fig11_gd_competition.run, seed=0, phase=150.0)
+    print()
+    print(result.render())
+
+    one = result.phase("one")
+    two = result.phase("two")
+    three = result.phase("three")
+    reclaim = result.phase("reclaim")
+
+    # Paper: a lone transfer reaches >25 Gbps on HPCLab.
+    assert one.aggregate_bps >= 24 * Gbps
+    # Two transfers: 12-13 Gbps each, near-perfect fairness.
+    assert two.jain >= 0.95
+    assert all(10 * Gbps <= s <= 15 * Gbps for s in two.shares_bps)
+    # Three transfers: 6-9 Gbps each, fairness holds, utilisation high.
+    assert three.jain >= 0.90
+    assert all(4.5 * Gbps <= s <= 10.5 * Gbps for s in three.shares_bps)
+    assert three.aggregate_bps >= 0.65 * result.achievable_bps
+    # Departure: survivors reclaim the freed capacity.
+    assert reclaim.aggregate_bps >= 0.95 * two.aggregate_bps * 0.9
+    assert reclaim.jain >= 0.90

@@ -1,0 +1,31 @@
+"""Bench: Fig. 13 — concurrency traces of competing Falcon-GD senders."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_concurrency_traces
+
+
+def test_fig13(benchmark, once):
+    result = once(benchmark, fig13_concurrency_traces.run, seed=0, phase=180.0)
+    print()
+    print(result.render())
+
+    one = result.phase("one")
+    two = result.phase("two")
+    three = result.phase("three")
+    reclaim = result.phase("reclaim")
+    saturation = result.saturation_concurrency  # ~48-50
+
+    # Paper: alone, the sender converges toward ~48.
+    assert one.total_concurrency >= 0.6 * saturation
+    # When the second joins, the first *reduces* its concurrency
+    # (20-33 range in the paper) instead of holding 48.
+    assert two.mean_concurrency[0] < one.mean_concurrency[0]
+    assert two.mean_concurrency[0] <= 36
+    # Total concurrency stays near just-enough, not 2x48.
+    assert two.total_concurrency <= 1.5 * saturation
+    # Three agents: each well below half the saturation point, loss low.
+    assert three.total_concurrency <= 1.6 * saturation
+    assert three.mean_loss < 0.03
+    # Departure: survivors raise concurrency again.
+    assert reclaim.total_concurrency >= 0.75 * saturation

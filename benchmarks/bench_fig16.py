@@ -1,0 +1,30 @@
+"""Bench: Fig. 16 — friendliness toward non-Falcon transfers."""
+
+from __future__ import annotations
+
+from repro.experiments import fig16_friendliness
+
+
+def test_fig16(benchmark, once):
+    result = once(benchmark, fig16_friendliness.run, seed=0)
+    print()
+    print(result.render())
+
+    # Falcon variants leave the incumbents a substantial share; the
+    # regret-free greedy tuner starves them.  (Paper's GD dented
+    # Globus+HARP 15-20%; our incumbents hold more capacity to begin
+    # with, so the measured dents are larger — the ordering is the
+    # reproduced shape.  See EXPERIMENTS.md for the BO deviation.)
+    for run in (result.gd, result.bo):
+        assert run.baseline_after_bps >= 0.30 * run.baseline_before_bps
+        assert run.tuner_bps > 5e9  # it does claim the spare capacity
+    assert result.greedy.degradation >= result.gd.degradation + 0.10
+    assert result.greedy.degradation >= 0.60
+
+    # BO's bootstrap probes the full domain — its peak evaluated
+    # concurrency far exceeds GD's incremental search.
+    assert result.bo.tuner_peak_concurrency >= result.gd.tuner_peak_concurrency
+
+    # The Falcon tuners stop near the utility optimum (~20), the greedy
+    # one keeps pushing concurrency.
+    assert result.greedy.tuner_concurrency >= result.gd.tuner_concurrency + 10

@@ -1,0 +1,26 @@
+"""Bench: system-overhead accounting (the §2 motivation, quantified)."""
+
+from __future__ import annotations
+
+from repro.experiments import overhead
+
+
+def test_overhead(benchmark, once):
+    result = once(benchmark, overhead.run, seed=0, duration=400.0)
+    print()
+    print(result.render())
+
+    falcon = result.runs["falcon-gd"]
+    greedy = result.runs["greedy"]
+    fixed = result.runs["fixed-32"]
+
+    # Falcon trades a sliver of goodput for a large resource saving.
+    assert falcon.goodput_bytes >= 0.80 * greedy.goodput_bytes
+    assert falcon.bytes_per_process_second >= 1.15 * greedy.bytes_per_process_second
+    assert falcon.bytes_per_process_second >= 2.5 * fixed.bytes_per_process_second
+
+    # Loss overhead orders exactly as the utility design predicts.
+    assert falcon.loss_overhead < greedy.loss_overhead < fixed.loss_overhead
+    assert falcon.loss_overhead < 0.01
+    # The Fig. 4 anchor: hammering 32 workers wastes ~10% of the link.
+    assert fixed.loss_overhead > 0.06

@@ -1,0 +1,28 @@
+"""Bench: robustness to ON/OFF background traffic (beyond the paper)."""
+
+from __future__ import annotations
+
+from repro.experiments import robustness
+
+
+def test_robustness(benchmark, once):
+    result = once(benchmark, robustness.run, seed=0, cycle=120.0, cycles=3)
+    print()
+    print(result.render())
+
+    gd = result.runs["falcon-gd"]
+    bo = result.runs["falcon-bo"]
+    static = result.runs["static-20"]
+
+    # Falcon-GD actually adapts: fewer workers while the background is
+    # ON, more once it leaves, and reclaimed throughput.
+    assert gd.on_concurrency < gd.off_concurrency - 2
+    assert gd.reclaim_ratio >= 1.3
+    assert bo.reclaim_ratio >= 1.1
+
+    # The static setting never moves...
+    assert abs(static.on_concurrency - static.off_concurrency) < 0.5
+    # ...and pays for hammering the congested link with extra loss.
+    assert gd.on_loss < static.on_loss
+    # Falcon's OFF-phase throughput approaches the static optimum's.
+    assert gd.off_throughput_bps >= 0.75 * static.off_throughput_bps

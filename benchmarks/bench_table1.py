@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 1 (testbed specifications)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_testbeds
+
+
+def test_table1(benchmark, once):
+    result = once(benchmark, table1_testbeds.run)
+    print()
+    print(result.render())
+
+    by_name = {r.name: r for r in result.rows}
+    # Paper-vs-measured: every row matches the published spec.
+    for name, _storage, _bw, rtt_ms, bottleneck in table1_testbeds.PAPER_TABLE1:
+        row = by_name[name]
+        assert abs(row.rtt * 1e3 - rtt_ms) < 1e-6
+        assert row.bottleneck == bottleneck
+    # The calibrated optima that every other figure depends on.
+    assert by_name["Emulab"].optimal_concurrency == 10
+    assert by_name["HPCLab"].optimal_concurrency == 9
+    assert by_name["XSEDE"].optimal_concurrency == 10
+    assert by_name["Campus Cluster"].optimal_concurrency == 7

@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one of the paper's tables/figures: it runs the
+experiment once under pytest-benchmark (wall-time of the simulation is
+the benchmarked quantity), prints the same rows/series the paper
+reports, and asserts the *shape* expectations from DESIGN.md §4 —
+who wins, by roughly what factor, where crossovers fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing the single-shot benchmark runner."""
+    return run_once

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Friendliness: what Falcon's regret terms buy on a shared path.
+
+The §4.5 timeline: Globus starts, HARP joins, then a tuner joins at
+t=120 s.  Run the tuner three ways — Falcon-GD, Falcon-BO, and a
+regret-free throughput-greedy agent — and compare what's left for the
+incumbents.  The greedy agent demonstrates the counterfactual the
+paper's utility design prevents.
+
+Run:  python examples/friendliness.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig16_friendliness import _run_one
+from repro.units import bps_to_gbps
+
+
+def main() -> None:
+    print("Globus at t=0, HARP at t=50, tuner at t=120 (Stampede2->Comet)\n")
+    print(f"{'tuner':8s} {'others before':>14s} {'others after':>13s} "
+          f"{'degradation':>12s} {'tuner rate':>11s} {'tuner n':>8s}")
+    for kind in ("gd", "bo", "greedy"):
+        run = _run_one(kind, seed=0, falcon_join=120.0, settle=420.0)
+        print(
+            f"{run.algorithm:8s} {bps_to_gbps(run.baseline_before_bps):13.1f}G "
+            f"{bps_to_gbps(run.baseline_after_bps):12.1f}G "
+            f"{100 * run.degradation:11.0f}% "
+            f"{bps_to_gbps(run.tuner_bps):10.1f}G "
+            f"{run.tuner_concurrency:8.0f}"
+        )
+    print(
+        "\nThe Falcon agents stop where the ~2%-per-worker utility gain "
+        "dries up;\nthe greedy agent keeps escalating as long as it can "
+        "steal share."
+    )
+
+
+if __name__ == "__main__":
+    main()

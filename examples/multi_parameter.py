@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Multi-parameter tuning: concurrency + parallelism + pipelining.
+
+The §4.4 scenario: a Stampede2→Comet WAN transfer (40 Gbps, 60 ms) of a
+lots-of-small-files dataset.  With pipelining stuck at 1, every file
+pays two control-channel round trips (120 ms) — brutal when the average
+file transfers in a few milliseconds.  Falcon_MP (conjugate gradient on
+the Eq. 7 utility) discovers deep pipelining and lean parallelism.
+
+Run:  python examples/multi_parameter.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import FalconAgent, GradientDescent, attach_agent
+from repro.core.conjugate_gradient import ConjugateGradientOptimizer
+from repro.core.utility import MultiParamUtility, NonlinearPenaltyUtility
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import stampede2_comet
+from repro.transfer.dataset import small_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams
+from repro.units import GiB, bps_to_gbps
+
+
+def run_variant(multi: bool, duration: float = 350.0) -> tuple[float, TransferParams]:
+    testbed = stampede2_comet()
+    engine = SimulationEngine(dt=0.1)
+    network = FluidTransferNetwork(engine)
+    dataset = small_dataset(total_bytes=20 * GiB, seed=3)
+    session = testbed.new_session(
+        dataset,
+        name="mp" if multi else "single",
+        repeat=True,
+        # The single-parameter agent transfers with GridFTP's stock
+        # pipelining; it never tunes it.
+        params=TransferParams(concurrency=1, parallelism=1, pipelining=8),
+    )
+    network.add_session(session)
+
+    if multi:
+        agent = FalconAgent(
+            session=session,
+            optimizer=ConjugateGradientOptimizer(
+                concurrency_bounds=(1, 40),
+                parallelism_bounds=(1, 8),
+                pipelining_bounds=(1, 64),
+            ),
+            utility=MultiParamUtility(),
+            rng=np.random.default_rng(1),
+        )
+    else:
+        agent = FalconAgent(
+            session=session,
+            optimizer=GradientDescent(lo=1, hi=40),
+            utility=NonlinearPenaltyUtility(),
+            rng=np.random.default_rng(1),
+        )
+    attach_agent(engine, agent, interval=testbed.sample_interval)
+    engine.run_for(duration)
+    tail = agent.throughputs()[-12:]
+    return float(tail.mean()), session.params
+
+
+def main() -> None:
+    dataset = small_dataset(total_bytes=20 * GiB, seed=3)
+    print(
+        f"dataset: {dataset.file_count} files, mean "
+        f"{dataset.mean_file_bytes / 2**20:.2f} MiB — control stalls dominate"
+    )
+
+    single_bps, single_params = run_variant(multi=False)
+    mp_bps, mp_params = run_variant(multi=True)
+
+    print(f"\nFalcon    (concurrency only): {bps_to_gbps(single_bps):6.2f} Gbps  "
+          f"final n={single_params.concurrency}, p={single_params.parallelism}, "
+          f"q={single_params.pipelining}")
+    print(f"Falcon_MP (n, p, q jointly) : {bps_to_gbps(mp_bps):6.2f} Gbps  "
+          f"final n={mp_params.concurrency}, p={mp_params.parallelism}, "
+          f"q={mp_params.pipelining}")
+    print(f"\nmulti-parameter gain: {mp_bps / single_bps:.2f}x "
+          f"(paper reports up to ~1.3x on small files)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable wheels cannot be built; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` with modern toolchains) work everywhere.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

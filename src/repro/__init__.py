@@ -1,0 +1,43 @@
+"""repro — a reproduction of Falcon (SC '21).
+
+Falcon: online optimization of file transfers in high-speed networks.
+The package bundles:
+
+* ``repro.core`` — Falcon itself: the game-theory-inspired utility
+  functions and the Hill Climbing / Gradient Descent / Bayesian online
+  search algorithms;
+* ``repro.sim`` / ``repro.network`` / ``repro.storage`` /
+  ``repro.hosts`` / ``repro.transfer`` — the fluid simulation substrate
+  standing in for the paper's physical testbeds;
+* ``repro.testbeds`` — Table 1's environments as presets;
+* ``repro.baselines`` — Globus, HARP, and PCP comparison points;
+* ``repro.experiments`` — one module per paper figure/table;
+* ``repro.analysis`` — fairness/convergence metrics and traces.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    BayesianOptimizer,
+    FalconAgent,
+    GradientDescent,
+    HillClimbing,
+    NonlinearPenaltyUtility,
+    attach_agent,
+)
+from repro.sim.engine import SimulationEngine
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+
+__all__ = [
+    "__version__",
+    "BayesianOptimizer",
+    "FalconAgent",
+    "GradientDescent",
+    "HillClimbing",
+    "NonlinearPenaltyUtility",
+    "attach_agent",
+    "SimulationEngine",
+    "uniform_dataset",
+    "FluidTransferNetwork",
+]

@@ -1,0 +1,16 @@
+"""Analysis utilities: fairness metrics, convergence detection, traces, tables."""
+
+from repro.analysis.convergence import convergence_time, steady_state
+from repro.analysis.fairness import jain_index, share_ratio
+from repro.analysis.tables import format_table
+from repro.analysis.trace import SessionTrace, TraceRecorder
+
+__all__ = [
+    "convergence_time",
+    "steady_state",
+    "jain_index",
+    "share_ratio",
+    "format_table",
+    "SessionTrace",
+    "TraceRecorder",
+]

@@ -1,0 +1,87 @@
+"""Terminal charts for traces.
+
+The paper's figures are time series; without a plotting stack the next
+best thing is a decent ASCII rendering, so experiment ``main()``s and
+the CLI can show the *shape* of a trace (convergence ramps, join/leave
+steps, probe oscillation) directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Eight-level block characters for sparklines.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line block-character rendering of a series.
+
+    Values are down-sampled (by averaging buckets) to ``width`` points
+    and scaled to the series' own min/max.
+    """
+    v = np.asarray(list(values), dtype=float)
+    if v.size == 0:
+        return ""
+    v = _downsample(v, width)
+    lo, hi = float(v.min()), float(v.max())
+    if hi - lo < 1e-12:
+        return _BLOCKS[0] * v.size
+    levels = ((v - lo) / (hi - lo) * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in levels)
+
+
+def line_chart(
+    series: dict[str, Sequence[float]],
+    height: int = 10,
+    width: int = 64,
+    y_label: str = "",
+) -> str:
+    """A multi-series ASCII line chart.
+
+    Each named series is drawn with its own marker character; the
+    y-axis is annotated with the shared min/max.
+    """
+    if not series:
+        return ""
+    markers = "*+ox#@%&"
+    arrays = {name: _downsample(np.asarray(list(v), dtype=float), width) for name, v in series.items()}
+    arrays = {name: v for name, v in arrays.items() if v.size}
+    if not arrays:
+        return ""
+    lo = min(float(v.min()) for v in arrays.values())
+    hi = max(float(v.max()) for v in arrays.values())
+    span = hi - lo if hi - lo > 1e-12 else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, v) in enumerate(arrays.items()):
+        marker = markers[idx % len(markers)]
+        for x in range(v.size):
+            y = int((v[x] - lo) / span * (height - 1))
+            grid[height - 1 - y][x] = marker
+
+    lines = []
+    for row, cells in enumerate(grid):
+        if row == 0:
+            prefix = f"{hi:>10.3g} |"
+        elif row == height - 1:
+            prefix = f"{lo:>10.3g} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(cells))
+    lines.append(" " * 11 + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(arrays)
+    )
+    lines.append(" " * 11 + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)
+
+
+def _downsample(v: np.ndarray, width: int) -> np.ndarray:
+    """Average-bucket a series down to at most ``width`` points."""
+    if v.size <= width:
+        return v
+    edges = np.linspace(0, v.size, width + 1).astype(int)
+    return np.array([v[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])

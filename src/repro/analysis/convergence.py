@@ -1,0 +1,95 @@
+"""Convergence-time detection and steady-state statistics.
+
+Used by the Fig. 7/8 benches to compare how long each search algorithm
+takes to reach (and stay near) its final operating point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def steady_state(values: np.ndarray, tail_fraction: float = 0.3) -> tuple[float, float]:
+    """Mean and standard deviation of the trailing portion of a series.
+
+    Parameters
+    ----------
+    values:
+        Time-ordered samples.
+    tail_fraction:
+        Fraction of the series (from the end) treated as steady state.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return 0.0, 0.0
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    tail = v[int(np.floor(v.size * (1 - tail_fraction))) :]
+    return float(tail.mean()), float(tail.std())
+
+
+def convergence_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    target: float | None = None,
+    tolerance: float = 0.15,
+    hold: int = 3,
+) -> float:
+    """First time the series enters and *stays* within tolerance of target.
+
+    Parameters
+    ----------
+    times, values:
+        The series (equal length, time-ordered).
+    target:
+        Level considered "converged"; defaults to the steady-state mean.
+    tolerance:
+        Relative band around the target.
+    hold:
+        Number of consecutive in-band samples required — a single lucky
+        sample during the search phase does not count as convergence.
+
+    Returns
+    -------
+    float
+        Convergence timestamp, or ``inf`` if the series never settles.
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.shape != v.shape:
+        raise ValueError("times and values must align")
+    if v.size == 0:
+        return float("inf")
+    if target is None:
+        target, _ = steady_state(v)
+    if target == 0:
+        return float(t[0])
+    band = np.abs(v - target) <= tolerance * abs(target)
+    run = 0
+    for i, ok in enumerate(band):
+        run = run + 1 if ok else 0
+        if run >= hold and _mostly(band[i:]):
+            return float(t[i - hold + 1])
+    return float("inf")
+
+
+def _mostly(mask: np.ndarray, fraction: float = 0.8) -> bool:
+    """True when at least ``fraction`` of the remaining samples hold."""
+    return mask.size == 0 or float(mask.mean()) >= fraction
+
+
+def time_to_fraction_of_max(
+    times: np.ndarray, values: np.ndarray, fraction: float = 0.85
+) -> float:
+    """First time the series reaches ``fraction`` of its own maximum.
+
+    A simpler, monotone notion of convergence speed used when the
+    steady state is noisy (e.g. BO's continued exploration).
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return float("inf")
+    threshold = fraction * float(v.max())
+    hits = np.flatnonzero(v >= threshold)
+    return float(t[hits[0]]) if hits.size else float("inf")

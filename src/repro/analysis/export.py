@@ -1,0 +1,96 @@
+"""Exporting experiment results to JSON and CSV.
+
+Experiment ``run()`` functions return nested (frozen) dataclasses; a
+release-quality toolkit needs those results to leave the process —
+for plotting, archiving, or diffing across code versions.  The
+functions here serialise any experiment result: dataclasses become
+mappings, numpy scalars/arrays become plain Python, tuples become
+lists, and dictionary keys are stringified.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+
+def to_plain(obj: Any) -> Any:
+    """Recursively convert a result object to JSON-serialisable types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_plain(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, np.ndarray):
+        return [to_plain(v) for v in obj.tolist()]
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, Mapping):
+        return {_key(k): to_plain(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_plain(v) for v in obj]
+    if isinstance(obj, float) and (obj != obj or obj in (float("inf"), float("-inf"))):
+        return None if obj != obj else ("inf" if obj > 0 else "-inf")
+    return obj
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def to_json(result: Any, indent: int = 2) -> str:
+    """Serialise a result to a JSON string."""
+    return json.dumps(to_plain(result), indent=indent, sort_keys=True)
+
+
+def write_json(result: Any, path: str) -> None:
+    """Write a result as JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(result))
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render header + rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([to_plain(cell) for cell in row])
+    return buffer.getvalue()
+
+
+def records_to_csv(records: Sequence[Any]) -> str:
+    """CSV from a sequence of same-type dataclass instances.
+
+    Column order follows the dataclass field order; nested values are
+    JSON-encoded inline.
+    """
+    if not records:
+        raise ValueError("need at least one record")
+    first = records[0]
+    if not dataclasses.is_dataclass(first):
+        raise TypeError("records must be dataclass instances")
+    fields = [f.name for f in dataclasses.fields(first)]
+    rows = []
+    for record in records:
+        row = []
+        for name in fields:
+            value = to_plain(getattr(record, name))
+            if isinstance(value, (dict, list)):
+                value = json.dumps(value, sort_keys=True)
+            row.append(value)
+        rows.append(row)
+    return rows_to_csv(fields, rows)
+
+
+def write_csv(records: Sequence[Any], path: str) -> None:
+    """Write dataclass records as CSV to ``path``."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(records_to_csv(records))

@@ -1,0 +1,40 @@
+"""Fairness metrics for competing transfers.
+
+The paper's fairness claims (§4.2) are about throughput shares of
+simultaneously running transfer tasks; Jain's index is the standard
+scalar summary (1.0 = perfectly equal, 1/n = one agent has everything).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jain_index(allocations: np.ndarray) -> float:
+    """Jain's fairness index ``(Σx)² / (n · Σx²)``.
+
+    Returns 1.0 for an empty or all-zero allocation (nothing is unfair
+    about nobody getting anything).
+    """
+    x = np.asarray(allocations, dtype=float)
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("allocations must be non-negative")
+    total_sq = x.sum() ** 2
+    denom = x.size * (x * x).sum()
+    if denom == 0:
+        return 1.0
+    return float(total_sq / denom)
+
+
+def share_ratio(allocations: np.ndarray) -> float:
+    """Max/min allocation ratio (1.0 = equal; inf if someone got zero)."""
+    x = np.asarray(allocations, dtype=float)
+    if x.size == 0:
+        return 1.0
+    lo = float(x.min())
+    hi = float(x.max())
+    if lo <= 0:
+        return float("inf") if hi > 0 else 1.0
+    return hi / lo

@@ -1,0 +1,34 @@
+"""Aligned text tables for bench output.
+
+The benchmark harness prints each figure/table as rows of
+paper-expectation vs measured value; this module is the tiny formatter
+they share (no external table dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table.
+
+    Every cell is ``str()``-ed; columns are left-aligned and padded to
+    the widest entry.
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print a titled table with a blank line around it."""
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))
+    print()

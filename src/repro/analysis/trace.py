@@ -1,0 +1,108 @@
+"""Per-second session traces.
+
+Experiments need the continuous view the paper's figures plot —
+throughput, concurrency, and loss per second per session — independent
+of each agent's decision cadence.  A :class:`TraceRecorder` samples all
+registered sessions at a fixed period on the simulation clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.engine import SimulationEngine
+from repro.transfer.session import TransferSession
+
+
+@dataclass
+class SessionTrace:
+    """Time series for one session."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    throughput_bps: list[float] = field(default_factory=list)
+    concurrency: list[int] = field(default_factory=list)
+    parallelism: list[int] = field(default_factory=list)
+    loss_rate: list[float] = field(default_factory=list)
+
+    def throughputs(self) -> np.ndarray:
+        """Throughput series as an array (bps)."""
+        return np.array(self.throughput_bps)
+
+    def concurrencies(self) -> np.ndarray:
+        """Concurrency series as an array."""
+        return np.array(self.concurrency, dtype=float)
+
+    def timestamps(self) -> np.ndarray:
+        """Sample times as an array (seconds)."""
+        return np.array(self.times)
+
+    def losses(self) -> np.ndarray:
+        """Loss-rate series as an array."""
+        return np.array(self.loss_rate)
+
+    def window(self, t0: float, t1: float) -> "SessionTrace":
+        """Sub-trace restricted to ``t0 <= t < t1``."""
+        out = SessionTrace(name=self.name)
+        for i, t in enumerate(self.times):
+            if t0 <= t < t1:
+                out.times.append(t)
+                out.throughput_bps.append(self.throughput_bps[i])
+                out.concurrency.append(self.concurrency[i])
+                out.parallelism.append(self.parallelism[i])
+                out.loss_rate.append(self.loss_rate[i])
+        return out
+
+    def mean_throughput(self) -> float:
+        """Average throughput over the trace (bps)."""
+        return float(np.mean(self.throughput_bps)) if self.throughput_bps else 0.0
+
+
+class TraceRecorder:
+    """Samples registered sessions periodically on the engine clock."""
+
+    def __init__(self, engine: SimulationEngine, period: float = 1.0) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.engine = engine
+        self.period = period
+        self.traces: dict[str, SessionTrace] = {}
+        self._sessions: list[TransferSession] = []
+        self._last_bytes: dict[str, tuple[float, float]] = {}
+        engine.schedule_every(period, self._sample, name="trace-recorder")
+
+    def watch(self, session: TransferSession) -> SessionTrace:
+        """Start recording a session; returns its (live) trace."""
+        if session.name in self.traces:
+            raise ValueError(f"already watching {session.name!r}")
+        trace = SessionTrace(name=session.name)
+        self.traces[session.name] = trace
+        self._sessions.append(session)
+        self._last_bytes[session.name] = (self.engine.now, session.total_good_bytes)
+        return trace
+
+    def _sample(self) -> None:
+        now = self.engine.now
+        for session in self._sessions:
+            if not session.active:
+                continue
+            trace = self.traces[session.name]
+            # Goodput from byte deltas: the TCP rate sum overstates
+            # gap-dominated (small-file) workloads, where workers hold
+            # warm windows while stalled on control-channel round trips.
+            last_t, last_b = self._last_bytes[session.name]
+            span = now - last_t
+            goodput = (
+                (session.total_good_bytes - last_b) * 8.0 / span if span > 0 else 0.0
+            )
+            self._last_bytes[session.name] = (now, session.total_good_bytes)
+            trace.times.append(now)
+            trace.throughput_bps.append(goodput)
+            trace.concurrency.append(session.params.concurrency)
+            trace.parallelism.append(session.params.parallelism)
+            trace.loss_rate.append(session.current_loss)
+
+    def __getitem__(self, name: str) -> SessionTrace:
+        return self.traces[name]

@@ -1,0 +1,30 @@
+"""Baseline transfer-optimization solutions the paper compares against.
+
+* :mod:`globus` — the fixed, file-size-based heuristic of the Globus
+  transfer service: robust, conservative, never adapts.
+* :mod:`harp` — HARP (Arslan et al., SC'16 / TPDS'18): historical-
+  analysis regression plus real-time probing; tunes once, maximises its
+  own predicted throughput, no fairness mechanism.
+* :mod:`pcp` — PCP (Yildirim et al.): pure hill climbing on raw
+  throughput, the related-work strawman for slow convergence.
+* :mod:`golden_section` — GridFTP-APT (Ito et al.): golden-section
+  search, fast but freezes after convergence.
+* :mod:`stochastic_approx` — ProbData (Yun et al.): Kiefer–Wolfowitz
+  stochastic approximation with decaying gains.
+"""
+
+from repro.baselines.globus import GlobusController, globus_params
+from repro.baselines.golden_section import GoldenSectionSearch
+from repro.baselines.harp import HarpController, HistoricalModel
+from repro.baselines.pcp import PcpController
+from repro.baselines.stochastic_approx import StochasticApproximation
+
+__all__ = [
+    "GlobusController",
+    "globus_params",
+    "GoldenSectionSearch",
+    "HarpController",
+    "HistoricalModel",
+    "PcpController",
+    "StochasticApproximation",
+]

@@ -1,0 +1,88 @@
+"""Golden Section Search tuner (GridFTP-APT; Ito et al., §5 related work).
+
+Ito et al. proposed Golden Section Search to automatically adjust the
+number of parallel TCP connections for GridFTP.  GSS assumes a
+unimodal objective over a bracket [lo, hi]: it evaluates the two
+interior golden-ratio points, discards the losing third of the bracket,
+and repeats until the bracket collapses.
+
+Strengths and weaknesses the related-work comparison exercises:
+
+* needs no gradient and converges in O(log) evaluations of the bracket
+  width — faster than hill climbing for distant optima;
+* but each decision is a full sample transfer, the bracket never
+  reopens, so it *cannot adapt* once converged (the paper's core
+  argument for continuous online search);
+* and with a throughput-only objective it has no overhead regret.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.optimizer import ConcurrencyOptimizer, Observation
+
+#: 1/phi — the golden bracket-shrink ratio.
+INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+class GoldenSectionSearch(ConcurrencyOptimizer):
+    """GSS over the concurrency axis, maximising the supplied utility.
+
+    Parameters
+    ----------
+    lo, hi:
+        Initial bracket (inclusive).
+    tolerance:
+        Bracket width at which the search freezes on the midpoint.
+    """
+
+    def __init__(self, lo: int = 1, hi: int = 64, tolerance: int = 2) -> None:
+        super().__init__(lo, hi)
+        if tolerance < 1:
+            raise ValueError("tolerance must be >= 1")
+        self.tolerance = int(tolerance)
+        self._a = float(lo)
+        self._b = float(hi)
+        self._x1 = self._b - INV_PHI * (self._b - self._a)
+        self._x2 = self._a + INV_PHI * (self._b - self._a)
+        self._u1: float | None = None
+        self._u2: float | None = None
+        self._phase = "x1"  # evaluating x1, then x2, then shrink
+        self._converged: int | None = None
+
+    @property
+    def converged_setting(self) -> int | None:
+        """The frozen setting once the bracket has collapsed (else None)."""
+        return self._converged
+
+    def first_setting(self) -> int:
+        return self.clamp(self._x1)
+
+    def update(self, obs: Observation) -> int:
+        if self._converged is not None:
+            return self._converged
+
+        if self._phase == "x1":
+            self._u1 = obs.utility
+            self._phase = "x2"
+            return self.clamp(self._x2)
+
+        self._u2 = obs.utility
+        # Shrink toward the better interior point (maximisation).
+        if self._u1 >= self._u2:
+            self._b = self._x2
+        else:
+            self._a = self._x1
+        if self._b - self._a <= self.tolerance:
+            self._converged = self.clamp((self._a + self._b) / 2.0)
+            return self._converged
+        self._x1 = self._b - INV_PHI * (self._b - self._a)
+        self._x2 = self._a + INV_PHI * (self._b - self._a)
+        self._u1 = None
+        self._u2 = None
+        self._phase = "x1"
+        return self.clamp(self._x1)
+
+    def reset(self) -> None:
+        self.__init__(self.lo, self.hi, self.tolerance)

@@ -1,0 +1,39 @@
+"""PCP-style baseline: hill climbing on raw throughput (related work).
+
+Yildirim et al.'s PCP "uses a simple hill climbing method to identify
+the optimal value, thus leads to suboptimal performance in most cases"
+(§5).  Composing our :class:`HillClimbing` search with the throughput-
+only utility (Eq. 1) reproduces it, and gives the ablation benches a
+regret-free adaptive baseline: it converges slowly *and*, because its
+utility has no penalty terms, it keeps pushing concurrency as long as
+any throughput gain is measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agent import FalconAgent
+from repro.core.hill_climbing import HillClimbing
+from repro.core.utility import ThroughputUtility
+from repro.transfer.session import TransferSession
+
+
+class PcpController(FalconAgent):
+    """A Falcon agent body with PCP's brain: HC over raw throughput."""
+
+    def __init__(
+        self,
+        session: TransferSession,
+        hi: int = 64,
+        threshold: float = 0.03,
+        jitter: float = 0.03,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(
+            session=session,
+            optimizer=HillClimbing(lo=1, hi=hi, threshold=threshold),
+            utility=ThroughputUtility(),
+            jitter=jitter,
+            rng=rng,
+        )

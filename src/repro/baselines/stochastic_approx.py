@@ -1,0 +1,98 @@
+"""Stochastic-approximation tuner (ProbData; Yun et al., §5 related work).
+
+ProbData explores transfer settings with Kiefer–Wolfowitz stochastic
+approximation: probe ``n ± c_k``, step along the finite-difference
+gradient with gain ``a_k``, and *decay* both sequences
+
+``a_k = a0 / (k + 1)^alpha``,  ``c_k = c0 / (k + 1)^gamma``
+
+so the iterates provably converge under noise.  The decay is also why
+the paper dismisses it: "it takes several hours to converge, which
+makes it impractical" and the shrinking gains cannot track changing
+conditions.  The related-work bench shows exactly that: early progress
+comparable to GD, then a long asymptotic crawl, and no re-adaptation.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import ConcurrencyOptimizer, Observation
+
+
+class StochasticApproximation(ConcurrencyOptimizer):
+    """Kiefer–Wolfowitz SA over the concurrency axis.
+
+    Parameters
+    ----------
+    lo, hi:
+        Search-domain bounds.
+    start:
+        Initial iterate.
+    a0, alpha:
+        Gain sequence scale and decay exponent.
+    c0, gamma:
+        Probe-offset sequence scale and decay exponent (offsets are
+        rounded to >= 1 since concurrency is integral).
+    """
+
+    def __init__(
+        self,
+        lo: int = 1,
+        hi: int = 64,
+        start: int = 4,
+        a0: float = 30.0,
+        alpha: float = 0.8,
+        c0: float = 4.0,
+        gamma: float = 0.3,
+    ) -> None:
+        super().__init__(lo, hi)
+        if a0 <= 0 or c0 <= 0:
+            raise ValueError("gain scales must be positive")
+        if not 0.5 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0.5, 1] for convergence")
+        self.a0, self.alpha = float(a0), float(alpha)
+        self.c0, self.gamma = float(c0), float(gamma)
+        self._x = float(self.clamp(start))
+        self._k = 0
+        self._phase = "low"
+        self._u_low: float | None = None
+
+    @property
+    def iterate(self) -> float:
+        """Current (continuous) iterate."""
+        return self._x
+
+    @property
+    def step_count(self) -> int:
+        """Completed SA iterations."""
+        return self._k
+
+    def _c_k(self) -> int:
+        return max(1, round(self.c0 / (self._k + 1) ** self.gamma))
+
+    def _a_k(self) -> float:
+        return self.a0 / (self._k + 1) ** self.alpha
+
+    def first_setting(self) -> int:
+        return self.clamp(self._x - self._c_k())
+
+    def update(self, obs: Observation) -> int:
+        if self._phase == "low":
+            self._u_low = obs.utility
+            self._phase = "high"
+            return self.clamp(self._x + self._c_k())
+
+        u_low, u_high = self._u_low, obs.utility
+        c = self._c_k()
+        # Normalised finite-difference gradient (relative change per
+        # concurrency unit), stepped with the decaying gain.
+        gradient = (u_high - u_low) / (2.0 * c * max(abs(u_low), 1e-12))
+        self._x = float(min(self.hi, max(self.lo, self._x + self._a_k() * gradient)))
+        self._k += 1
+        self._phase = "low"
+        self._u_low = None
+        return self.clamp(self._x - self._c_k())
+
+    def reset(self) -> None:
+        self._k = 0
+        self._phase = "low"
+        self._u_low = None

@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list-testbeds
+    python -m repro list-experiments
+    python -m repro run fig09                # regenerate one figure
+    python -m repro tune hpclab --optimizer bo --duration 240
+
+The CLI is a thin veneer over the library — everything it does is one
+or two calls into ``repro.experiments`` / ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+from typing import Callable, Sequence
+
+from repro.analysis.tables import format_table
+from repro.testbeds import presets
+from repro.units import bps_to_gbps, format_rate
+
+#: CLI name -> testbed factory.
+TESTBEDS: dict[str, Callable] = {
+    "emulab": presets.emulab_fig4,
+    "emulab48": presets.emulab_high_optimal,
+    "xsede": presets.xsede,
+    "hpclab": presets.hpclab,
+    "campus": presets.campus_cluster,
+    "stampede2-comet": presets.stampede2_comet,
+}
+
+#: CLI name -> experiment module (must expose main()).
+EXPERIMENTS: dict[str, str] = {
+    "table1": "repro.experiments.table1_testbeds",
+    "fig01": "repro.experiments.fig01_concurrency",
+    "fig02": "repro.experiments.fig02_state_of_art",
+    "fig04": "repro.experiments.fig04_overhead",
+    "fig06": "repro.experiments.fig06_utility_forms",
+    "fig07": "repro.experiments.fig07_convergence",
+    "fig08": "repro.experiments.fig08_hc_competition",
+    "fig09": "repro.experiments.fig09_gd_networks",
+    "fig10": "repro.experiments.fig10_bo_networks",
+    "fig11": "repro.experiments.fig11_gd_competition",
+    "fig12": "repro.experiments.fig12_bo_competition",
+    "fig13": "repro.experiments.fig13_concurrency_traces",
+    "fig14": "repro.experiments.fig14_comparison",
+    "fig15": "repro.experiments.fig15_multiparam",
+    "fig16": "repro.experiments.fig16_friendliness",
+    "related-work": "repro.experiments.related_work",
+    "bbr": "repro.experiments.bbr_extension",
+    "robustness": "repro.experiments.robustness",
+    "overhead": "repro.experiments.overhead",
+}
+
+
+def cmd_list_testbeds(_args: argparse.Namespace) -> int:
+    """Print the available testbed presets."""
+    rows = []
+    for name, factory in TESTBEDS.items():
+        tb = factory()
+        rows.append(
+            (
+                name,
+                format_rate(tb.path.capacity, 0),
+                f"{tb.path.rtt * 1e3:g}ms",
+                tb.bottleneck,
+                tb.optimal_concurrency(),
+                format_rate(tb.max_throughput(), 1),
+            )
+        )
+    print(format_table(["name", "bandwidth", "rtt", "bottleneck", "n*", "achievable"], rows))
+    return 0
+
+
+def cmd_list_experiments(_args: argparse.Namespace) -> int:
+    """Print the runnable experiments with their docstring headline."""
+    rows = []
+    for name, module_path in EXPERIMENTS.items():
+        module = importlib.import_module(module_path)
+        headline = (module.__doc__ or "").strip().splitlines()[0]
+        rows.append((name, headline))
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment's main() (prints its table)."""
+    module_path = EXPERIMENTS.get(args.experiment)
+    if module_path is None:
+        print(f"unknown experiment {args.experiment!r}; try `list-experiments`")
+        return 2
+    importlib.import_module(module_path).main()
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Run an experiment and write its result as JSON."""
+    module_path = EXPERIMENTS.get(args.experiment)
+    if module_path is None:
+        print(f"unknown experiment {args.experiment!r}; try `list-experiments`")
+        return 2
+    from repro.analysis.export import write_json
+
+    module = importlib.import_module(module_path)
+    result = module.run()
+    out = args.out or f"{args.experiment}.json"
+    write_json(result, out)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Run Falcon on one testbed and report the outcome."""
+    factory = TESTBEDS.get(args.testbed)
+    if factory is None:
+        print(f"unknown testbed {args.testbed!r}; try `list-testbeds`")
+        return 2
+    from repro.experiments.common import launch_falcon, make_context
+
+    ctx = make_context(seed=args.seed)
+    tb = factory()
+    launched = launch_falcon(ctx, tb, kind=args.optimizer)
+    ctx.engine.run_for(args.duration)
+    agent = launched.controller
+    tail = slice(max(0, len(agent.history) - 10), None)
+    tputs = agent.throughputs()[tail]
+    ccs = agent.concurrencies()[tail]
+    print(f"{tb.name}: optimizer={args.optimizer} duration={args.duration:.0f}s")
+    print(
+        f"steady throughput {bps_to_gbps(float(tputs.mean())):.2f} Gbps "
+        f"({100 * float(tputs.mean()) / tb.max_throughput():.0f}% of achievable), "
+        f"concurrency ~{float(ccs.mean()):.0f} (optimum {tb.optimal_concurrency()})"
+    )
+    from repro.analysis.ascii_chart import sparkline
+
+    print(f"throughput  {sparkline(launched.trace.throughput_bps)}")
+    print(f"concurrency {sparkline(launched.trace.concurrency)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Falcon (SC'21) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-testbeds", help="show testbed presets").set_defaults(
+        fn=cmd_list_testbeds
+    )
+    sub.add_parser("list-experiments", help="show runnable experiments").set_defaults(
+        fn=cmd_list_experiments
+    )
+
+    run = sub.add_parser("run", help="regenerate one paper figure/table")
+    run.add_argument("experiment", help="experiment name (see list-experiments)")
+    run.set_defaults(fn=cmd_run)
+
+    export = sub.add_parser("export", help="run an experiment and write JSON")
+    export.add_argument("experiment", help="experiment name (see list-experiments)")
+    export.add_argument("--out", default=None, help="output path (default <name>.json)")
+    export.set_defaults(fn=cmd_export)
+
+    tune = sub.add_parser("tune", help="run Falcon on a testbed")
+    tune.add_argument("testbed", help="testbed name (see list-testbeds)")
+    tune.add_argument("--optimizer", choices=("gd", "bo", "hc"), default="gd")
+    tune.add_argument("--duration", type=float, default=300.0)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.set_defaults(fn=cmd_tune)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

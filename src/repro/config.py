@@ -1,0 +1,87 @@
+"""Global simulation defaults.
+
+These mirror the constants the paper states explicitly (sample-transfer
+durations, utility coefficients) plus simulator-only knobs (fluid time
+step, measurement jitter) that have no paper analogue but control the
+fidelity/cost trade-off of the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Tunable simulation-wide parameters.
+
+    Attributes
+    ----------
+    dt:
+        Fluid-integration time step in seconds.  Flow rates are
+        recomputed every ``dt``; 0.1 s resolves TCP ramping (hundreds of
+        ms) without making 10-minute experiments slow.
+    measurement_jitter:
+        Standard deviation of the multiplicative Gaussian noise applied
+        to *measured* throughput samples (the true fluid rates stay
+        exact).  The paper's stability discussion (choice of K, BO vs GD
+        fluctuations) only exists because real measurements are noisy.
+    local_sample_interval:
+        Sample-transfer evaluation window for local-area transfers
+        (paper §4: 3 s).
+    wide_sample_interval:
+        Evaluation window for wide-area transfers (paper §4: 5 s).
+    startup_ramp_rtts:
+        Number of RTTs a fresh TCP stream needs to approach its
+        equilibrium share (slow-start abstraction).
+    min_ramp_time:
+        Lower bound on the ramp time constant, seconds.  Keeps sub-ms
+        RTT LAN flows from ramping unphysically fast.
+    """
+
+    dt: float = 0.1
+    measurement_jitter: float = 0.02
+    local_sample_interval: float = 3.0
+    wide_sample_interval: float = 5.0
+    startup_ramp_rtts: float = 20.0
+    min_ramp_time: float = 0.25
+
+    def with_(self, **kwargs) -> "SimConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Default configuration used when none is supplied explicitly.
+DEFAULT_CONFIG = SimConfig()
+
+# ---------------------------------------------------------------------------
+# Utility-function coefficients (paper §3.1).
+# ---------------------------------------------------------------------------
+
+#: Loss-penalty coefficient B (paper: "B = 10 works well with most
+#: commonly used TCP variants").
+DEFAULT_LOSS_PENALTY_B = 10.0
+
+#: Nonlinear concurrency-regret base K (paper: "we set K = 1.02 ... to
+#: strike a balance between stability and reduced upper limit").
+DEFAULT_CONCURRENCY_BASE_K = 1.02
+
+#: Linear concurrency-penalty coefficient C examples used in Fig. 6.
+LINEAR_PENALTY_C_LOW = 0.01
+LINEAR_PENALTY_C_HIGH = 0.02
+
+# ---------------------------------------------------------------------------
+# Search-algorithm defaults (paper §3.2).
+# ---------------------------------------------------------------------------
+
+#: Hill-Climbing relative-improvement threshold (paper: "3% by default").
+HILL_CLIMBING_THRESHOLD = 0.03
+
+#: Bayesian optimization: random-sampling bootstrap length (paper: 3).
+BO_RANDOM_SAMPLES = 3
+
+#: Bayesian optimization: sliding window of past observations (paper: 20).
+BO_OBSERVATION_WINDOW = 20
+
+#: Default upper bound of the concurrency search space.
+DEFAULT_MAX_CONCURRENCY = 64

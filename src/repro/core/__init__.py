@@ -1,0 +1,50 @@
+"""Falcon core: utility functions, online optimizers, agents.
+
+The public surface a downstream user needs:
+
+* :class:`~repro.core.utility.NonlinearPenaltyUtility` — the paper's
+  Eq. 4 utility (the default);
+* :class:`~repro.core.hill_climbing.HillClimbing`,
+  :class:`~repro.core.gradient_descent.GradientDescent`,
+  :class:`~repro.core.bayesian.BayesianOptimizer` — the three online
+  search algorithms (§3.2);
+* :class:`~repro.core.conjugate_gradient.ConjugateGradientOptimizer` —
+  multi-parameter search (§4.4);
+* :class:`~repro.core.agent.FalconAgent` /
+  :func:`~repro.core.controller.attach_agent` — binding an optimizer to
+  a live transfer session.
+"""
+
+from repro.core.agent import FalconAgent
+from repro.core.bayesian import BayesianOptimizer
+from repro.core.conjugate_gradient import ConjugateGradientOptimizer
+from repro.core.controller import attach_agent
+from repro.core.gradient_descent import GradientDescent
+from repro.core.hill_climbing import HillClimbing
+from repro.core.optimizer import ConcurrencyOptimizer, MultiParamOptimizer, Observation
+from repro.core.utility import (
+    LinearPenaltyUtility,
+    LossRegretUtility,
+    MultiParamUtility,
+    NonlinearPenaltyUtility,
+    ThroughputUtility,
+    concavity_limit,
+)
+
+__all__ = [
+    "FalconAgent",
+    "BayesianOptimizer",
+    "ConjugateGradientOptimizer",
+    "attach_agent",
+    "GradientDescent",
+    "HillClimbing",
+    "ConcurrencyOptimizer",
+    "MultiParamOptimizer",
+    "Observation",
+    "LinearPenaltyUtility",
+    "LossRegretUtility",
+    "MultiParamUtility",
+    "NonlinearPenaltyUtility",
+    "ThroughputUtility",
+    "concavity_limit",
+]

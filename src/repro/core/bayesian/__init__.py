@@ -1,0 +1,34 @@
+"""Bayesian Optimization for online transfer tuning (paper §3.2).
+
+Built from scratch on numpy/scipy:
+
+* :mod:`kernels` — RBF and Matérn-5/2 covariance functions;
+* :mod:`gp` — Gaussian-process regression with Cholesky posteriors and
+  marginal-likelihood hyperparameter fitting;
+* :mod:`acquisition` — EI, PI, UCB acquisition functions;
+* :mod:`gp_hedge` — the GP-Hedge portfolio that picks between them
+  online with exponential weights (Auer et al.);
+* :mod:`optimizer` — the BO loop: 3 random bootstrap samples, a
+  20-observation sliding window, integer candidates.
+"""
+
+from repro.core.bayesian.acquisition import (
+    expected_improvement,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+from repro.core.bayesian.gp import GaussianProcess
+from repro.core.bayesian.gp_hedge import GPHedge
+from repro.core.bayesian.kernels import Matern52Kernel, RBFKernel
+from repro.core.bayesian.optimizer import BayesianOptimizer
+
+__all__ = [
+    "expected_improvement",
+    "probability_of_improvement",
+    "upper_confidence_bound",
+    "GaussianProcess",
+    "GPHedge",
+    "Matern52Kernel",
+    "RBFKernel",
+    "BayesianOptimizer",
+]

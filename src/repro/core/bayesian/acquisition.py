@@ -1,0 +1,52 @@
+"""Acquisition functions for Bayesian optimization (maximisation).
+
+All three classics, operating on posterior (mean, std) arrays so the
+GP is queried once per decision regardless of how many acquisitions
+the GP-Hedge portfolio is running.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01
+) -> np.ndarray:
+    """EI: expected amount by which a point beats the incumbent.
+
+    Parameters
+    ----------
+    mean, std:
+        GP posterior at the candidate points.
+    best:
+        Incumbent (best observed utility).
+    xi:
+        Exploration margin added to the incumbent.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    improvement = mean - best - xi
+    z = improvement / std
+    return improvement * norm.cdf(z) + std * norm.pdf(z)
+
+
+def probability_of_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01
+) -> np.ndarray:
+    """PI: probability a point beats the incumbent by at least ``xi``."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    return norm.cdf((mean - best - xi) / std)
+
+
+def upper_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, best: float = 0.0, kappa: float = 2.0
+) -> np.ndarray:
+    """UCB: optimism in the face of uncertainty, ``μ + κσ``.
+
+    ``best`` is accepted (and ignored) so all acquisitions share one
+    call signature.
+    """
+    return np.asarray(mean, dtype=float) + kappa * np.asarray(std, dtype=float)

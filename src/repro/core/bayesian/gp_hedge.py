@@ -1,0 +1,119 @@
+"""GP-Hedge: online acquisition-function portfolio.
+
+The paper "utilizes the GP-Hedge algorithm to tune the hyperparameters
+of BO, such as exploration-exploitation ratios and acquisition
+functions, in real time", citing Auer et al.'s adversarial-bandit
+exponential-weights scheme.  GP-Hedge (Hoffman, Brochu, de Freitas)
+works as follows each round:
+
+1. every acquisition function nominates its favourite candidate;
+2. one nomination is sampled with probability ``softmax(η·g)`` over the
+   portfolio's cumulative gains ``g``;
+3. after the GP is updated, **every** nominee is scored by the new
+   posterior mean at its nominated point, and gains are updated —
+   so acquisitions that keep nominating good points gain influence even
+   when not selected.
+
+Gains decay geometrically so the portfolio adapts when network
+conditions shift (consistent with Falcon's windowed GP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.bayesian.acquisition import (
+    expected_improvement,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+
+AcquisitionFn = Callable[[np.ndarray, np.ndarray, float], np.ndarray]
+
+
+@dataclass
+class _Arm:
+    name: str
+    fn: AcquisitionFn
+    gain: float = 0.0
+    pending: float | None = None  # nominated candidate awaiting reward
+
+
+class GPHedge:
+    """Exponential-weights portfolio over acquisition functions.
+
+    Parameters
+    ----------
+    acquisitions:
+        Sequence of ``(name, fn)`` pairs; defaults to EI, PI, UCB.
+    eta:
+        Softmax temperature of the selection distribution.
+    decay:
+        Per-round multiplicative gain decay (1.0 = classic GP-Hedge).
+    rng:
+        Random generator for the softmax draw.
+    """
+
+    def __init__(
+        self,
+        acquisitions: Sequence[tuple[str, AcquisitionFn]] | None = None,
+        eta: float = 1.0,
+        decay: float = 0.9,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if acquisitions is None:
+            acquisitions = [
+                ("ei", expected_improvement),
+                ("pi", probability_of_improvement),
+                ("ucb", upper_confidence_bound),
+            ]
+        if not acquisitions:
+            raise ValueError("need at least one acquisition function")
+        if not 0 < decay <= 1:
+            raise ValueError("decay must be in (0, 1]")
+        self.eta = float(eta)
+        self.decay = float(decay)
+        self._arms = [_Arm(name, fn) for name, fn in acquisitions]
+        self._rng = rng or np.random.default_rng()
+
+    @property
+    def gains(self) -> dict[str, float]:
+        """Current cumulative (decayed) gain per acquisition."""
+        return {arm.name: arm.gain for arm in self._arms}
+
+    def probabilities(self) -> np.ndarray:
+        """Selection distribution over the portfolio."""
+        g = np.array([arm.gain for arm in self._arms])
+        z = self.eta * (g - g.max())
+        w = np.exp(z)
+        return w / w.sum()
+
+    def propose(
+        self, candidates: np.ndarray, mean: np.ndarray, std: np.ndarray, best: float
+    ) -> tuple[float, str]:
+        """One GP-Hedge round: nominate, select, remember nominations.
+
+        Returns the selected candidate value and the name of the
+        acquisition that nominated it.
+        """
+        candidates = np.asarray(candidates, dtype=float)
+        for arm in self._arms:
+            scores = arm.fn(mean, std, best)
+            arm.pending = float(candidates[int(np.argmax(scores))])
+        probs = self.probabilities()
+        chosen = int(self._rng.choice(len(self._arms), p=probs))
+        return self._arms[chosen].pending, self._arms[chosen].name
+
+    def reward(self, posterior_mean_at: Callable[[float], float]) -> None:
+        """Update gains with the new posterior mean at each nomination.
+
+        Call after the GP has been refitted with the latest observation.
+        """
+        for arm in self._arms:
+            if arm.pending is None:
+                continue
+            arm.gain = self.decay * arm.gain + float(posterior_mean_at(arm.pending))
+            arm.pending = None

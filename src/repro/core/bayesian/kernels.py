@@ -1,0 +1,74 @@
+"""Covariance kernels for Gaussian-process surrogates.
+
+Only what BO over a 1-D integer domain needs: stationary kernels with a
+signal variance and a length scale, vectorised over sample matrices.
+Inputs are ``(n, d)`` arrays; outputs are ``(n, m)`` Gram matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+def _sqdist(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances between row vectors."""
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b  (vectorised, no copies)
+    return np.maximum(
+        0.0,
+        (a * a).sum(axis=1)[:, None] + (b * b).sum(axis=1)[None, :] - 2.0 * (a @ b.T),
+    )
+
+
+@dataclass(frozen=True)
+class RBFKernel:
+    """Squared-exponential kernel ``σ² exp(−r²/2ℓ²)``.
+
+    Attributes
+    ----------
+    length_scale:
+        ℓ — correlation range in input units.
+    variance:
+        σ² — prior signal variance.
+    """
+
+    length_scale: float = 1.0
+    variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0 or self.variance <= 0:
+            raise ValueError("kernel hyperparameters must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.variance * np.exp(-0.5 * _sqdist(a, b) / self.length_scale**2)
+
+    def with_params(self, length_scale: float, variance: float) -> "RBFKernel":
+        """Copy with new hyperparameters (used during MLL fitting)."""
+        return replace(self, length_scale=length_scale, variance=variance)
+
+
+@dataclass(frozen=True)
+class Matern52Kernel:
+    """Matérn ν=5/2 kernel — rougher than RBF, a common BO default.
+
+    ``σ² (1 + √5 r/ℓ + 5r²/3ℓ²) exp(−√5 r/ℓ)``
+    """
+
+    length_scale: float = 1.0
+    variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0 or self.variance <= 0:
+            raise ValueError("kernel hyperparameters must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        r = np.sqrt(_sqdist(a, b))
+        z = np.sqrt(5.0) * r / self.length_scale
+        return self.variance * (1.0 + z + z**2 / 3.0) * np.exp(-z)
+
+    def with_params(self, length_scale: float, variance: float) -> "Matern52Kernel":
+        """Copy with new hyperparameters (used during MLL fitting)."""
+        return replace(self, length_scale=length_scale, variance=variance)

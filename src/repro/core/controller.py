@@ -1,0 +1,59 @@
+"""Binding agents to the simulation clock.
+
+:func:`attach_agent` wires a :class:`~repro.core.agent.FalconAgent`
+into a :class:`~repro.sim.engine.SimulationEngine`: the agent's first
+setting is applied immediately and a periodic decision event runs until
+the session completes.  The same helper drives baseline controllers
+(anything exposing ``start()`` and ``decide(now)``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.sim.engine import SimulationEngine
+from repro.transfer.session import TransferSession
+
+
+class SessionController(Protocol):
+    """Anything that tunes a session on a periodic tick."""
+
+    session: TransferSession
+
+    def start(self) -> None:
+        """Apply the initial setting."""
+        ...
+
+    def decide(self, now: float) -> None:
+        """One periodic decision."""
+        ...
+
+
+def attach_agent(
+    engine: SimulationEngine,
+    controller: SessionController,
+    interval: float,
+    start_time: float = 0.0,
+) -> None:
+    """Start a controller now (or at ``start_time``) and tick it periodically.
+
+    The periodic event stops itself once the controlled session
+    finishes.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+
+    def kickoff() -> None:
+        controller.start()
+
+        def tick() -> None:
+            if not controller.session.active:
+                raise StopIteration
+            controller.decide(engine.now)
+
+        engine.schedule_every(interval, tick, name=f"decide:{controller.session.name}")
+
+    if start_time <= engine.now:
+        kickoff()
+    else:
+        engine.schedule_at(start_time, kickoff, name=f"start:{controller.session.name}")

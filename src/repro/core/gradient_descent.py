@@ -1,0 +1,144 @@
+"""Online Gradient Descent search (paper §3.2).
+
+Because the Eq. 4 utility is strictly concave over the working range,
+gradient ascent converges geometrically.  The gradient is *estimated*
+with two sample transfers around the current point: evaluate ``n − ε``
+then ``n + ε`` (ε = 1, concurrency is integral), compute
+
+``γ = (u(n+ε) − u(n−ε)) / (2ε)``
+
+normalise it to a relative rate of change ``Δ = γ / |u(n−ε)|``, and move
+``n_new = n + θ·Δ·n`` where the learning factor θ grows while the
+gradient keeps its sign in consecutive rounds and resets when it flips
+— the paper's "monotonically increasing learning factor to gradually
+build confidence over search direction".
+
+We grow θ geometrically (doubling, capped) rather than by +1: with
+sample transfers costing 3–5 s each, additive growth cannot reach a
+distant optimum (e.g. 48) within the paper's reported 20–30 s
+convergence window; doubling preserves the paper's qualitative design
+(confidence-gated acceleration) at the paper's reported timescale.
+
+Even after convergence the optimizer keeps cycling ``n−1, n+1`` probes
+— Fig. 9's concurrency trace "bounces between 9 and 11" for exactly
+this reason — so it notices when conditions change.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import ConcurrencyOptimizer, Observation
+
+
+class GradientDescent(ConcurrencyOptimizer):
+    """Two-point finite-difference gradient ascent with adaptive step.
+
+    Parameters
+    ----------
+    lo, hi:
+        Search-domain bounds.
+    start:
+        Initial center point (paper's traces start near 2).
+    epsilon:
+        Probe offset; 1 because concurrency is integral.
+    theta_max:
+        Cap on the learning factor.
+    max_step:
+        Cap on a single move, in concurrency units; bounds the damage a
+        jittered sample can do ("avoiding arbitrarily large steps due
+        to sampling errors").
+    """
+
+    def __init__(
+        self,
+        lo: int = 1,
+        hi: int = 64,
+        start: int = 2,
+        epsilon: int | None = None,
+        theta_max: float = 16.0,
+        max_step: float = 16.0,
+    ) -> None:
+        super().__init__(lo, hi)
+        if epsilon is not None and epsilon < 1:
+            raise ValueError("epsilon must be >= 1")
+        self.epsilon = None if epsilon is None else int(epsilon)
+        self.theta_max = float(theta_max)
+        self.max_step = float(max_step)
+        # The center is kept as a float: sub-unit moves must be able
+        # to accumulate across rounds (rounding every move would
+        # swallow the small drift that finishes convergence).
+        self._center = float(self.clamp(start))
+        self._theta = 1.0
+        self._last_sign = 0
+        self._phase = "low"  # alternates: probe low, probe high, move
+        self._u_low: float | None = None
+
+    def first_setting(self) -> int:
+        return self._probe_low()
+
+    def _eps(self) -> int:
+        """Probe offset at the current center.
+
+        With a fixed ε=1 the utility difference between the probes
+        shrinks like 1/n and disappears into measurement jitter at
+        large optima; scaling ε with the center keeps the probe signal
+        a roughly constant multiple of the noise floor.  (The paper
+        uses ε=1 on real testbeds; this is the simulator-noise-aware
+        generalisation, and ε=1 behaviour is recovered by passing
+        ``epsilon=1``.)
+        """
+        if self.epsilon is not None:
+            return self.epsilon
+        return max(1, round(self._center / 16))
+
+    def _center_int(self) -> int:
+        return self.clamp(self._center)
+
+    def _probe_low(self) -> int:
+        return self.clamp(self._center_int() - self._eps())
+
+    def _probe_high(self) -> int:
+        return self.clamp(self._center_int() + self._eps())
+
+    @property
+    def center(self) -> int:
+        """Current search center (the believed optimum)."""
+        return self._center_int()
+
+    @property
+    def theta(self) -> float:
+        """Current learning factor."""
+        return self._theta
+
+    def update(self, obs: Observation) -> int:
+        if self._phase == "low":
+            self._u_low = obs.utility
+            self._phase = "high"
+            return self._probe_high()
+
+        # High-probe observation: complete the gradient estimate.
+        u_low, u_high = self._u_low, obs.utility
+        self._phase = "low"
+        self._u_low = None
+
+        low, high = self._probe_low(), self._probe_high()
+        span = max(high - low, 1)
+        gamma = (u_high - u_low) / span
+        delta = gamma / max(abs(u_low), 1e-12)
+
+        sign = 0 if delta == 0 else (1 if delta > 0 else -1)
+        if sign != 0 and sign == self._last_sign:
+            self._theta = min(self.theta_max, self._theta * 2.0)
+        else:
+            self._theta = 1.0
+        self._last_sign = sign
+
+        step = self._theta * delta * self._center
+        step = max(-self.max_step, min(self.max_step, step))
+        self._center = float(min(self.hi, max(self.lo, self._center + step)))
+        return self._probe_low()
+
+    def reset(self) -> None:
+        self._theta = 1.0
+        self._last_sign = 0
+        self._phase = "low"
+        self._u_low = None

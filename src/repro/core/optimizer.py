@@ -1,0 +1,84 @@
+"""Optimizer interfaces shared by the three search algorithms.
+
+The agent/optimizer contract is sample-synchronous: once per sample
+interval the agent hands the optimizer the :class:`Observation` for the
+setting that was just evaluated, and the optimizer returns the next
+setting to try.  Optimizers never sleep or block — all pacing lives in
+the simulation clock — which is also how the real Falcon separates its
+measurement thread from the transfer processes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.transfer.metrics import IntervalSample
+from repro.transfer.session import TransferParams
+
+
+@dataclass(frozen=True)
+class Observation:
+    """The outcome of evaluating one setting for one sample interval.
+
+    Attributes
+    ----------
+    params:
+        The setting that was in force during the interval.
+    utility:
+        Scalar score from the agent's utility function.
+    sample:
+        The raw interval measurement (throughput, loss, duration).
+    """
+
+    params: TransferParams
+    utility: float
+    sample: IntervalSample
+
+    @property
+    def concurrency(self) -> int:
+        """Concurrency evaluated by this observation."""
+        return self.params.concurrency
+
+
+class ConcurrencyOptimizer(ABC):
+    """Single-parameter online search over the concurrency level.
+
+    Parameters
+    ----------
+    lo, hi:
+        Inclusive search-domain bounds.
+    """
+
+    def __init__(self, lo: int = 1, hi: int = 64) -> None:
+        if not 1 <= lo <= hi:
+            raise ValueError(f"invalid domain [{lo}, {hi}]")
+        self.lo = int(lo)
+        self.hi = int(hi)
+
+    def clamp(self, n: float) -> int:
+        """Round and clip a proposal into the search domain."""
+        return int(min(self.hi, max(self.lo, round(n))))
+
+    @abstractmethod
+    def first_setting(self) -> int:
+        """Concurrency to evaluate in the very first interval."""
+
+    @abstractmethod
+    def update(self, obs: Observation) -> int:
+        """Digest an observation; return the next concurrency to try."""
+
+    def reset(self) -> None:
+        """Forget accumulated state (used on major condition changes)."""
+
+
+class MultiParamOptimizer(ABC):
+    """Multi-parameter online search over (concurrency, parallelism, pipelining)."""
+
+    @abstractmethod
+    def first_setting(self) -> TransferParams:
+        """Setting to evaluate in the very first interval."""
+
+    @abstractmethod
+    def update(self, obs: Observation) -> TransferParams:
+        """Digest an observation; return the next setting to try."""

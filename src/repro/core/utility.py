@@ -1,0 +1,201 @@
+"""Falcon's game-theory-inspired utility functions (paper §3.1).
+
+The progression the paper walks through, all implemented here:
+
+* Eq. 1 — throughput-only utility ``u = n·t``.  Not strictly concave
+  (``u'' = 0``), so it cannot guarantee fair convergence.
+* Eq. 2 — loss regret: ``u = n·t − n·t·L·B``.  Fair when the bottleneck
+  is a lossy network link, but blind to concurrency overhead on
+  sender-limited paths where ``L ≈ 0``.
+* Eq. 3 — linear concurrency penalty:
+  ``u = n·t − n·t·L·B − n·t·n·C``.  Either punishes too hard (high C →
+  converges below the optimum) or too softly (low C → jitter-sensitive,
+  over-provisions under competition) — Fig. 6.
+* Eq. 4 — **nonlinear penalty** (the one Falcon uses):
+  ``u = n·t / K^n − n·t·L·B``.  Requires ~(K−1) relative throughput
+  gain per added worker; strictly concave for ``n < 2/ln K``.
+* Eq. 7 — multi-parameter form penalising total streams ``n·p``.
+
+Throughput enters in Gbps so the coefficients match the paper's
+magnitudes (B=10 with loss as a fraction; K=1.02).
+
+All utilities are frozen dataclasses: pure functions of a sample, safe
+to share between agents (a requirement of the Nash-equilibrium argument
+— all agents must use the *same* symmetric utility).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.config import (
+    DEFAULT_CONCURRENCY_BASE_K,
+    DEFAULT_LOSS_PENALTY_B,
+    LINEAR_PENALTY_C_HIGH,
+)
+from repro.transfer.metrics import IntervalSample
+from repro.units import Gbps
+
+
+class UtilityFunction(Protocol):
+    """Scores one sample interval; higher is better."""
+
+    def __call__(self, sample: IntervalSample) -> float:
+        """Utility of the interval's observed performance."""
+        ...
+
+
+def _n_t_gbps(sample: IntervalSample) -> tuple[int, float]:
+    """Concurrency and per-worker throughput (Gbps) from a sample."""
+    return sample.concurrency, sample.per_worker_bps / Gbps
+
+
+@dataclass(frozen=True)
+class ThroughputUtility:
+    """Eq. 1: ``u = n·t`` — aggregate throughput, no regret terms.
+
+    Included as the strawman the paper argues against: its second
+    derivative is zero, so competing agents maximising it have no
+    incentive to back off.
+    """
+
+    def __call__(self, sample: IntervalSample) -> float:
+        n, t = _n_t_gbps(sample)
+        return n * t
+
+
+@dataclass(frozen=True)
+class LossRegretUtility:
+    """Eq. 2: ``u = n·t − n·t·L·B``.
+
+    Attributes
+    ----------
+    B:
+        Loss-penalty coefficient; 10 keeps loss below ~1% while holding
+        >95% utilisation for Cubic/Reno/HSTCP (paper's finding).
+    """
+
+    B: float = DEFAULT_LOSS_PENALTY_B
+
+    def __call__(self, sample: IntervalSample) -> float:
+        n, t = _n_t_gbps(sample)
+        return n * t - n * t * sample.loss_rate * self.B
+
+
+@dataclass(frozen=True)
+class LinearPenaltyUtility:
+    """Eq. 3: ``u = n·t − n·t·L·B − n·t·n·C`` (linear concurrency regret).
+
+    Kept for the Fig. 6 comparison; Falcon does not use it.
+    """
+
+    B: float = DEFAULT_LOSS_PENALTY_B
+    C: float = LINEAR_PENALTY_C_HIGH
+
+    def __call__(self, sample: IntervalSample) -> float:
+        n, t = _n_t_gbps(sample)
+        return n * t - n * t * sample.loss_rate * self.B - n * t * n * self.C
+
+
+@dataclass(frozen=True)
+class NonlinearPenaltyUtility:
+    """Eq. 4: ``u = n·t / K^n − n·t·L·B`` — Falcon's utility.
+
+    Attributes
+    ----------
+    B:
+        Loss-penalty coefficient (default 10).
+    K:
+        Concurrency-regret base.  Each added worker must deliver about
+        ``K − 1`` relative throughput gain to raise utility.  1.02
+        balances noise resilience against the concave-region limit
+        ``n < 2/ln K ≈ 101``.
+    """
+
+    B: float = DEFAULT_LOSS_PENALTY_B
+    K: float = DEFAULT_CONCURRENCY_BASE_K
+
+    def __post_init__(self) -> None:
+        if self.K <= 1.0:
+            raise ValueError("K must exceed 1 (otherwise there is no regret)")
+
+    def __call__(self, sample: IntervalSample) -> float:
+        n, t = _n_t_gbps(sample)
+        return n * t / self.K**n - n * t * sample.loss_rate * self.B
+
+
+@dataclass(frozen=True)
+class MultiParamUtility:
+    """Eq. 7: ``u = (n·p)·t / K^(n·p) − n·t·L·B``.
+
+    Here ``t`` is the throughput of one *stream* (``T / (n·p)``), so
+    the reward term is the aggregate throughput while the regret is
+    applied to the *total stream count* ``n·p`` — both parameters
+    create network connections.  Pipelining is free (command caching
+    costs nothing) so it carries no regret term.
+    """
+
+    B: float = DEFAULT_LOSS_PENALTY_B
+    K: float = DEFAULT_CONCURRENCY_BASE_K
+
+    def __post_init__(self) -> None:
+        if self.K <= 1.0:
+            raise ValueError("K must exceed 1")
+
+    def __call__(self, sample: IntervalSample) -> float:
+        streams = sample.concurrency * sample.parallelism
+        total_gbps = sample.throughput_bps / Gbps
+        per_stream = total_gbps / streams if streams > 0 else 0.0
+        return (
+            total_gbps / self.K**streams
+            - sample.concurrency * per_stream * sample.loss_rate * self.B
+        )
+
+
+# ---------------------------------------------------------------------------
+# Analytic properties (the §3.1 proof).
+# ---------------------------------------------------------------------------
+
+
+def concavity_limit(K: float) -> float:
+    """Upper bound on ``n`` for strict concavity of ``n·t/K^n``.
+
+    From the paper's Eq. 5: ``f''(n) = t·K^(−n)·ln K·(−2 + n·ln K)``,
+    negative iff ``n < 2 / ln K``.  For K=1.01 the bound is ~200, for
+    K=1.02 ~101, for K=1.10 ~21.
+    """
+    if K <= 1.0:
+        raise ValueError("K must exceed 1")
+    return 2.0 / math.log(K)
+
+
+def concurrency_regret_second_derivative(n: float, t: float, K: float) -> float:
+    """``f''(n)`` of ``f(n) = n·t / K^n`` (paper Eq. 5)."""
+    log_k = math.log(K)
+    return t * K**-n * log_k * (-2.0 + n * log_k)
+
+
+def is_strictly_concave_at(n: float, K: float) -> bool:
+    """Whether the concurrency-regret term is strictly concave at ``n``."""
+    return concurrency_regret_second_derivative(n, t=1.0, K=K) < 0.0
+
+
+def utility_curve(utility: UtilityFunction, throughput_model, n_values) -> list[float]:
+    """Evaluate a utility against an analytic throughput model.
+
+    ``throughput_model(n) -> (total_bps, loss_rate)`` abstracts the
+    network; used for the paper's Fig. 6(a) "estimated utility" curves.
+    """
+    curve = []
+    for n in n_values:
+        total_bps, loss = throughput_model(int(n))
+        sample = IntervalSample(
+            duration=1.0,
+            throughput_bps=total_bps,
+            loss_rate=loss,
+            concurrency=int(n),
+        )
+        curve.append(utility(sample))
+    return curve

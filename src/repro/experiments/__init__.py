@@ -1,0 +1,12 @@
+"""Experiment reproductions — one module per paper table/figure.
+
+Every module exposes ``run(seed=...) -> <Figure>Result`` returning the
+data the paper's figure plots, plus a ``main()`` that prints the
+paper-vs-measured comparison.  The benchmark harness under
+``benchmarks/`` wraps these and asserts the *shape* expectations from
+DESIGN.md §4.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

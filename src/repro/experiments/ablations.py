@@ -1,0 +1,333 @@
+"""Ablation studies for the design choices DESIGN.md §5 calls out.
+
+These go beyond the paper's figures: each isolates one Falcon design
+knob and measures the failure mode the paper argues motivates it.
+
+* :func:`sweep_k` — the concurrency-regret base K (§3.1's stability vs
+  concave-region trade-off).
+* :func:`sweep_b` — the loss-penalty coefficient B.
+* :func:`bo_window` — BO's 20-observation sliding window vs full
+  history when the bottleneck shifts mid-run.
+* :func:`acquisition_portfolio` — GP-Hedge vs each single acquisition.
+* :func:`sample_interval` — 3 s vs 5 s sample-transfer duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.fairness import jain_index
+from repro.analysis.tables import format_table
+from repro.core.bayesian import BayesianOptimizer
+from repro.core.bayesian.acquisition import (
+    expected_improvement,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+from repro.core.bayesian.gp_hedge import GPHedge
+from repro.core.utility import NonlinearPenaltyUtility
+from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.testbeds.presets import emulab_fig4, emulab_high_optimal, hpclab
+from repro.units import Mbps, bps_to_mbps
+
+
+# ---------------------------------------------------------------------------
+# K sweep.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KPoint:
+    """Behaviour of one K value, alone and in competition."""
+
+    K: float
+    single_concurrency: float
+    single_throughput_bps: float
+    pair_jain: float
+    pair_total_concurrency: float
+
+
+def sweep_k(
+    ks: tuple[float, ...] = (1.005, 1.01, 1.02, 1.05, 1.10),
+    seed: int = 0,
+    duration: float = 420.0,
+) -> list[KPoint]:
+    """Sweep K on the 48-optimum Emulab, single + competing pair.
+
+    Expected shape: small K converges near the optimum alone but is
+    jitter-fragile with competition; large K is stable but parks far
+    below high optima (the concave region shrinks to ``2/ln K``).
+    """
+    points = []
+    for k in ks:
+        utility = NonlinearPenaltyUtility(K=k)
+
+        ctx = make_context(seed)
+        single = launch_falcon(
+            ctx, emulab_high_optimal(), kind="gd", hi=64, utility=utility, name=f"k{k}-solo"
+        )
+        ctx.engine.run_for(duration)
+        cc = single.controller.concurrencies()
+        tp = single.controller.throughputs()
+        tail = slice(int(len(cc) * 0.7), None)
+
+        ctx2 = make_context(seed + 1)
+        tb = emulab_high_optimal()
+        a = launch_falcon(ctx2, tb, kind="gd", hi=64, utility=utility, name=f"k{k}-a")
+        b = launch_falcon(
+            ctx2, tb, kind="gd", hi=64, utility=utility, name=f"k{k}-b", start_time=60.0
+        )
+        ctx2.engine.run_for(duration)
+        shares = np.array(
+            [
+                window_mean_bps(a.trace, duration - 60, duration),
+                window_mean_bps(b.trace, duration - 60, duration),
+            ]
+        )
+        cc_a = a.controller.concurrencies()
+        cc_b = b.controller.concurrencies()
+        points.append(
+            KPoint(
+                K=k,
+                single_concurrency=float(np.mean(cc[tail])),
+                single_throughput_bps=float(np.mean(tp[tail])),
+                pair_jain=jain_index(shares),
+                pair_total_concurrency=float(
+                    np.mean(cc_a[int(len(cc_a) * 0.7) :]) + np.mean(cc_b[int(len(cc_b) * 0.7) :])
+                ),
+            )
+        )
+    return points
+
+
+def render_k(points: list[KPoint]) -> str:
+    """K-sweep table."""
+    return format_table(
+        ["K", "n (alone)", "tput alone (Mbps)", "Jain (pair)", "total n (pair)"],
+        [
+            (
+                p.K,
+                f"{p.single_concurrency:.1f}",
+                f"{bps_to_mbps(p.single_throughput_bps):.0f}",
+                f"{p.pair_jain:.3f}",
+                f"{p.pair_total_concurrency:.0f}",
+            )
+            for p in points
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# B sweep.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BPoint:
+    """Behaviour of one loss-penalty coefficient."""
+
+    B: float
+    steady_concurrency: float
+    steady_loss: float
+    steady_throughput_bps: float
+
+
+def sweep_b(
+    bs: tuple[float, ...] = (0.0, 2.0, 10.0, 50.0), seed: int = 0, duration: float = 300.0
+) -> list[BPoint]:
+    """Sweep B on the lossy Emulab bottleneck.
+
+    Expected shape: B=0 tolerates heavy over-provisioning and loss;
+    B=10 keeps loss ~1% at near-full utilisation; very large B
+    sacrifices utilisation to dodge residual loss.
+    """
+    points = []
+    for b in bs:
+        ctx = make_context(seed)
+        launched = launch_falcon(
+            ctx,
+            emulab_fig4(),
+            kind="gd",
+            hi=40,
+            utility=NonlinearPenaltyUtility(B=b),
+            name=f"b{b}",
+        )
+        ctx.engine.run_for(duration)
+        agent = launched.controller
+        cc = agent.concurrencies()
+        tail = slice(int(len(cc) * 0.7), None)
+        losses = np.array([r.loss_rate for r in agent.history])
+        points.append(
+            BPoint(
+                B=b,
+                steady_concurrency=float(np.mean(cc[tail])),
+                steady_loss=float(np.mean(losses[tail])),
+                steady_throughput_bps=float(np.mean(agent.throughputs()[tail])),
+            )
+        )
+    return points
+
+
+def render_b(points: list[BPoint]) -> str:
+    """B-sweep table."""
+    return format_table(
+        ["B", "n (steady)", "loss", "tput (Mbps)"],
+        [
+            (p.B, f"{p.steady_concurrency:.1f}", f"{p.steady_loss:.2%}",
+             f"{bps_to_mbps(p.steady_throughput_bps):.0f}")
+            for p in points
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# BO window ablation (adaptation to a mid-run bottleneck shift).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """Recovery of one window size after a bottleneck shift."""
+
+    window: int
+    before_bps: float
+    after_bps: float
+
+    @property
+    def recovery(self) -> float:
+        """Post-shift throughput relative to pre-shift."""
+        return self.after_bps / self.before_bps if self.before_bps > 0 else 0.0
+
+
+def bo_window(
+    windows: tuple[int, ...] = (20, 200),
+    seed: int = 0,
+    shift_at: float = 200.0,
+    duration: float = 420.0,
+) -> list[WindowPoint]:
+    """BO with sliding vs effectively-unbounded history under a shift.
+
+    At ``shift_at`` the destination array's per-process and aggregate
+    write capacity are halved (a storage hot spot).  The windowed GP
+    forgets the stale optimum and re-converges; full history anchors the
+    surrogate to the old regime.
+    """
+    points = []
+    for window in windows:
+        ctx = make_context(seed)
+        tb = hpclab()
+        rng = ctx.rng("bo-window")
+        opt = BayesianOptimizer(hi=32, window=window, rng=rng)
+        launched = launch_falcon(ctx, tb, optimizer=opt, name=f"bo-w{window}")
+
+        def shift(tb=tb):
+            from dataclasses import replace
+
+            storage = tb.destination.storage
+            tb.destination.storage = replace(
+                storage,
+                per_process_write_bps=storage.per_process_write_bps / 2,
+                aggregate_write_bps=storage.aggregate_write_bps / 2,
+            )
+
+        ctx.engine.schedule_at(shift_at, shift)
+        ctx.engine.run_for(duration)
+        points.append(
+            WindowPoint(
+                window=window,
+                before_bps=window_mean_bps(launched.trace, shift_at - 60, shift_at),
+                after_bps=window_mean_bps(launched.trace, duration - 60, duration),
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Acquisition portfolio ablation.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AcquisitionPoint:
+    """Steady behaviour of one acquisition configuration."""
+
+    name: str
+    steady_throughput_bps: float
+    exploration_std: float  # std of evaluated concurrency at steady state
+
+
+def acquisition_portfolio(seed: int = 0, duration: float = 360.0) -> list[AcquisitionPoint]:
+    """GP-Hedge vs each single acquisition on HPCLab."""
+    configs = {
+        "gp-hedge": None,
+        "ei-only": [("ei", expected_improvement)],
+        "pi-only": [("pi", probability_of_improvement)],
+        "ucb-only": [("ucb", upper_confidence_bound)],
+    }
+    points = []
+    for name, acqs in configs.items():
+        ctx = make_context(seed)
+        rng = ctx.rng(f"acq/{name}")
+        opt = BayesianOptimizer(hi=32, rng=rng)
+        if acqs is not None:
+            opt.hedge = GPHedge(acquisitions=acqs, rng=rng)
+        launched = launch_falcon(ctx, hpclab(), optimizer=opt, name=f"bo-{name}")
+        ctx.engine.run_for(duration)
+        agent = launched.controller
+        cc = agent.concurrencies()
+        tail = slice(int(len(cc) * 0.6), None)
+        points.append(
+            AcquisitionPoint(
+                name=name,
+                steady_throughput_bps=float(np.mean(agent.throughputs()[tail])),
+                exploration_std=float(np.std(cc[tail])),
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Sample-interval ablation.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntervalPoint:
+    """Convergence cost/benefit of one sample-interval length."""
+
+    interval: float
+    time_to_85pct: float
+    steady_throughput_bps: float
+
+
+def sample_interval(
+    intervals: tuple[float, ...] = (1.0, 3.0, 5.0, 10.0), seed: int = 0, duration: float = 400.0
+) -> list[IntervalPoint]:
+    """Sweep the sample-transfer duration on the 48-optimum Emulab.
+
+    Short intervals converge faster per wall-clock but measure noisier
+    samples (ramping dominates); long intervals are accurate but spend
+    longer per probe.
+    """
+    from repro.analysis.convergence import time_to_fraction_of_max
+
+    points = []
+    for interval in intervals:
+        ctx = make_context(seed)
+        launched = launch_falcon(
+            ctx, emulab_high_optimal(), kind="gd", hi=64, interval=interval, name=f"iv{interval}"
+        )
+        ctx.engine.run_for(duration)
+        agent = launched.controller
+        tp = agent.throughputs()
+        tail = slice(int(len(tp) * 0.7), None)
+        points.append(
+            IntervalPoint(
+                interval=interval,
+                time_to_85pct=time_to_fraction_of_max(agent.times(), tp, 0.85),
+                steady_throughput_bps=float(np.mean(tp[tail])),
+            )
+        )
+    return points

@@ -1,0 +1,247 @@
+"""Shared experiment plumbing.
+
+Builds the (engine, executor, recorder) triple every experiment needs,
+plus helpers for the two recurring experiment shapes:
+
+* **static sweeps** — measure steady throughput/loss at fixed settings
+  (Figs 1, 4, and the Fig 6 empirical anchors);
+* **controller runs** — attach Falcon agents / baselines to sessions,
+  possibly staggered in time, and collect traces (everything else).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.trace import SessionTrace, TraceRecorder
+from repro.config import DEFAULT_CONFIG, SimConfig
+from repro.core.agent import FalconAgent
+from repro.core.bayesian import BayesianOptimizer
+from repro.core.controller import SessionController, attach_agent
+from repro.core.gradient_descent import GradientDescent
+from repro.core.hill_climbing import HillClimbing
+from repro.core.utility import NonlinearPenaltyUtility, UtilityFunction
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngStreams
+from repro.testbeds.base import Testbed
+from repro.transfer.dataset import Dataset, uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams, TransferSession
+
+
+@dataclass
+class ExperimentContext:
+    """Everything a single experiment run needs."""
+
+    engine: SimulationEngine
+    network: FluidTransferNetwork
+    recorder: TraceRecorder
+    streams: RngStreams
+
+    def rng(self, name: str) -> np.random.Generator:
+        """Named random stream for a component of this experiment."""
+        return self.streams.get(name)
+
+
+def make_context(seed: int = 0, config: SimConfig = DEFAULT_CONFIG) -> ExperimentContext:
+    """Fresh deterministic simulation context."""
+    engine = SimulationEngine(dt=config.dt)
+    network = FluidTransferNetwork(engine, config)
+    recorder = TraceRecorder(engine, period=1.0)
+    return ExperimentContext(
+        engine=engine, network=network, recorder=recorder, streams=RngStreams(seed)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Static sweeps.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Steady-state measurement of one fixed setting."""
+
+    concurrency: int
+    throughput_bps: float
+    loss_rate: float
+
+
+def sweep_concurrency(
+    testbed_factory: Callable[[], Testbed],
+    concurrencies: Sequence[int],
+    dataset: Dataset | None = None,
+    measure_time: float = 25.0,
+    warmup: float = 10.0,
+) -> list[SweepPoint]:
+    """Measure steady throughput/loss at each fixed concurrency.
+
+    A fresh testbed per point keeps measurements independent (the paper
+    runs each configuration as its own transfer).
+    """
+    points = []
+    for n in concurrencies:
+        tb = testbed_factory()
+        engine = SimulationEngine(dt=DEFAULT_CONFIG.dt)
+        network = FluidTransferNetwork(engine)
+        ds = dataset or uniform_dataset(100)
+        session = tb.new_session(ds, params=TransferParams(concurrency=int(n)), repeat=True)
+        network.add_session(session)
+        engine.run_for(warmup)
+        session.monitor.take(concurrency=int(n))  # discard warm-up window
+        engine.run_for(measure_time)
+        sample = session.monitor.take(concurrency=int(n))
+        points.append(
+            SweepPoint(
+                concurrency=int(n),
+                throughput_bps=sample.throughput_bps,
+                loss_rate=sample.loss_rate,
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Controller runs.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LaunchedTransfer:
+    """A session + controller pair scheduled inside a context."""
+
+    session: TransferSession
+    controller: SessionController
+    trace: SessionTrace
+    start_time: float
+
+
+def optimizer_factory(
+    kind: str, hi: int, rng: np.random.Generator | None = None, **kwargs
+):
+    """Build a search algorithm by name ("hc", "gd", "bo")."""
+    if kind == "hc":
+        return HillClimbing(hi=hi, **kwargs)
+    if kind == "gd":
+        return GradientDescent(hi=hi, **kwargs)
+    if kind == "bo":
+        return BayesianOptimizer(hi=hi, rng=rng, **kwargs)
+    raise ValueError(f"unknown optimizer kind {kind!r}")
+
+
+def launch_falcon(
+    ctx: ExperimentContext,
+    testbed: Testbed,
+    kind: str = "gd",
+    dataset: Dataset | None = None,
+    name: str | None = None,
+    start_time: float = 0.0,
+    hi: int | None = None,
+    utility: UtilityFunction | None = None,
+    interval: float | None = None,
+    repeat: bool = True,
+    optimizer=None,
+    initial_params: TransferParams | None = None,
+    **opt_kwargs,
+) -> LaunchedTransfer:
+    """Create a session on ``testbed`` driven by a Falcon agent.
+
+    The session is added to the executor (and the agent started) at
+    ``start_time``; traces are recorded from launch.  A
+    single-parameter agent keeps ``initial_params``' parallelism and
+    pipelining (it only retunes concurrency).
+    """
+    ds = dataset or uniform_dataset(1000)
+    session = testbed.new_session(
+        ds, name=name, repeat=repeat, params=initial_params or TransferParams()
+    )
+    trace = ctx.recorder.watch(session)
+    rng = ctx.rng(f"agent/{session.name}")
+    if optimizer is None:
+        optimizer = optimizer_factory(
+            kind, hi=hi if hi is not None else 2 * testbed.optimal_concurrency(), rng=rng, **opt_kwargs
+        )
+    agent = FalconAgent(
+        session=session,
+        optimizer=optimizer,
+        utility=utility or NonlinearPenaltyUtility(),
+        rng=rng,
+    )
+    _schedule(ctx, session, start_time)
+    # De-phase decision clocks: real agents' sample windows never stay
+    # aligned (process scheduling, measurement latency), and perfectly
+    # phase-locked probing makes competing agents blind to the share
+    # gradient (both probe high simultaneously, so shares don't move).
+    base_interval = interval or testbed.sample_interval
+    jittered = base_interval * (1.0 + float(rng.uniform(-0.08, 0.08)))
+    attach_agent(ctx.engine, agent, interval=jittered, start_time=start_time)
+    return LaunchedTransfer(session=session, controller=agent, trace=trace, start_time=start_time)
+
+
+def launch_controller(
+    ctx: ExperimentContext,
+    testbed: Testbed,
+    controller_factory: Callable[[TransferSession], SessionController],
+    dataset: Dataset | None = None,
+    name: str | None = None,
+    start_time: float = 0.0,
+    interval: float | None = None,
+    repeat: bool = True,
+) -> LaunchedTransfer:
+    """Like :func:`launch_falcon` but for baseline controllers."""
+    ds = dataset or uniform_dataset(1000)
+    session = testbed.new_session(ds, name=name, repeat=repeat)
+    trace = ctx.recorder.watch(session)
+    controller = controller_factory(session)
+    _schedule(ctx, session, start_time)
+    attach_agent(
+        ctx.engine,
+        controller,
+        interval=interval or testbed.sample_interval,
+        start_time=start_time,
+    )
+    return LaunchedTransfer(
+        session=session, controller=controller, trace=trace, start_time=start_time
+    )
+
+
+def _schedule(ctx: ExperimentContext, session: TransferSession, start_time: float) -> None:
+    if start_time <= ctx.engine.now:
+        ctx.network.add_session(session)
+    else:
+        ctx.engine.schedule_at(
+            start_time, lambda: ctx.network.add_session(session), name=f"join:{session.name}"
+        )
+
+
+def retire_at(ctx: ExperimentContext, launched: LaunchedTransfer, time: float) -> None:
+    """Force a transfer to complete at ``time`` (models its dataset ending)."""
+
+    def finish() -> None:
+        session = launched.session
+        if not session.active:
+            return
+        session.finished_at = ctx.engine.now
+        if session in ctx.network.sessions:
+            ctx.network.remove_session(session)
+
+    ctx.engine.schedule_at(time, finish, name=f"retire:{launched.session.name}")
+
+
+# ---------------------------------------------------------------------------
+# Trace summarisation.
+# ---------------------------------------------------------------------------
+
+
+def window_mean_bps(trace: SessionTrace, t0: float, t1: float) -> float:
+    """Mean goodput of a trace over a time window."""
+    return trace.window(t0, t1).mean_throughput()
+
+
+def steady_window(launched: LaunchedTransfer, end: float, span: float = 60.0) -> tuple[float, float]:
+    """The last ``span`` seconds before ``end``, after this transfer started."""
+    t0 = max(launched.start_time, end - span)
+    return t0, end

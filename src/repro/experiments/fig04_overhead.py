@@ -1,0 +1,72 @@
+"""Fig. 4 — aggressive concurrency congests the network.
+
+On the Emulab topology (100 Mbps bottleneck, 10 Mbps/process I/O
+throttle) ten concurrent transfers saturate the link; pushing past ten
+buys no throughput and drives packet loss from <2% to ~10% at 32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import SweepPoint, sweep_concurrency
+from repro.testbeds.presets import emulab_fig4
+from repro.transfer.dataset import uniform_dataset
+from repro.units import MB, bps_to_mbps
+
+#: The paper sweeps concurrency 1..32.
+SWEEP_GRID = (1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Throughput and loss versus concurrency on the Emulab bottleneck."""
+
+    points: list[SweepPoint]
+    saturation_concurrency: int
+
+    def loss_at(self, n: int) -> float:
+        """Measured loss at a given concurrency."""
+        for p in self.points:
+            if p.concurrency == n:
+                return p.loss_rate
+        raise KeyError(n)
+
+    def throughput_at(self, n: int) -> float:
+        """Measured throughput (bps) at a given concurrency."""
+        for p in self.points:
+            if p.concurrency == n:
+                return p.throughput_bps
+        raise KeyError(n)
+
+    def render(self) -> str:
+        """The sweep as a table."""
+        return format_table(
+            ["Concurrency", "Tput (Mbps)", "Loss"],
+            [
+                (p.concurrency, f"{bps_to_mbps(p.throughput_bps):.1f}", f"{p.loss_rate:.3%}")
+                for p in self.points
+            ],
+        )
+
+
+def run(measure_time: float = 25.0) -> Fig4Result:
+    """Sweep the Emulab configuration."""
+    tb = emulab_fig4()
+    points = sweep_concurrency(
+        emulab_fig4,
+        SWEEP_GRID,
+        dataset=uniform_dataset(200, 100 * MB),
+        measure_time=measure_time,
+    )
+    return Fig4Result(points=points, saturation_concurrency=tb.optimal_concurrency())
+
+
+def main() -> None:
+    """Print the sweep."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

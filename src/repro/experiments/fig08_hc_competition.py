@@ -1,0 +1,95 @@
+"""Fig. 8 — Hill Climbing is too slow to share fairly.
+
+Two Hill Climbing Falcon agents on the 48-optimum Emulab, the second
+joining mid-run.  Because HC moves one concurrency unit per sample
+interval, the pair spends hundreds of seconds far from the fair split —
+in the window where GD/BO pairs are already balanced, HC's shares are
+still lopsided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.fairness import jain_index
+from repro.analysis.tables import format_table
+from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.testbeds.presets import emulab_high_optimal
+from repro.units import bps_to_mbps
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Fairness of an HC pair vs a GD pair over the same timeline."""
+
+    hc_early_jain: float  # shortly after the second agent joins
+    hc_late_jain: float  # at the end of a long run
+    gd_early_jain: float
+    hc_shares_early: tuple[float, float]
+    gd_shares_early: tuple[float, float]
+
+    def render(self) -> str:
+        """Comparison table."""
+        return format_table(
+            ["Pair", "Jain (10-70s after join)", "Jain (late)", "Shares early (Mbps)"],
+            [
+                (
+                    "HC + HC",
+                    f"{self.hc_early_jain:.3f}",
+                    f"{self.hc_late_jain:.3f}",
+                    f"{bps_to_mbps(self.hc_shares_early[0]):.0f}/{bps_to_mbps(self.hc_shares_early[1]):.0f}",
+                ),
+                (
+                    "GD + GD",
+                    f"{self.gd_early_jain:.3f}",
+                    "-",
+                    f"{bps_to_mbps(self.gd_shares_early[0]):.0f}/{bps_to_mbps(self.gd_shares_early[1]):.0f}",
+                ),
+            ],
+        )
+
+
+def _pair_run(kind: str, seed: int, join_at: float, duration: float):
+    ctx = make_context(seed)
+    tb = emulab_high_optimal()
+    a = launch_falcon(ctx, tb, kind=kind, hi=64, name=f"{kind}-a")
+    b = launch_falcon(ctx, tb, kind=kind, hi=64, name=f"{kind}-b", start_time=join_at)
+    ctx.engine.run_for(duration)
+    return a, b
+
+
+def run(seed: int = 0, join_at: float = 260.0, duration: float = 700.0) -> Fig8Result:
+    """Run HC and GD pairs over identical timelines."""
+    hc_a, hc_b = _pair_run("hc", seed, join_at, duration)
+    gd_a, gd_b = _pair_run("gd", seed, join_at, duration)
+
+    early = (join_at + 10.0, join_at + 70.0)
+    late = (duration - 60.0, duration)
+
+    hc_early = np.array(
+        [window_mean_bps(hc_a.trace, *early), window_mean_bps(hc_b.trace, *early)]
+    )
+    hc_late = np.array(
+        [window_mean_bps(hc_a.trace, *late), window_mean_bps(hc_b.trace, *late)]
+    )
+    gd_early = np.array(
+        [window_mean_bps(gd_a.trace, *early), window_mean_bps(gd_b.trace, *early)]
+    )
+    return Fig8Result(
+        hc_early_jain=jain_index(hc_early),
+        hc_late_jain=jain_index(hc_late),
+        gd_early_jain=jain_index(gd_early),
+        hc_shares_early=(float(hc_early[0]), float(hc_early[1])),
+        gd_shares_early=(float(gd_early[0]), float(gd_early[1])),
+    )
+
+
+def main() -> None:
+    """Print the comparison."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

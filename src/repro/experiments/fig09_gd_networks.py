@@ -1,0 +1,108 @@
+"""Fig. 9 — Falcon with Gradient Descent in all four networks.
+
+Single transfer per testbed; GD converges to the optimum within a few
+sample intervals and then bounces between the ±ε probes around it
+(Emulab ~10, HPCLab >25 Gbps, Campus ~9.2 Gbps, XSEDE ~5.4 Gbps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.convergence import time_to_fraction_of_max
+from repro.analysis.tables import format_table
+from repro.experiments.common import LaunchedTransfer, launch_falcon, make_context
+from repro.testbeds.base import Testbed
+from repro.testbeds.presets import campus_cluster, emulab_fig4, hpclab, xsede
+from repro.units import bps_to_gbps
+
+
+@dataclass(frozen=True)
+class NetworkRun:
+    """Falcon's behaviour on one testbed."""
+
+    network: str
+    steady_throughput_bps: float
+    achievable_bps: float
+    steady_concurrency: float
+    optimal_concurrency: int
+    time_to_85pct: float
+
+    @property
+    def utilization(self) -> float:
+        """Steady throughput over the analytic achievable rate."""
+        return self.steady_throughput_bps / self.achievable_bps
+
+
+@dataclass(frozen=True)
+class FigNetworksResult:
+    """One run per testbed (shared by Figs 9 and 10)."""
+
+    algorithm: str
+    runs: dict[str, NetworkRun]
+
+    def render(self) -> str:
+        """Per-network summary."""
+        return format_table(
+            ["Network", "Steady tput", "Achievable", "Util", "n (steady)", "n* (optimal)", "t85"],
+            [
+                (
+                    r.network,
+                    f"{bps_to_gbps(r.steady_throughput_bps):.2f}G",
+                    f"{bps_to_gbps(r.achievable_bps):.2f}G",
+                    f"{100 * r.utilization:.0f}%",
+                    f"{r.steady_concurrency:.1f}",
+                    r.optimal_concurrency,
+                    f"{r.time_to_85pct:.0f}s",
+                )
+                for r in self.runs.values()
+            ],
+        )
+
+
+NETWORKS: dict[str, Callable[[], Testbed]] = {
+    "Emulab": emulab_fig4,
+    "XSEDE": xsede,
+    "HPCLab": hpclab,
+    "Campus Cluster": campus_cluster,
+}
+
+
+def run_networks(kind: str, seed: int = 0, duration: float = 300.0) -> FigNetworksResult:
+    """Falcon with the given search algorithm on each Table 1 testbed."""
+    runs = {}
+    for name, factory in NETWORKS.items():
+        ctx = make_context(seed)
+        tb = factory()
+        launched: LaunchedTransfer = launch_falcon(ctx, tb, kind=kind, name=f"{kind}-{name}")
+        ctx.engine.run_for(duration)
+        agent = launched.controller
+        tputs = agent.throughputs()
+        cc = agent.concurrencies()
+        tail = slice(int(len(cc) * 0.7), None)
+        runs[name] = NetworkRun(
+            network=name,
+            steady_throughput_bps=float(np.mean(tputs[tail])),
+            achievable_bps=tb.max_throughput(),
+            steady_concurrency=float(np.mean(cc[tail])),
+            optimal_concurrency=tb.optimal_concurrency(),
+            time_to_85pct=time_to_fraction_of_max(agent.times(), tputs, 0.85),
+        )
+    return FigNetworksResult(algorithm=kind.upper(), runs=runs)
+
+
+def run(seed: int = 0, duration: float = 300.0) -> FigNetworksResult:
+    """Fig. 9: Gradient Descent everywhere."""
+    return run_networks("gd", seed=seed, duration=duration)
+
+
+def main() -> None:
+    """Print the per-network summary."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

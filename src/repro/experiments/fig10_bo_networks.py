@@ -1,0 +1,23 @@
+"""Fig. 10 — Falcon with Bayesian Optimization in all four networks.
+
+Same setup as Fig. 9; BO bootstraps with three random samples, then its
+windowed GP homes in on the optimum and keeps exploring periodically.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig09_gd_networks import FigNetworksResult, run_networks
+
+
+def run(seed: int = 0, duration: float = 300.0) -> FigNetworksResult:
+    """Fig. 10: Bayesian Optimization everywhere."""
+    return run_networks("bo", seed=seed, duration=duration)
+
+
+def main() -> None:
+    """Print the per-network summary."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

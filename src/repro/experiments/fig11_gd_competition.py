@@ -1,0 +1,133 @@
+"""Fig. 11 — stability of competing Falcon-GD agents.
+
+Three staggered Falcon-GD transfers on HPCLab (and a pair on Emulab):
+each newcomer quickly claims a fair share (12–13 Gbps for two, 7–8 for
+three on HPCLab), aggregate utilisation stays high, and when a transfer
+departs the survivors reclaim the capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.fairness import jain_index
+from repro.analysis.tables import format_table
+from repro.experiments.common import (
+    LaunchedTransfer,
+    launch_falcon,
+    make_context,
+    retire_at,
+    window_mean_bps,
+)
+from repro.testbeds.base import Testbed
+from repro.testbeds.presets import hpclab
+from repro.units import bps_to_gbps
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Shares during one phase of the join/leave timeline."""
+
+    label: str
+    shares_bps: tuple[float, ...]
+    jain: float
+    aggregate_bps: float
+
+
+@dataclass(frozen=True)
+class CompetitionResult:
+    """Per-phase fairness for a staggered multi-agent run."""
+
+    algorithm: str
+    network: str
+    phases: list[PhaseStats]
+    achievable_bps: float
+
+    def phase(self, label: str) -> PhaseStats:
+        """Look up a phase by label."""
+        for p in self.phases:
+            if p.label == label:
+                return p
+        raise KeyError(label)
+
+    def render(self) -> str:
+        """Per-phase summary table."""
+        return format_table(
+            ["Phase", "Shares (Gbps)", "Jain", "Aggregate", "% achievable"],
+            [
+                (
+                    p.label,
+                    "/".join(f"{bps_to_gbps(s):.1f}" for s in p.shares_bps),
+                    f"{p.jain:.3f}",
+                    f"{bps_to_gbps(p.aggregate_bps):.1f}G",
+                    f"{100 * p.aggregate_bps / self.achievable_bps:.0f}%",
+                )
+                for p in self.phases
+            ],
+        )
+
+
+def run_competition(
+    kind: str,
+    testbed_factory: Callable[[], Testbed] = hpclab,
+    seed: int = 0,
+    phase: float = 150.0,
+) -> CompetitionResult:
+    """Three staggered agents: join at 0/1x/2x phase, first leaves at 3x.
+
+    Phases measured (last 60 s of each):
+
+    * ``one``    — only the first agent;
+    * ``two``    — first + second;
+    * ``three``  — all three;
+    * ``reclaim``— second + third after the first departs.
+    """
+    ctx = make_context(seed)
+    tb = testbed_factory()
+    launches: list[LaunchedTransfer] = []
+    for i in range(3):
+        launches.append(
+            launch_falcon(ctx, tb, kind=kind, name=f"{kind}-{i}", start_time=i * phase)
+        )
+    retire_at(ctx, launches[0], 3 * phase)
+    ctx.engine.run_for(4 * phase)
+
+    def phase_stats(label: str, t1: float, members: list[int]) -> PhaseStats:
+        t0 = t1 - 60.0
+        shares = tuple(window_mean_bps(launches[i].trace, t0, t1) for i in members)
+        return PhaseStats(
+            label=label,
+            shares_bps=shares,
+            jain=jain_index(np.array(shares)),
+            aggregate_bps=float(sum(shares)),
+        )
+
+    phases = [
+        phase_stats("one", phase, [0]),
+        phase_stats("two", 2 * phase, [0, 1]),
+        phase_stats("three", 3 * phase, [0, 1, 2]),
+        phase_stats("reclaim", 4 * phase, [1, 2]),
+    ]
+    return CompetitionResult(
+        algorithm=kind.upper(),
+        network=tb.name,
+        phases=phases,
+        achievable_bps=tb.max_throughput(),
+    )
+
+
+def run(seed: int = 0, phase: float = 150.0) -> CompetitionResult:
+    """Fig. 11: GD agents on HPCLab."""
+    return run_competition("gd", hpclab, seed=seed, phase=phase)
+
+
+def main() -> None:
+    """Print the per-phase summary."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

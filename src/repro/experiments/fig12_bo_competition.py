@@ -1,0 +1,26 @@
+"""Fig. 12 — stability of competing Falcon-BO agents.
+
+Same join/leave timeline as Fig. 11 but with Bayesian Optimization.
+BO agents do not settle on a fixed concurrency when competing (their
+exploration steps are larger), yet average shares stay nearly equal
+thanks to the strictly concave utility.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig11_gd_competition import CompetitionResult, run_competition
+from repro.testbeds.presets import hpclab
+
+
+def run(seed: int = 0, phase: float = 150.0) -> CompetitionResult:
+    """Fig. 12: BO agents on HPCLab."""
+    return run_competition("bo", hpclab, seed=seed, phase=phase)
+
+
+def main() -> None:
+    """Print the per-phase summary."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

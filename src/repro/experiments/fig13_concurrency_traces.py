@@ -1,0 +1,107 @@
+"""Fig. 13 — Falcon senders shrink their concurrency when others join.
+
+Emulab with a 1 Gbps bottleneck and 20 Mbps/process throttle (48
+concurrent transfers saturate the link).  A lone Falcon-GD agent
+converges near 48; when a second joins, the first drops to the 20–33
+range; with three they sit around 10–23 each — enough total concurrency
+to fill the link with minimal loss — and departures are reclaimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import (
+    launch_falcon,
+    make_context,
+    retire_at,
+)
+from repro.testbeds.presets import emulab
+from repro.units import Mbps
+
+
+@dataclass(frozen=True)
+class ConcurrencyPhase:
+    """Mean concurrency per active agent during one phase."""
+
+    label: str
+    mean_concurrency: tuple[float, ...]
+    total_concurrency: float
+    mean_loss: float
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """Concurrency traces summarised per phase."""
+
+    phases: list[ConcurrencyPhase]
+    saturation_concurrency: int
+
+    def phase(self, label: str) -> ConcurrencyPhase:
+        """Look up a phase by label."""
+        for p in self.phases:
+            if p.label == label:
+                return p
+        raise KeyError(label)
+
+    def render(self) -> str:
+        """Per-phase summary table."""
+        return format_table(
+            ["Phase", "Per-agent n", "Total n", "Loss", f"(saturation n = {self.saturation_concurrency})"],
+            [
+                (
+                    p.label,
+                    "/".join(f"{c:.0f}" for c in p.mean_concurrency),
+                    f"{p.total_concurrency:.0f}",
+                    f"{p.mean_loss:.2%}",
+                    "",
+                )
+                for p in self.phases
+            ],
+        )
+
+
+def run(seed: int = 0, phase: float = 180.0) -> Fig13Result:
+    """Three staggered GD agents on the 48-optimum Emulab."""
+    ctx = make_context(seed)
+    tb = emulab(link_bps=1000 * Mbps, per_process_bps=20 * Mbps)
+    launches = [
+        launch_falcon(ctx, tb, kind="gd", hi=64, name=f"gd-{i}", start_time=i * phase)
+        for i in range(3)
+    ]
+    retire_at(ctx, launches[0], 3 * phase)
+    ctx.engine.run_for(4 * phase)
+
+    def stats(label: str, t1: float, members: list[int]) -> ConcurrencyPhase:
+        t0 = t1 - 60.0
+        ccs, losses = [], []
+        for i in members:
+            w = launches[i].trace.window(t0, t1)
+            ccs.append(float(np.mean(w.concurrencies())) if w.times else 0.0)
+            losses.append(float(np.mean(w.losses())) if w.times else 0.0)
+        return ConcurrencyPhase(
+            label=label,
+            mean_concurrency=tuple(ccs),
+            total_concurrency=float(sum(ccs)),
+            mean_loss=float(np.mean(losses)),
+        )
+
+    phases = [
+        stats("one", phase, [0]),
+        stats("two", 2 * phase, [0, 1]),
+        stats("three", 3 * phase, [0, 1, 2]),
+        stats("reclaim", 4 * phase, [1, 2]),
+    ]
+    return Fig13Result(phases=phases, saturation_concurrency=tb.optimal_concurrency())
+
+
+def main() -> None:
+    """Print the per-phase concurrency summary."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Fig. 14 — Falcon vs Globus vs HARP, 1 TB dataset, three networks.
+
+Falcon (GD) against the two baselines on HPCLab, XSEDE and Campus
+Cluster.  The paper: Globus ~9 Gbps vs Falcon >22 Gbps in HPCLab;
+HARP 25–35% below Falcon in HPCLab/XSEDE, comparable on Campus
+Cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.tables import format_table
+from repro.baselines.globus import GlobusController
+from repro.baselines.harp import HarpController
+from repro.experiments.common import (
+    launch_controller,
+    launch_falcon,
+    make_context,
+    window_mean_bps,
+)
+from repro.testbeds.base import Testbed
+from repro.testbeds.presets import campus_cluster, hpclab, xsede
+from repro.transfer.dataset import uniform_dataset
+from repro.units import TB, bps_to_gbps, format_duration
+
+
+@dataclass(frozen=True)
+class SolutionRun:
+    """One (solution, network) measurement."""
+
+    solution: str
+    network: str
+    throughput_bps: float
+
+    def transfer_time_1tb(self) -> float:
+        """Projected wall time to move 1 TB at the measured rate."""
+        if self.throughput_bps <= 0:
+            return float("inf")
+        return TB * 8.0 / self.throughput_bps
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """All nine (solution x network) measurements."""
+
+    runs: dict[tuple[str, str], SolutionRun]
+    networks: tuple[str, ...]
+
+    def throughput(self, solution: str, network: str) -> float:
+        """Measured throughput for a pair."""
+        return self.runs[(solution, network)].throughput_bps
+
+    def advantage(self, network: str, over: str) -> float:
+        """Falcon's throughput ratio over a baseline on a network."""
+        base = self.throughput(over, network)
+        return self.throughput("falcon", network) / base if base > 0 else float("inf")
+
+    def render(self) -> str:
+        """Solutions x networks table."""
+        rows = []
+        for solution in ("falcon", "harp", "globus"):
+            row = [solution]
+            for net in self.networks:
+                r = self.runs[(solution, net)]
+                row.append(
+                    f"{bps_to_gbps(r.throughput_bps):.2f}G ({format_duration(r.transfer_time_1tb())})"
+                )
+            rows.append(tuple(row))
+        return format_table(("Solution",) + self.networks, rows)
+
+
+NETWORKS: dict[str, Callable[[], Testbed]] = {
+    "HPCLab": hpclab,
+    "XSEDE": xsede,
+    "Campus Cluster": campus_cluster,
+}
+
+
+def run(seed: int = 0, duration: float = 240.0) -> Fig14Result:
+    """Each solution alone on each network, 1 TB workload."""
+    runs: dict[tuple[str, str], SolutionRun] = {}
+    dataset = uniform_dataset(1000)  # 1000 x 1 GB = 1 TB
+    for net_name, factory in NETWORKS.items():
+        for solution in ("falcon", "harp", "globus"):
+            ctx = make_context(seed)
+            tb = factory()
+            if solution == "falcon":
+                launched = launch_falcon(ctx, tb, kind="gd", dataset=dataset, name=solution)
+            elif solution == "harp":
+                launched = launch_controller(
+                    ctx, tb, lambda s: HarpController(session=s), dataset=dataset, name=solution
+                )
+            else:
+                launched = launch_controller(
+                    ctx,
+                    tb,
+                    lambda s: GlobusController(session=s, dataset=dataset),
+                    dataset=dataset,
+                    name=solution,
+                )
+            ctx.engine.run_for(duration)
+            runs[(solution, net_name)] = SolutionRun(
+                solution=solution,
+                network=net_name,
+                throughput_bps=window_mean_bps(launched.trace, duration - 90, duration),
+            )
+    return Fig14Result(runs=runs, networks=tuple(NETWORKS))
+
+
+def main() -> None:
+    """Print the comparison."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Fig. 15 — multi-parameter optimization (concurrency, parallelism,
+pipelining).
+
+Stampede2→Comet (40 Gbps, 60 ms), three dataset profiles.  Tuning all
+three parameters (Falcon_MP, conjugate gradient on the Eq. 7 utility)
+beats concurrency-only Falcon by up to ~30% on *small* and *mixed*
+datasets — pipelining hides the two-control-RTT-per-file stall that
+dominates tiny files — but loses ~18% on *large* (no pipelining upside,
+a non-concave utility, and a 3x-slower search phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.conjugate_gradient import ConjugateGradientOptimizer
+from repro.core.utility import MultiParamUtility
+from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.testbeds.presets import stampede2_comet
+from repro.transfer.dataset import Dataset, large_dataset, mixed_dataset, small_dataset
+from repro.transfer.session import TransferParams
+from repro.units import GiB, bps_to_gbps
+
+
+@dataclass(frozen=True)
+class DatasetRun:
+    """Single- vs multi-parameter throughput for one dataset profile."""
+
+    dataset: str
+    falcon_bps: float
+    falcon_mp_bps: float
+    mp_params: tuple[int, int, int]  # final (concurrency, parallelism, pipelining)
+
+    @property
+    def mp_gain(self) -> float:
+        """Falcon_MP / Falcon throughput ratio."""
+        return self.falcon_mp_bps / self.falcon_bps if self.falcon_bps > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    """One row per dataset profile."""
+
+    runs: dict[str, DatasetRun]
+
+    def render(self) -> str:
+        """Comparison table."""
+        return format_table(
+            ["Dataset", "Falcon", "Falcon_MP", "MP gain", "MP (n,p,q)"],
+            [
+                (
+                    r.dataset,
+                    f"{bps_to_gbps(r.falcon_bps):.2f}G",
+                    f"{bps_to_gbps(r.falcon_mp_bps):.2f}G",
+                    f"{r.mp_gain:.2f}x",
+                    str(r.mp_params),
+                )
+                for r in self.runs.values()
+            ],
+        )
+
+
+def _datasets(seed: int) -> dict[str, Dataset]:
+    # Scaled-down totals keep each profile's file-size *distribution*
+    # while letting the simulated steady state appear within minutes.
+    return {
+        "small": small_dataset(total_bytes=30 * GiB, seed=seed),
+        "large": large_dataset(total_bytes=256 * GiB, seed=seed),
+        "mixed": mixed_dataset(seed=seed),
+    }
+
+
+def run(seed: int = 0, duration: float = 400.0) -> Fig15Result:
+    """Falcon vs Falcon_MP per dataset profile."""
+    runs = {}
+    for name, dataset in _datasets(seed).items():
+        # Concurrency-only Falcon.  GridFTP's command pipelining is on
+        # by default in production deployments, so the single-parameter
+        # agent transfers with a fixed moderate pipelining depth and
+        # parallelism 1 — it simply never *tunes* them.
+        ctx = make_context(seed)
+        single = launch_falcon(
+            ctx,
+            stampede2_comet(),
+            kind="gd",
+            dataset=dataset,
+            name=f"single-{name}",
+            hi=40,
+            initial_params=TransferParams(concurrency=1, parallelism=1, pipelining=8),
+        )
+        ctx.engine.run_for(duration)
+        single_bps = window_mean_bps(single.trace, 20, duration)
+
+        # Multi-parameter Falcon.
+        ctx = make_context(seed)
+        mp_optimizer = ConjugateGradientOptimizer(
+            concurrency_bounds=(1, 40), parallelism_bounds=(1, 8), pipelining_bounds=(1, 64)
+        )
+        mp = launch_falcon(
+            ctx,
+            stampede2_comet(),
+            kind="gd",
+            dataset=dataset,
+            name=f"mp-{name}",
+            optimizer=mp_optimizer,
+            utility=MultiParamUtility(),
+        )
+        ctx.engine.run_for(duration)
+        mp_bps = window_mean_bps(mp.trace, 20, duration)
+        final = mp.session.params
+        runs[name] = DatasetRun(
+            dataset=name,
+            falcon_bps=single_bps,
+            falcon_mp_bps=mp_bps,
+            mp_params=(final.concurrency, final.parallelism, final.pipelining),
+        )
+    return Fig15Result(runs=runs)
+
+
+def main() -> None:
+    """Print the comparison."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Robustness under dynamic background traffic (beyond the paper).
+
+The paper motivates online optimization with changing background
+traffic but evaluates only agent-vs-agent dynamics.  This experiment
+closes the loop: Falcon (GD and BO) against an ON/OFF cross-traffic
+load on the Emulab bottleneck, measuring
+
+* throughput during ON vs OFF phases (does Falcon yield and reclaim?),
+* concurrency tracking (does the tuner actually move?),
+* a static-setting strawman for contrast (fixed n = optimum-when-alone
+  keeps hammering the congested link during ON phases, buying loss
+  instead of yielding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.testbeds.presets import emulab
+from repro.transfer.background import OnOffTraffic
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.session import TransferParams
+from repro.units import Mbps, bps_to_mbps
+
+
+@dataclass(frozen=True)
+class RobustnessRun:
+    """One tuner's behaviour across background ON/OFF phases."""
+
+    name: str
+    on_throughput_bps: float
+    off_throughput_bps: float
+    on_concurrency: float
+    off_concurrency: float
+    on_loss: float
+
+    @property
+    def reclaim_ratio(self) -> float:
+        """OFF-phase throughput relative to ON-phase (adaptation gain)."""
+        if self.on_throughput_bps <= 0:
+            return float("inf")
+        return self.off_throughput_bps / self.on_throughput_bps
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """GD, BO, and the static strawman under the same traffic pattern."""
+
+    runs: dict[str, RobustnessRun]
+
+    def render(self) -> str:
+        """Comparison table."""
+        return format_table(
+            ["Tuner", "ON tput", "OFF tput", "ON n", "OFF n", "ON loss"],
+            [
+                (
+                    r.name,
+                    f"{bps_to_mbps(r.on_throughput_bps):.0f} Mbps",
+                    f"{bps_to_mbps(r.off_throughput_bps):.0f} Mbps",
+                    f"{r.on_concurrency:.0f}",
+                    f"{r.off_concurrency:.0f}",
+                    f"{r.on_loss:.2%}",
+                )
+                for r in self.runs.values()
+            ],
+        )
+
+
+def _phase_windows(cycle: float, phases: int, duration: float):
+    """(on_windows, off_windows): last 40% of each phase, settled."""
+    on_windows, off_windows = [], []
+    t = cycle  # the background starts at t=cycle (first OFF->ON switch)
+    while t + cycle <= duration:
+        on_windows.append((t + 0.6 * cycle, t + cycle))
+        if t + 2 * cycle <= duration:
+            off_windows.append((t + 1.6 * cycle, t + 2 * cycle))
+        t += 2 * cycle
+    return on_windows, off_windows
+
+
+def run(seed: int = 0, cycle: float = 120.0, cycles: int = 3) -> RobustnessResult:
+    """Falcon GD/BO and a static setting vs ON/OFF cross-traffic."""
+    duration = (2 * cycles + 1) * cycle
+    runs = {}
+    for name, kind in (("falcon-gd", "gd"), ("falcon-bo", "bo"), ("static-20", None)):
+        ctx = make_context(seed)
+        tb = emulab(link_bps=200 * Mbps, per_process_bps=10 * Mbps)
+        if kind is None:
+            session = tb.new_session(
+                uniform_dataset(200),
+                name=name,
+                repeat=True,
+                params=TransferParams(concurrency=20),  # optimum when alone
+            )
+            trace = ctx.recorder.watch(session)
+            ctx.network.add_session(session)
+            launched = None
+        else:
+            launched = launch_falcon(ctx, tb, kind=kind, hi=40, name=name)
+            trace = launched.trace
+
+        background = OnOffTraffic(
+            engine=ctx.engine,
+            network=ctx.network,
+            testbed=tb,
+            concurrency=10,
+            on_time=cycle,
+            off_time=cycle,
+        )
+        background.start(initial_delay=cycle)
+        ctx.engine.run_for(duration)
+
+        on_w, off_w = _phase_windows(cycle, cycles, duration)
+        on_tput = float(np.mean([window_mean_bps(trace, *w) for w in on_w]))
+        off_tput = float(np.mean([window_mean_bps(trace, *w) for w in off_w]))
+
+        def window_stat(windows, series_fn):
+            vals = []
+            for t0, t1 in windows:
+                w = trace.window(t0, t1)
+                if w.times:
+                    vals.append(float(np.mean(series_fn(w))))
+            return float(np.mean(vals)) if vals else 0.0
+
+        runs[name] = RobustnessRun(
+            name=name,
+            on_throughput_bps=on_tput,
+            off_throughput_bps=off_tput,
+            on_concurrency=window_stat(on_w, lambda w: w.concurrencies()),
+            off_concurrency=window_stat(off_w, lambda w: w.concurrencies()),
+            on_loss=window_stat(on_w, lambda w: w.losses()),
+        )
+    return RobustnessResult(runs=runs)
+
+
+def main() -> None:
+    """Print the comparison."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""End-host substrate: NICs, CPU overhead, data-transfer nodes."""
+
+from repro.hosts.cpu import CpuModel
+from repro.hosts.dtn import DataTransferNode
+from repro.hosts.nic import Nic
+
+__all__ = ["CpuModel", "DataTransferNode", "Nic"]

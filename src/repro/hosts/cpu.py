@@ -1,0 +1,53 @@
+"""CPU / process-overhead model.
+
+High concurrency "overburdens end hosts and storage systems due to the
+processing overhead of concurrent processes/threads" (§2, citing the
+energy-aware transfer study [7]).  We model this as a per-process
+efficiency multiplier: processes beyond the core count pay a context-
+switching and memory-pressure tax that grows with oversubscription.
+
+This term is deliberately mild — the paper's measured throughput curves
+flatten rather than collapse at high concurrency — but it matters for
+the utility function's premise that *needless* concurrency has a real
+resource cost even when throughput looks unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Efficiency of transfer processes on a host.
+
+    Attributes
+    ----------
+    cores:
+        Cores available for transfer processes.
+    oversubscription_penalty:
+        Fractional per-process efficiency loss for each process beyond
+        ``cores``, normalised by ``cores``.
+    floor:
+        Minimum efficiency (the host keeps making progress even badly
+        oversubscribed).
+    """
+
+    cores: int = 24
+    oversubscription_penalty: float = 0.3
+    floor: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if not 0 <= self.oversubscription_penalty:
+            raise ValueError("oversubscription_penalty must be non-negative")
+        if not 0 < self.floor <= 1:
+            raise ValueError("floor must be in (0, 1]")
+
+    def efficiency(self, n_processes: int) -> float:
+        """Per-process throughput multiplier with ``n_processes`` running."""
+        if n_processes <= self.cores:
+            return 1.0
+        overload = (n_processes - self.cores) / self.cores
+        return max(self.floor, 1.0 / (1.0 + self.oversubscription_penalty * overload))

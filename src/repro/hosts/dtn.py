@@ -1,0 +1,41 @@
+"""Data Transfer Node: the composite end host.
+
+A DTN (ESnet's recommended architecture, referenced in §5) bundles a
+parallel-file-system mount, a NIC, and CPU capacity.  Transfer sessions
+read from a source DTN and write to a destination DTN; each resource is
+shared across *all* sessions using the host, which is how competing
+transfers interact at the end systems (not just in the network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hosts.cpu import CpuModel
+from repro.hosts.nic import Nic
+from repro.storage.parallel_fs import ParallelFileSystem
+
+
+@dataclass
+class DataTransferNode:
+    """An end host participating in transfers.
+
+    Attributes
+    ----------
+    name:
+        Host label ("comet-dtn", ...).
+    storage:
+        The file system the host reads/writes.
+    nic:
+        Network interface.
+    cpu:
+        Process-overhead model.
+    """
+
+    name: str
+    storage: ParallelFileSystem = field(default_factory=ParallelFileSystem)
+    nic: Nic = field(default_factory=Nic)
+    cpu: CpuModel = field(default_factory=CpuModel)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DTN({self.name})"

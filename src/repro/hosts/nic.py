@@ -1,0 +1,40 @@
+"""Network interface card model.
+
+Most HPC data-transfer nodes have 10/40 Gbps NICs even when the WAN
+offers 100 Gbps — the paper calls this out as the reason bottlenecks
+shift to end hosts (and why the Campus Cluster's bottleneck in Table 1
+is "NIC").  A NIC is a lossless shared resource: saturating it causes
+backpressure, not packet loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.fairshare import max_min_fair_share
+from repro.units import Gbps
+
+
+@dataclass(frozen=True)
+class Nic:
+    """A host NIC with a duplex capacity limit.
+
+    Attributes
+    ----------
+    capacity:
+        Line rate in bits per second (applied independently per
+        direction — send and receive each get the full rate).
+    """
+
+    capacity: float = 10.0 * Gbps
+    name: str = "nic"
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("NIC capacity must be positive")
+
+    def allocate(self, demands: np.ndarray) -> np.ndarray:
+        """Max-min fair allocation of one direction's line rate."""
+        return max_min_fair_share(np.asarray(demands, dtype=float), self.capacity)

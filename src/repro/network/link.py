@@ -1,0 +1,51 @@
+"""Network link model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.queue import DropTailLossModel, LossModel
+from repro.sim.fairshare import max_min_fair_share
+
+
+@dataclass
+class Link:
+    """A simplex network link with capacity, delay, and a loss model.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in topology lookups and reports.
+    capacity:
+        Capacity in bits per second.
+    delay:
+        One-way propagation delay in seconds (a path's RTT is twice the
+        sum of its link delays).
+    loss_model:
+        Maps load on this link to a packet-loss fraction.
+    """
+
+    name: str
+    capacity: float
+    delay: float = 0.0
+    loss_model: LossModel = field(default_factory=DropTailLossModel)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"link {self.name!r}: capacity must be positive")
+        if self.delay < 0:
+            raise ValueError(f"link {self.name!r}: delay must be non-negative")
+
+    def allocate(self, demands: np.ndarray) -> np.ndarray:
+        """Max-min fair allocation of this link's capacity."""
+        return max_min_fair_share(np.asarray(demands, dtype=float), self.capacity)
+
+    def loss_rate(self, offered_bps: float, n_flows: int, rtt: float) -> float:
+        """Packet-loss fraction for the given load (see :class:`LossModel`)."""
+        return self.loss_model.loss_rate(offered_bps, self.capacity, n_flows, rtt)
+
+    def utilization(self, carried_bps: float) -> float:
+        """Fraction of capacity in use."""
+        return carried_bps / self.capacity

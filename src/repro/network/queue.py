@@ -1,0 +1,105 @@
+"""Drop-tail queue loss models.
+
+The paper's Fig. 4 is the empirical anchor: on a 100 Mbps Emulab
+bottleneck where 10 concurrent flows saturate the link, packet loss
+stays below 2% up to 10 flows and "increases drastically, reaching 10%
+for concurrency 32".
+
+We reproduce that shape with an equilibrium loss model derived from the
+Mathis steady-state relation.  For a loss-based TCP flow,
+``rate ≈ MSS / (RTT · sqrt(2p/3))`` — inverting, the loss rate a flow
+*induces and experiences* while holding its share of a saturated link
+grows as its per-flow window (in packets) shrinks.  With ``N`` flows
+max-min sharing capacity ``C``, the per-flow window is
+``C·RTT / (N·MSS)`` packets, so
+
+``loss ≈ base + coeff · (N · MSS / (C · RTT_eff)) ** exponent``   (saturated)
+
+and only a small residual loss below saturation.  ``exponent = 1.5``
+(between the Mathis square and a linear AIMD-probing model) matches the
+paper's measured curve well; ``coeff`` is calibrated so the Emulab
+scenario yields ~1.5% at N=10 and ~9-10% at N=32.
+
+``RTT_eff`` is floored so sub-millisecond LAN paths do not produce
+unphysical loss (real LANs have switch buffering well beyond one BDP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+#: Default maximum segment size, bits (1500-byte Ethernet MTU payload).
+MSS_BITS = 1500 * 8
+
+#: RTT floor for the loss model, seconds.
+RTT_FLOOR = 5e-3
+
+
+class LossModel(Protocol):
+    """Maps link load to a packet-loss fraction."""
+
+    def loss_rate(
+        self, offered_bps: float, capacity_bps: float, n_flows: int, rtt: float
+    ) -> float:
+        """Return the packet-loss fraction experienced by flows on the link.
+
+        Parameters
+        ----------
+        offered_bps:
+            Aggregate rate the flows would send absent this link's limit.
+        capacity_bps:
+            Link capacity.
+        n_flows:
+            Number of flows currently traversing the link.
+        rtt:
+            Round-trip time of the path the link belongs to, seconds.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class NoLossModel:
+    """A lossless link (e.g. a host's internal bus)."""
+
+    def loss_rate(
+        self, offered_bps: float, capacity_bps: float, n_flows: int, rtt: float
+    ) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class DropTailLossModel:
+    """Equilibrium loss of loss-based TCP at a drop-tail bottleneck.
+
+    Attributes
+    ----------
+    residual_loss:
+        Loss observed on an unsaturated path (bit errors, tiny bursts).
+    saturation_threshold:
+        Utilisation above which the queue is considered standing and
+        probing loss kicks in.
+    coeff, exponent:
+        Shape of the saturated-loss curve (see module docstring).
+    max_loss:
+        Physical cap on the reported loss fraction.
+    """
+
+    residual_loss: float = 1e-4
+    saturation_threshold: float = 0.95
+    coeff: float = 2.0
+    exponent: float = 1.5
+    max_loss: float = 0.30
+
+    def loss_rate(
+        self, offered_bps: float, capacity_bps: float, n_flows: int, rtt: float
+    ) -> float:
+        if capacity_bps <= 0 or n_flows <= 0:
+            return 0.0
+        utilization = offered_bps / capacity_bps
+        if utilization < self.saturation_threshold:
+            return self.residual_loss
+        rtt_eff = max(rtt, RTT_FLOOR)
+        inv_window = n_flows * MSS_BITS / (capacity_bps * rtt_eff)
+        probing = self.coeff * inv_window**self.exponent
+        return float(min(self.max_loss, self.residual_loss + probing))

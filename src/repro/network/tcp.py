@@ -1,0 +1,106 @@
+"""Fluid TCP stream behaviour.
+
+Falcon treats the transport as a black box, but three TCP properties
+shape every result in the paper:
+
+1. **Window cap** — a single stream cannot exceed ``cwnd_max / RTT``,
+   which is why *parallelism* (multiple streams per file) helps on
+   long-fat networks (§4.4).
+2. **Ramp-up** — a fresh stream takes many RTTs (slow start plus
+   congestion avoidance) to approach its equilibrium share, which is why
+   sample transfers need 3–5 s to be measured accurately (§3.2).
+3. **Loss response** — on congestion a stream backs off immediately
+   (multiplicative decrease) but regains rate gradually.
+
+:class:`TcpModel` captures these as (1) a static per-stream cap, (2) an
+exponential relaxation toward the allocated rate with time constant
+proportional to RTT, and (3) asymmetric dynamics: instant decrease,
+relaxed increase.  An ``aggressiveness`` weight lets a BBR-flavoured
+variant claim more than its fair share against loss-based flows (future
+work in the paper; included as an extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import MiB
+
+
+def stream_window_cap(buffer_bytes: float, rtt: float) -> float:
+    """Maximum rate (bps) of one stream with the given window and RTT.
+
+    ``rate = window / RTT``; for sub-millisecond RTTs the cap is
+    effectively the NIC speed, so the caller should min() with other
+    limits.
+    """
+    if rtt <= 0:
+        return float("inf")
+    return buffer_bytes * 8.0 / rtt
+
+
+@dataclass(frozen=True)
+class TcpModel:
+    """Per-stream transport parameters.
+
+    Attributes
+    ----------
+    name:
+        Congestion-control label (reporting only).
+    buffer_bytes:
+        Maximum congestion/receive window in bytes.  The common
+        production default of 16 MiB caps one stream at ~2.1 Gbps over a
+        60 ms path — the regime where GridFTP parallelism pays off.
+    ramp_rtts:
+        Time constant of the rate relaxation, in RTTs.
+    min_ramp_time:
+        Floor on the relaxation time constant, seconds (process spawn
+        and handshake costs dominate on LANs).
+    aggressiveness:
+        Relative weight in bandwidth competition (1.0 = loss-based
+        fair TCP; >1 models BBR-like behaviour).
+    initial_rate:
+        Starting rate of a fresh stream, bps.
+    """
+
+    name: str = "cubic"
+    buffer_bytes: float = 16 * MiB
+    ramp_rtts: float = 20.0
+    min_ramp_time: float = 0.25
+    aggressiveness: float = 1.0
+    initial_rate: float = 10e6
+
+    def stream_cap(self, rtt: float) -> float:
+        """Equilibrium cap of a single stream on a path with this RTT."""
+        return stream_window_cap(self.buffer_bytes, rtt)
+
+    def ramp_tau(self, rtt: float) -> float:
+        """Relaxation time constant on a path with this RTT."""
+        return max(self.min_ramp_time, self.ramp_rtts * rtt)
+
+    def advance_rates(
+        self, current: np.ndarray, target: np.ndarray, rtt: float, dt: float
+    ) -> np.ndarray:
+        """One fluid step of the stream-rate dynamics.
+
+        Rates above their target drop instantly (multiplicative
+        decrease is fast at fluid timescales); rates below relax up
+        exponentially with time constant :meth:`ramp_tau`.
+        """
+        current = np.asarray(current, dtype=float)
+        target = np.asarray(target, dtype=float)
+        tau = self.ramp_tau(rtt)
+        blend = 1.0 - np.exp(-dt / tau)
+        ramped = current + (target - current) * blend
+        return np.where(target < current, target, ramped)
+
+
+#: Common presets.  All loss-based variants share fluid behaviour at this
+#: abstraction level (the paper finds B=10 works for Cubic, Reno, HSTCP).
+CUBIC = TcpModel(name="cubic")
+RENO = TcpModel(name="reno")
+HSTCP = TcpModel(name="hstcp")
+#: BBR-flavoured extension: less loss-sensitive, claims extra share.
+BBR = TcpModel(name="bbr", aggressiveness=1.6)

@@ -1,0 +1,14 @@
+"""Falcon as a transfer service.
+
+The paper's conclusion sketches "a cloud-based web service to deploy
+Falcon ... eliminating the tedious installation process".  This package
+is that deployment story as a library: a :class:`FalconService` accepts
+transfer *jobs* (dataset + endpoints), runs at most ``max_active`` at a
+time (FIFO queue), drives each with its own Falcon agent, and produces
+a completion report per job.
+"""
+
+from repro.service.jobs import JobState, TransferJob, TransferReport
+from repro.service.service import FalconService
+
+__all__ = ["FalconService", "JobState", "TransferJob", "TransferReport"]

@@ -1,0 +1,89 @@
+"""Transfer jobs and completion reports."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.testbeds.base import Testbed
+from repro.transfer.dataset import Dataset
+from repro.units import format_duration, format_rate, format_size
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted transfer job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """What a finished job reports back to its submitter.
+
+    Attributes
+    ----------
+    bytes_moved:
+        Goodput bytes delivered.
+    duration:
+        Wall (simulation) seconds from start to completion.
+    mean_throughput_bps:
+        ``bytes_moved * 8 / duration``.
+    files:
+        Files delivered.
+    decisions:
+        Number of tuning decisions the agent made.
+    final_concurrency:
+        Concurrency in force when the job completed.
+    loss_fraction:
+        Lost bytes over sent bytes across the whole job.
+    process_seconds:
+        Worker-process lifetime consumed (the overhead metric).
+    """
+
+    bytes_moved: float
+    duration: float
+    mean_throughput_bps: float
+    files: int
+    decisions: int
+    final_concurrency: int
+    loss_fraction: float
+    process_seconds: float
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{format_size(self.bytes_moved)} in {format_duration(self.duration)} "
+            f"({format_rate(self.mean_throughput_bps)}), {self.files} files, "
+            f"loss {self.loss_fraction:.2%}, {self.decisions} decisions, "
+            f"final n={self.final_concurrency}"
+        )
+
+
+@dataclass
+class TransferJob:
+    """One submitted transfer."""
+
+    job_id: int
+    name: str
+    testbed: Testbed
+    dataset: Dataset
+    state: JobState = JobState.QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    report: Optional[TransferReport] = None
+    _extras: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent queued (None-safe: 0 until started)."""
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.submitted_at
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Job#{self.job_id}({self.name}, {self.state.value})"

@@ -1,0 +1,167 @@
+"""The Falcon transfer service: job queue + per-job agents.
+
+Jobs run at most ``max_active`` at a time per service instance; excess
+submissions wait in FIFO order.  Each running job gets its own Falcon
+agent (all sharing the same utility, as the equilibrium argument
+requires), so concurrent jobs on the same testbed converge to fair
+shares automatically — the service needs no bandwidth broker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.agent import FalconAgent
+from repro.core.controller import attach_agent
+from repro.core.gradient_descent import GradientDescent
+from repro.core.optimizer import ConcurrencyOptimizer
+from repro.core.utility import NonlinearPenaltyUtility, UtilityFunction
+from repro.service.jobs import JobState, TransferJob, TransferReport
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngStreams
+from repro.testbeds.base import Testbed
+from repro.transfer.dataset import Dataset
+from repro.transfer.executor import FluidTransferNetwork
+
+OptimizerFactory = Callable[[np.random.Generator], ConcurrencyOptimizer]
+
+
+def _default_optimizer(rng: np.random.Generator) -> ConcurrencyOptimizer:
+    return GradientDescent(lo=1, hi=64)
+
+
+@dataclass
+class FalconService:
+    """Accepts, schedules, tunes, and reports transfer jobs.
+
+    Parameters
+    ----------
+    engine, network:
+        The simulation substrate to run on.
+    max_active:
+        Concurrent-job limit; further submissions queue FIFO.
+    optimizer_factory:
+        Builds a fresh search algorithm per job.
+    utility:
+        Shared utility function (one function for all jobs — required
+        for the fair-equilibrium guarantee).
+    seed:
+        Root seed for per-job measurement-jitter streams.
+    """
+
+    engine: SimulationEngine
+    network: FluidTransferNetwork
+    max_active: int = 4
+    optimizer_factory: OptimizerFactory = _default_optimizer
+    utility: UtilityFunction = field(default_factory=NonlinearPenaltyUtility)
+    seed: int = 0
+
+    _jobs: list[TransferJob] = field(default_factory=list)
+    _queue: list[TransferJob] = field(default_factory=list)
+    _active: list[TransferJob] = field(default_factory=list)
+    _streams: RngStreams = field(init=False)
+    _next_id: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        self._streams = RngStreams(self.seed)
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, testbed: Testbed, dataset: Dataset, name: str | None = None) -> TransferJob:
+        """Queue a transfer; it starts when a slot is free."""
+        job = TransferJob(
+            job_id=self._next_id,
+            name=name or f"job-{self._next_id}",
+            testbed=testbed,
+            dataset=dataset,
+            submitted_at=self.engine.now,
+        )
+        self._next_id += 1
+        self._jobs.append(job)
+        self._queue.append(job)
+        self._dispatch()
+        return job
+
+    def cancel(self, job: TransferJob) -> None:
+        """Cancel a queued or running job."""
+        if job.state is JobState.QUEUED:
+            self._queue.remove(job)
+            job.state = JobState.CANCELLED
+            job.finished_at = self.engine.now
+        elif job.state is JobState.RUNNING:
+            session = job._extras["session"]
+            session.finished_at = self.engine.now
+            if session in self.network.sessions:
+                self.network.remove_session(session)
+            job.state = JobState.CANCELLED
+            job.finished_at = self.engine.now
+            self._active.remove(job)
+            self._dispatch()
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def jobs(self) -> list[TransferJob]:
+        """All jobs ever submitted, in submission order."""
+        return list(self._jobs)
+
+    def queued(self) -> list[TransferJob]:
+        """Jobs waiting for a slot."""
+        return list(self._queue)
+
+    def running(self) -> list[TransferJob]:
+        """Jobs currently transferring."""
+        return list(self._active)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self._active) < self.max_active:
+            job = self._queue.pop(0)
+            self._start(job)
+
+    def _start(self, job: TransferJob) -> None:
+        session = job.testbed.new_session(job.dataset, name=job.name)
+        rng = self._streams.get(f"job/{job.job_id}")
+        agent = FalconAgent(
+            session=session,
+            optimizer=self.optimizer_factory(rng),
+            utility=self.utility,
+            rng=rng,
+        )
+        job.state = JobState.RUNNING
+        job.started_at = self.engine.now
+        job._extras["session"] = session
+        job._extras["agent"] = agent
+        self._active.append(job)
+        session.on_complete = lambda s, j=job: self._finish(j)
+        self.network.add_session(session)
+        # De-phase decision clocks across jobs (see experiments.common).
+        interval = job.testbed.sample_interval * (1.0 + float(rng.uniform(-0.08, 0.08)))
+        attach_agent(self.engine, agent, interval=interval)
+
+    def _finish(self, job: TransferJob) -> None:
+        session = job._extras["session"]
+        agent: FalconAgent = job._extras["agent"]
+        job.state = JobState.COMPLETED
+        job.finished_at = self.engine.now
+        duration = max(job.finished_at - (job.started_at or 0.0), 1e-9)
+        sent = session.total_good_bytes + session.total_lost_bytes
+        job.report = TransferReport(
+            bytes_moved=session.total_good_bytes,
+            duration=duration,
+            mean_throughput_bps=session.total_good_bytes * 8.0 / duration,
+            files=session.files_completed,
+            decisions=len(agent.history),
+            final_concurrency=session.params.concurrency,
+            loss_fraction=session.total_lost_bytes / sent if sent > 0 else 0.0,
+            process_seconds=session.process_seconds,
+        )
+        if job in self._active:
+            self._active.remove(job)
+        self._dispatch()

@@ -1,0 +1,24 @@
+"""Discrete-event / fluid-flow simulation substrate.
+
+The substrate has three pieces:
+
+* :mod:`repro.sim.rng` — deterministic per-component random streams so
+  experiments are reproducible and components stay decoupled.
+* :mod:`repro.sim.fairshare` — progressive-filling max-min fair
+  bandwidth allocation, the arbitration rule every shared resource
+  (bottleneck link, storage array, NIC) uses.
+* :mod:`repro.sim.engine` — an event queue with fixed-step fluid
+  integration between events.
+"""
+
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.fairshare import max_min_fair_share, weighted_max_min_fair_share
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Event",
+    "SimulationEngine",
+    "max_min_fair_share",
+    "weighted_max_min_fair_share",
+    "RngStreams",
+]

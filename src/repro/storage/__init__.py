@@ -1,0 +1,24 @@
+"""Storage substrate: devices, parallel file systems, per-process throttles.
+
+The paper's central storage observation (Fig. 1) is that on parallel
+file systems and RAID arrays a *single* reader/writer gets only a small
+fraction of the aggregate bandwidth — concurrent I/O streams are needed
+to reach full utilisation, with mild degradation past saturation from
+contention.  :class:`ParallelFileSystem` models exactly that: a
+per-process rate limit, a saturating aggregate capacity, and a
+contention term.
+"""
+
+from repro.storage.device import HDD, NVME_SSD, SATA_SSD, StorageDevice
+from repro.storage.parallel_fs import ParallelFileSystem, throttled_fs
+from repro.storage.throttle import TokenBucket
+
+__all__ = [
+    "StorageDevice",
+    "ParallelFileSystem",
+    "throttled_fs",
+    "TokenBucket",
+    "HDD",
+    "SATA_SSD",
+    "NVME_SSD",
+]

@@ -1,0 +1,44 @@
+"""Single storage device rate model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import Gbps
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """A raw block device with independent read and write rate limits.
+
+    Rates are in bits per second to match the rest of the simulator
+    (the paper quotes disk speeds in Gbps, e.g. "single file read/write
+    speed is less than 10 Gbps with hard drives").
+
+    Attributes
+    ----------
+    name:
+        Device label ("hdd", "nvme0", ...).
+    read_bps / write_bps:
+        Sequential read/write throughput limits.
+    open_latency:
+        Fixed cost of opening a file, seconds — matters for lots-of-
+        small-files workloads where per-file overheads dominate.
+    """
+
+    name: str = "disk"
+    read_bps: float = 1.0 * Gbps
+    write_bps: float = 1.0 * Gbps
+    open_latency: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.read_bps <= 0 or self.write_bps <= 0:
+            raise ValueError("device rates must be positive")
+        if self.open_latency < 0:
+            raise ValueError("open_latency must be non-negative")
+
+
+#: Representative presets (sequential rates; conservative production-ish).
+HDD = StorageDevice("hdd", read_bps=1.6 * Gbps, write_bps=1.2 * Gbps, open_latency=8e-3)
+SATA_SSD = StorageDevice("sata-ssd", read_bps=4.0 * Gbps, write_bps=3.0 * Gbps, open_latency=5e-4)
+NVME_SSD = StorageDevice("nvme", read_bps=24.0 * Gbps, write_bps=16.0 * Gbps, open_latency=2e-4)

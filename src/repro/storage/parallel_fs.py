@@ -1,0 +1,141 @@
+"""Parallel file system / RAID array model.
+
+Captures the throughput-vs-stream-count behaviour of Lustre, GPFS, and
+RAID arrays that drives the whole paper:
+
+* one I/O stream is limited to ``per_process_*_bps`` (single OST/NSD
+  pipeline, single-threaded copy loop);
+* aggregate throughput rises with concurrent streams up to
+  ``aggregate_*_bps``;
+* past saturation, extra streams cause *contention* (seek amplification,
+  lock traffic, OST congestion) that slightly **reduces** aggregate
+  throughput — the gentle downward slope at the right of Fig. 1(a).
+
+Allocation among streams is max-min fair against the effective aggregate
+capacity, with each stream's demand capped at the per-process limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.fairshare import max_min_fair_share
+from repro.units import Gbps
+
+
+@dataclass(frozen=True)
+class ParallelFileSystem:
+    """A shared storage backend with per-process and aggregate limits.
+
+    Attributes
+    ----------
+    name:
+        Label ("lustre", "gpfs", "raid0-nvme", ...).
+    per_process_read_bps / per_process_write_bps:
+        Rate limit of a single I/O stream.
+    aggregate_read_bps / aggregate_write_bps:
+        Peak aggregate throughput with enough concurrent streams.
+    contention:
+        Fractional aggregate-capacity degradation per active stream
+        beyond :attr:`contention_knee` (e.g. 0.005 = 0.5%/stream).
+    contention_knee:
+        Stream count at which contention starts to bite; defaults to
+        the count needed to saturate the aggregate.
+    open_latency:
+        Per-file open/create cost, seconds.
+    """
+
+    name: str = "pfs"
+    per_process_read_bps: float = 2.0 * Gbps
+    per_process_write_bps: float = 2.0 * Gbps
+    aggregate_read_bps: float = 20.0 * Gbps
+    aggregate_write_bps: float = 20.0 * Gbps
+    contention: float = 0.004
+    contention_knee: int | None = None
+    open_latency: float = 1e-3
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "per_process_read_bps",
+            "per_process_write_bps",
+            "aggregate_read_bps",
+            "aggregate_write_bps",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.contention < 0:
+            raise ValueError("contention must be non-negative")
+        if self.open_latency < 0:
+            raise ValueError("open_latency must be non-negative")
+
+    # -- saturation structure ------------------------------------------------
+
+    def read_saturation_streams(self) -> int:
+        """Streams needed (at full per-process rate) to peak read throughput."""
+        return int(np.ceil(self.aggregate_read_bps / self.per_process_read_bps))
+
+    def write_saturation_streams(self) -> int:
+        """Streams needed (at full per-process rate) to peak write throughput."""
+        return int(np.ceil(self.aggregate_write_bps / self.per_process_write_bps))
+
+    def _knee(self, default: int) -> int:
+        return default if self.contention_knee is None else self.contention_knee
+
+    def effective_read_capacity(self, n_streams: int) -> float:
+        """Aggregate read capacity with ``n_streams`` active streams."""
+        return self._effective(
+            n_streams, self.aggregate_read_bps, self._knee(self.read_saturation_streams())
+        )
+
+    def effective_write_capacity(self, n_streams: int) -> float:
+        """Aggregate write capacity with ``n_streams`` active streams."""
+        return self._effective(
+            n_streams, self.aggregate_write_bps, self._knee(self.write_saturation_streams())
+        )
+
+    def _effective(self, n_streams: int, aggregate: float, knee: int) -> float:
+        if n_streams <= 0:
+            return aggregate
+        excess = max(0, n_streams - knee)
+        degradation = 1.0 / (1.0 + self.contention * excess)
+        # Never degrade below half of peak: thrashing plateaus, it does
+        # not collapse, for sequential bulk I/O.
+        return aggregate * max(0.5, degradation)
+
+    # -- allocation ------------------------------------------------------------
+
+    def allocate_read(self, demands: np.ndarray) -> np.ndarray:
+        """Max-min fair read allocation for the given stream demands."""
+        return self._allocate(demands, self.per_process_read_bps, self.effective_read_capacity)
+
+    def allocate_write(self, demands: np.ndarray) -> np.ndarray:
+        """Max-min fair write allocation for the given stream demands."""
+        return self._allocate(demands, self.per_process_write_bps, self.effective_write_capacity)
+
+    def _allocate(self, demands, per_process: float, capacity_fn) -> np.ndarray:
+        demands = np.minimum(np.asarray(demands, dtype=float), per_process)
+        active = int(np.count_nonzero(demands > 0))
+        return max_min_fair_share(demands, capacity_fn(active))
+
+
+def throttled_fs(
+    per_process_bps: float, aggregate_bps: float, name: str = "throttled"
+) -> ParallelFileSystem:
+    """An Emulab-style artificially throttled storage volume.
+
+    The paper throttles per-process read I/O (e.g. 10 or 20 Mbps) on
+    Emulab's direct-attached disks "to emulate the behaviour of parallel
+    file systems".  Contention is disabled: the throttle is artificial,
+    so extra streams cost nothing locally.
+    """
+    return ParallelFileSystem(
+        name=name,
+        per_process_read_bps=per_process_bps,
+        per_process_write_bps=per_process_bps,
+        aggregate_read_bps=aggregate_bps,
+        aggregate_write_bps=aggregate_bps,
+        contention=0.0,
+        open_latency=5e-4,
+    )

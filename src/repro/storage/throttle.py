@@ -1,0 +1,68 @@
+"""Token-bucket rate throttle.
+
+The Emulab experiments throttle per-process I/O with a token bucket
+(the standard `tc`/cgroup mechanism).  The fluid simulator mostly uses
+static rate caps, but the bucket is exercised by the transfer engine's
+burst accounting and is independently useful for tests that need a
+time-accurate throttle.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s, burst up to ``burst``.
+
+    Tokens are whatever unit the caller uses (we use bytes).
+
+    Examples
+    --------
+    >>> bucket = TokenBucket(rate=100.0, burst=50.0)
+    >>> bucket.consume(50.0, now=0.0)   # burst allowance
+    50.0
+    >>> bucket.consume(100.0, now=1.0)  # refill capped at the burst
+    50.0
+    """
+
+    def __init__(self, rate: float, burst: float, start_time: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = float(start_time)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available as of the last update (no refill applied)."""
+        return self._tokens
+
+    def _refill(self, now: float) -> None:
+        if now < self._last:
+            raise ValueError("time went backwards")
+        self._tokens = min(self.burst, self._tokens + self.rate * (now - self._last))
+        self._last = now
+
+    def peek(self, now: float) -> float:
+        """Tokens that would be available at ``now`` (refills state)."""
+        self._refill(now)
+        return self._tokens
+
+    def consume(self, amount: float, now: float) -> float:
+        """Take up to ``amount`` tokens; returns how many were granted."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        self._refill(now)
+        granted = min(amount, self._tokens)
+        self._tokens -= granted
+        return granted
+
+    def time_until(self, amount: float, now: float) -> float:
+        """Seconds until ``amount`` tokens will be available (0 if already)."""
+        if amount > self.burst:
+            raise ValueError("amount exceeds burst capacity; it can never be granted")
+        self._refill(now)
+        deficit = amount - self._tokens
+        return max(0.0, deficit / self.rate)

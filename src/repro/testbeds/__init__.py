@@ -1,0 +1,27 @@
+"""Testbed specifications mirroring the paper's Table 1."""
+
+from repro.testbeds.base import Testbed
+from repro.testbeds.presets import (
+    TABLE1,
+    campus_cluster,
+    emulab,
+    emulab_fig4,
+    emulab_high_optimal,
+    emulab_io_bound,
+    hpclab,
+    stampede2_comet,
+    xsede,
+)
+
+__all__ = [
+    "Testbed",
+    "TABLE1",
+    "campus_cluster",
+    "emulab",
+    "emulab_fig4",
+    "emulab_high_optimal",
+    "emulab_io_bound",
+    "hpclab",
+    "stampede2_comet",
+    "xsede",
+]

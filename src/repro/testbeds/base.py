@@ -1,0 +1,140 @@
+"""Testbed: two DTNs joined by a path, plus analytic expectations.
+
+A :class:`Testbed` instance owns its hosts, so every session created
+through :meth:`new_session` *shares* the same storage arrays, NICs, and
+links — which is what makes competing-transfer experiments meaningful.
+
+The analytic helpers (:meth:`max_throughput`,
+:meth:`optimal_concurrency`) derive what the resource model implies,
+and are used by tests and benches as ground truth to compare Falcon's
+online search against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hosts.dtn import DataTransferNode
+from repro.network.path import Path
+from repro.network.tcp import CUBIC, TcpModel
+from repro.transfer.dataset import Dataset
+from repro.transfer.session import TransferParams, TransferSession
+
+
+@dataclass
+class Testbed:
+    """A reproducible end-to-end transfer environment.
+
+    Attributes
+    ----------
+    name:
+        Testbed label ("Emulab", "XSEDE", ...).
+    source, destination:
+        The two DTNs.
+    path:
+        Network path between them.
+    tcp:
+        Default transport model for sessions.
+    sample_interval:
+        Sample-transfer duration appropriate for this network (paper:
+        3 s local-area, 5 s wide-area).
+    bottleneck:
+        Human-readable bottleneck label from Table 1.
+    """
+
+    #: Stop pytest from trying to collect this class (its name starts
+    #: with "Test" but it is a domain object, not a test case).
+    __test__ = False
+
+    name: str
+    source: DataTransferNode
+    destination: DataTransferNode
+    path: Path
+    sample_interval: float
+    bottleneck: str
+    tcp: TcpModel = field(default_factory=lambda: CUBIC)
+
+    _session_counter: int = field(default=0, init=False, repr=False)
+
+    # -- session factory -------------------------------------------------------
+
+    def new_session(
+        self,
+        dataset: Dataset,
+        name: str | None = None,
+        params: TransferParams = TransferParams(),
+        repeat: bool = False,
+        tcp: TcpModel | None = None,
+    ) -> TransferSession:
+        """Create a transfer session on this testbed's shared resources.
+
+        ``tcp`` overrides the testbed's default transport for this one
+        session (used by the BBR-vs-Cubic extension experiments).
+        """
+        self._session_counter += 1
+        label = name or f"{self.name.lower()}-xfer-{self._session_counter}"
+        return TransferSession(
+            name=label,
+            source=self.source,
+            destination=self.destination,
+            path=self.path,
+            queue=dataset.queue(repeat=repeat),
+            tcp=tcp or self.tcp,
+            params=params,
+        )
+
+    # -- analytic expectations ----------------------------------------------------
+
+    @property
+    def rtt(self) -> float:
+        """End-to-end round-trip time, seconds."""
+        return self.path.rtt
+
+    def per_worker_cap(self, parallelism: int = 1) -> float:
+        """Rate one worker can reach, ignoring shared limits (bps)."""
+        return min(
+            parallelism * self.tcp.stream_cap(self.path.rtt),
+            self.source.storage.per_process_read_bps,
+            self.destination.storage.per_process_write_bps,
+        )
+
+    def max_throughput(self) -> float:
+        """Best achievable aggregate rate with ideal concurrency (bps).
+
+        The minimum over the aggregate capacities of every shared
+        resource on the transfer path, evaluated at the concurrency
+        that saturates it.
+        """
+        n = self.optimal_concurrency()
+        return min(
+            self.source.storage.effective_read_capacity(n),
+            self.destination.storage.effective_write_capacity(n),
+            self.source.nic.capacity,
+            self.destination.nic.capacity,
+            self.path.capacity,
+        )
+
+    def optimal_concurrency(self, parallelism: int = 1) -> int:
+        """Smallest concurrency that saturates the end-to-end bottleneck."""
+        aggregate = min(
+            self.source.storage.aggregate_read_bps,
+            self.destination.storage.aggregate_write_bps,
+            self.source.nic.capacity,
+            self.destination.nic.capacity,
+            self.path.capacity,
+        )
+        per_worker = self.per_worker_cap(parallelism)
+        n = 1
+        while n * per_worker < aggregate and n < 512:
+            n += 1
+        return n
+
+    def describe(self) -> str:
+        """One-line summary, Table 1 style."""
+        from repro.units import format_rate
+
+        return (
+            f"{self.name}: storage={self.source.storage.name}, "
+            f"bandwidth={format_rate(self.path.capacity, 0)}, "
+            f"rtt={self.path.rtt * 1e3:g}ms, bottleneck={self.bottleneck}"
+        )

@@ -1,0 +1,35 @@
+"""Transfer engine: datasets, sessions, metrics, fluid executor.
+
+A :class:`~repro.transfer.session.TransferSession` is one *transfer
+task* (one user's dataset moving between two DTNs) with three tunable
+parameters — **concurrency** (files in flight), **parallelism** (TCP
+streams per file), **pipelining** (control commands in flight).  The
+:class:`~repro.transfer.executor.FluidTransferNetwork` arbitrates all
+sessions' workers across storage, NICs, and links every fluid step.
+"""
+
+from repro.transfer.dataset import (
+    Dataset,
+    FileQueue,
+    large_dataset,
+    mixed_dataset,
+    small_dataset,
+    uniform_dataset,
+)
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.metrics import IntervalSample, ThroughputMonitor
+from repro.transfer.session import TransferParams, TransferSession
+
+__all__ = [
+    "Dataset",
+    "FileQueue",
+    "uniform_dataset",
+    "small_dataset",
+    "large_dataset",
+    "mixed_dataset",
+    "FluidTransferNetwork",
+    "IntervalSample",
+    "ThroughputMonitor",
+    "TransferParams",
+    "TransferSession",
+]

@@ -1,0 +1,102 @@
+"""Background cross-traffic generator.
+
+Production networks (XSEDE, ESnet, Internet2) are shared: "the optimal
+solution can be different for identical transfers over time due to
+change in background traffic" (§1).  :class:`OnOffTraffic` models that
+as a fixed-setting transfer that alternates between ON (competing for
+the path) and OFF, on a deterministic or randomized duty cycle — the
+classic on/off cross-traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.base import Testbed
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams, TransferSession
+from repro.units import GB
+
+
+@dataclass
+class OnOffTraffic:
+    """A periodic competing load on a testbed's path.
+
+    Parameters
+    ----------
+    engine, network:
+        Simulation substrate.
+    testbed:
+        Whose resources to load (the traffic shares the same hosts and
+        links as sessions created from this testbed instance).
+    concurrency:
+        Fixed worker count while ON.
+    on_time / off_time:
+        Mean phase durations, seconds.
+    jitter:
+        Relative randomization of each phase length (0 = strict cycle).
+    rng:
+        Source for phase jitter.
+    """
+
+    engine: SimulationEngine
+    network: FluidTransferNetwork
+    testbed: Testbed
+    concurrency: int = 8
+    on_time: float = 60.0
+    off_time: float = 60.0
+    jitter: float = 0.0
+    rng: Optional[np.random.Generator] = None
+    transitions: list[tuple[float, str]] = field(default_factory=list)
+
+    _session: Optional[TransferSession] = None
+    _stopped: bool = False
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        """Schedule the first ON phase."""
+        self.engine.schedule_in(initial_delay, self._switch_on, name="bg-on")
+
+    def stop(self) -> None:
+        """Cease after the current phase."""
+        self._stopped = True
+        if self._session is not None:
+            self._switch_off()
+
+    @property
+    def active(self) -> bool:
+        """Whether the background load is currently ON."""
+        return self._session is not None
+
+    def _phase(self, mean: float) -> float:
+        if self.rng is None or self.jitter <= 0:
+            return mean
+        return float(mean * max(0.1, 1.0 + self.rng.normal(0.0, self.jitter)))
+
+    def _switch_on(self) -> None:
+        if self._stopped or self._session is not None:
+            return
+        self._session = self.testbed.new_session(
+            uniform_dataset(64, 1 * GB),
+            name=f"background-{len(self.transitions)}",
+            params=TransferParams(concurrency=self.concurrency),
+            repeat=True,
+        )
+        self.network.add_session(self._session)
+        self.transitions.append((self.engine.now, "on"))
+        self.engine.schedule_in(self._phase(self.on_time), self._switch_off, name="bg-off")
+
+    def _switch_off(self) -> None:
+        if self._session is None:
+            return
+        self._session.finished_at = self.engine.now
+        if self._session in self.network.sessions:
+            self.network.remove_session(self._session)
+        self._session = None
+        self.transitions.append((self.engine.now, "off"))
+        if not self._stopped:
+            self.engine.schedule_in(self._phase(self.off_time), self._switch_on, name="bg-on")

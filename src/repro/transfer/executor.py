@@ -1,0 +1,293 @@
+"""Fluid executor: joint arbitration of all sessions across all resources.
+
+Every fluid step the executor:
+
+1. computes each worker's *demand cap* — the rate it could use if
+   nothing were shared: ``min(parallelism x stream cap, per-process read,
+   per-process write)`` scaled by CPU efficiency at both hosts;
+2. runs a few rounds of **iterative waterfilling** across the shared
+   resources (source storage array, destination storage array, both
+   NICs, every network link): each resource max-min-allocates using
+   demands clamped by what the *other* resources granted last round.
+   This converges to a feasible, near max-min joint allocation and —
+   crucially for the paper's game dynamics — gives a session bandwidth
+   in proportion to its flow count at a saturated bottleneck;
+3. computes per-link packet loss from carried load and flow count;
+4. lets each session ramp its worker rates toward the allocation and
+   move file bytes.
+
+The executor is deliberately the *only* place where sessions interact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, SimConfig
+from repro.network.link import Link
+from repro.sim.engine import SimulationEngine
+from repro.sim.fairshare import weighted_max_min_fair_share
+from repro.transfer.session import TransferSession
+
+#: Rounds of iterative waterfilling per step.  Two suffice for a single
+#: binding resource; three handle redistribution across two bottlenecks.
+_WATERFILL_ROUNDS = 3
+
+
+@dataclass
+class _Resource:
+    """One shared resource and the workers it serves."""
+
+    name: str
+    members: np.ndarray  # global worker indices
+    allocate: Callable[[np.ndarray], np.ndarray]
+    # For links only: per-member stream counts (parallelism), else None.
+    streams: np.ndarray | None = None
+    link: Link | None = None
+    last_alloc: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+class FluidTransferNetwork:
+    """Holds the active sessions and arbitrates them each fluid step."""
+
+    def __init__(self, engine: SimulationEngine, config: SimConfig = DEFAULT_CONFIG):
+        self.engine = engine
+        self.config = config
+        self.sessions: list[TransferSession] = []
+        engine.fluid_step = self.fluid_step
+
+    # -- session management ----------------------------------------------------
+
+    def add_session(self, session: TransferSession) -> None:
+        """Attach a session; it starts transferring on the next step."""
+        if session in self.sessions:
+            raise ValueError(f"session {session.name!r} already added")
+        session.started_at = self.engine.now
+        session.assign_files()
+        self.sessions.append(session)
+
+    def remove_session(self, session: TransferSession) -> None:
+        """Detach a session (finished or cancelled)."""
+        self.sessions.remove(session)
+
+    def active_sessions(self) -> list[TransferSession]:
+        """Sessions that still have work."""
+        return [s for s in self.sessions if s.active]
+
+    # -- the fluid step ----------------------------------------------------------
+
+    def fluid_step(self, now: float, dt: float) -> None:
+        """Advance all sessions by ``dt`` (engine callback)."""
+        sessions = self.active_sessions()
+        if not sessions:
+            return
+        for s in sessions:
+            s.assign_files()
+
+        counts = np.array([s.rates.size for s in sessions])
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        total_workers = int(offsets[-1])
+        if total_workers == 0:
+            return
+
+        demand_cap = self._demand_caps(sessions, offsets, total_workers)
+        resources = self._build_resources(sessions, offsets, total_workers)
+        final = self._waterfill(demand_cap, resources, total_workers)
+        losses = self._session_losses(sessions, offsets, resources, final)
+
+        for i, s in enumerate(sessions):
+            targets = final[offsets[i] : offsets[i + 1]]
+            s.step(dt, targets, losses[i], now)
+            if not s.active and s in self.sessions:
+                self.sessions.remove(s)
+
+    # -- demand caps -----------------------------------------------------------
+
+    def _demand_caps(
+        self, sessions: list[TransferSession], offsets: np.ndarray, total: int
+    ) -> np.ndarray:
+        """Per-worker unconstrained rate caps (bps)."""
+        # Process counts per host: each worker is one process on the
+        # source and one on the destination.
+        procs: dict[int, int] = {}
+        for s in sessions:
+            for host in (s.source, s.destination):
+                procs[id(host)] = procs.get(id(host), 0) + s.rates.size
+
+        caps = np.zeros(total)
+        for i, s in enumerate(sessions):
+            eff = min(
+                s.source.cpu.efficiency(procs[id(s.source)]),
+                s.destination.cpu.efficiency(procs[id(s.destination)]),
+            )
+            per_worker = min(
+                s.params.parallelism * s.tcp.stream_cap(s.path.rtt),
+                s.source.storage.per_process_read_bps * eff,
+                s.destination.storage.per_process_write_bps * eff,
+            )
+            sl = slice(offsets[i], offsets[i + 1])
+            # Workers holding a file keep their allocation warm even
+            # while in a short inter-file gap (data-channel caching);
+            # workers with no file left demand nothing.
+            caps[sl] = np.where(s.has_file, per_worker, 0.0)
+        return caps
+
+    # -- resource construction ----------------------------------------------------
+
+    def _build_resources(
+        self, sessions: list[TransferSession], offsets: np.ndarray, total: int
+    ) -> list[_Resource]:
+        resources: list[_Resource] = []
+
+        # Storage arrays (read side grouped by source storage object,
+        # write side by destination storage object).
+        read_groups: dict[int, list[int]] = {}
+        write_groups: dict[int, list[int]] = {}
+        read_fs: dict[int, object] = {}
+        write_fs: dict[int, object] = {}
+        send_nic_groups: dict[int, list[int]] = {}
+        recv_nic_groups: dict[int, list[int]] = {}
+        nic_of: dict[int, object] = {}
+        link_groups: dict[int, list[int]] = {}
+        link_streams: dict[int, list[int]] = {}
+        link_of: dict[int, Link] = {}
+
+        link_weights: dict[int, list[float]] = {}
+
+        for i, s in enumerate(sessions):
+            idx = list(range(offsets[i], offsets[i + 1]))
+            key = id(s.source.storage)
+            read_groups.setdefault(key, []).extend(idx)
+            read_fs[key] = s.source.storage
+            key = id(s.destination.storage)
+            write_groups.setdefault(key, []).extend(idx)
+            write_fs[key] = s.destination.storage
+            key = id(s.source.nic)
+            send_nic_groups.setdefault(key, []).extend(idx)
+            nic_of[key] = s.source.nic
+            key = id(s.destination.nic)
+            recv_nic_groups.setdefault(key, []).extend(idx)
+            nic_of[key] = s.destination.nic
+            for link in s.path:
+                key = id(link)
+                link_groups.setdefault(key, []).extend(idx)
+                link_streams.setdefault(key, []).extend([s.params.parallelism] * len(idx))
+                link_weights.setdefault(key, []).extend([s.tcp.aggressiveness] * len(idx))
+                link_of[key] = link
+
+        for key, idx in read_groups.items():
+            fs = read_fs[key]
+            resources.append(
+                _Resource(f"read:{fs.name}", np.array(idx), fs.allocate_read)
+            )
+        for key, idx in write_groups.items():
+            fs = write_fs[key]
+            resources.append(
+                _Resource(f"write:{fs.name}", np.array(idx), fs.allocate_write)
+            )
+        for key, idx in send_nic_groups.items():
+            nic = nic_of[key]
+            resources.append(_Resource(f"nic-tx:{nic.name}", np.array(idx), nic.allocate))
+        for key, idx in recv_nic_groups.items():
+            nic = nic_of[key]
+            resources.append(_Resource(f"nic-rx:{nic.name}", np.array(idx), nic.allocate))
+        for key, idx in link_groups.items():
+            link = link_of[key]
+            streams = np.array(link_streams[key])
+            weights = np.array(link_weights[key])
+            resources.append(
+                _Resource(
+                    f"link:{link.name}",
+                    np.array(idx),
+                    _flow_allocator(link, streams, weights),
+                    streams=streams,
+                    link=link,
+                )
+            )
+        return resources
+
+    # -- iterative waterfilling -----------------------------------------------------
+
+    def _waterfill(
+        self, demand_cap: np.ndarray, resources: list[_Resource], total: int
+    ) -> np.ndarray:
+        """Joint allocation: each round every resource re-allocates with
+        demands clamped by the other resources' last grants."""
+        n_res = len(resources)
+        # grants[r, w] = resource r's last allocation to worker w
+        grants = np.full((n_res, total), np.inf)
+        for _ in range(_WATERFILL_ROUNDS):
+            for r, res in enumerate(resources):
+                others = np.delete(grants[:, res.members], r, axis=0)
+                clamp = others.min(axis=0) if others.size else np.full(res.members.size, np.inf)
+                demands = np.minimum(demand_cap[res.members], clamp)
+                alloc = res.allocate(demands)
+                grants[r, res.members] = alloc
+                res.last_alloc = alloc
+        final = np.minimum(demand_cap, grants.min(axis=0))
+        return np.where(np.isfinite(final), final, demand_cap)
+
+    # -- loss -----------------------------------------------------------------------
+
+    def _session_losses(
+        self,
+        sessions: list[TransferSession],
+        offsets: np.ndarray,
+        resources: list[_Resource],
+        final: np.ndarray,
+    ) -> list[float]:
+        """Per-session path loss: independent loss at each traversed link."""
+        link_loss: dict[int, float] = {}
+        for res in resources:
+            if res.link is None:
+                continue
+            carried = float(final[res.members].sum())
+            n_flows = int(res.streams.sum()) if res.streams is not None else res.members.size
+            # Use the RTT of the longest path through this link — loss is a
+            # property of the shared queue, approximated with one RTT.
+            rtt = max(
+                (s.path.rtt for s in sessions if res.link in s.path.links), default=0.0
+            )
+            link_loss[id(res.link)] = res.link.loss_rate(carried, n_flows, rtt)
+
+        losses = []
+        for s in sessions:
+            survive = 1.0
+            for link in s.path:
+                survive *= 1.0 - link_loss.get(id(link), 0.0)
+            losses.append(1.0 - survive)
+        return losses
+
+
+def _flow_allocator(link: Link, streams: np.ndarray, weights: np.ndarray | None = None):
+    """Build an allocator that arbitrates at *flow* granularity.
+
+    A worker with parallelism ``p`` presents ``p`` equal flows, so at a
+    saturated link a session's share is proportional to its total stream
+    count — the mechanism behind both the benefit and the aggression of
+    high concurrency/parallelism.
+
+    ``weights`` carries per-worker transport aggressiveness: loss-based
+    TCP flows weigh 1.0; a BBR-flavoured transport (the paper's future
+    work, modelled as less loss-deferential) claims proportionally more
+    of a saturated link.
+    """
+    uniform = weights is None or np.all(weights == weights[0] if weights.size else True)
+
+    def allocate(demands: np.ndarray) -> np.ndarray:
+        flow_demands = np.repeat(demands / streams, streams)
+        if uniform:
+            flow_alloc = link.allocate(flow_demands)
+        else:
+            flow_weights = np.repeat(weights, streams)
+            flow_alloc = weighted_max_min_fair_share(
+                flow_demands, flow_weights, link.capacity
+            )
+        # Sum each worker's flows back together.
+        boundaries = np.concatenate([[0], np.cumsum(streams)[:-1]])
+        return np.add.reduceat(flow_alloc, boundaries) if flow_alloc.size else flow_alloc
+
+    return allocate

@@ -1,0 +1,125 @@
+"""Throughput and loss measurement.
+
+Falcon "uses a separate thread to gather and process performance
+metrics" (§3.2).  In the simulator the analogue is a monitor that
+accumulates what the session actually moved during the current sample
+interval and hands the agent one :class:`IntervalSample` per decision.
+
+Measurement noise is applied *here*, not in the fluid model: the
+simulated ground truth stays exact while agents see jittered samples —
+the same separation a real system has between what the network did and
+what ``/proc`` counters say it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """What an agent observes about one sample interval.
+
+    Attributes
+    ----------
+    duration:
+        Interval length, seconds.
+    throughput_bps:
+        Aggregate goodput of the session over the interval.
+    loss_rate:
+        Fraction of sent bytes lost (retransmitted).
+    concurrency / parallelism / pipelining:
+        Parameter values in force during the interval.
+    """
+
+    duration: float
+    throughput_bps: float
+    loss_rate: float
+    concurrency: int
+    parallelism: int = 1
+    pipelining: int = 1
+
+    @property
+    def per_worker_bps(self) -> float:
+        """Average per-worker throughput (the paper's ``t_i``)."""
+        if self.concurrency <= 0:
+            return 0.0
+        return self.throughput_bps / self.concurrency
+
+
+class ThroughputMonitor:
+    """Accumulates transfer progress between agent decisions.
+
+    Per-step contributions are kept individually so :meth:`take` can
+    discard the head of the interval: right after a setting change the
+    new workers are still forking processes and ramping TCP windows, so
+    the earliest readings under-report what the setting can do.  The
+    real Falcon runs each sample transfer "for a sufficient amount of
+    time" before capturing metrics; ``tail_fraction`` is the simulator
+    analogue.
+    """
+
+    def __init__(self, tail_fraction: float = 0.6) -> None:
+        if not 0 < tail_fraction <= 1:
+            raise ValueError("tail_fraction must be in (0, 1]")
+        self.tail_fraction = tail_fraction
+        self._steps: list[tuple[float, float, float, float]] = []
+        self._elapsed = 0.0
+
+    def record(self, good_bytes: float, sent_bytes: float, lost_bytes: float, dt: float) -> None:
+        """Add one fluid step's contribution."""
+        self._steps.append((good_bytes, sent_bytes, lost_bytes, dt))
+        self._elapsed += dt
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds accumulated since the last :meth:`take`."""
+        return self._elapsed
+
+    def _tail_totals(self) -> tuple[float, float, float, float]:
+        """Sum (good, sent, lost, duration) over the trailing fraction."""
+        target = self._elapsed * self.tail_fraction
+        good = sent = lost = duration = 0.0
+        for g, s, l, dt in reversed(self._steps):
+            good += g
+            sent += s
+            lost += l
+            duration += dt
+            if duration >= target:
+                break
+        return good, sent, lost, duration
+
+    def take(
+        self,
+        concurrency: int,
+        parallelism: int = 1,
+        pipelining: int = 1,
+        rng: np.random.Generator | None = None,
+        jitter: float = 0.0,
+    ) -> IntervalSample:
+        """Return the interval's sample and reset the accumulator.
+
+        ``jitter`` is the stddev of multiplicative Gaussian noise on the
+        measured throughput (and, at half strength, on measured loss —
+        loss counters are coarser but less volatile than rate
+        estimates).
+        """
+        good, sent, lost, duration = self._tail_totals()
+        full_duration = self._elapsed
+        throughput = good * 8.0 / duration if duration > 0 else 0.0
+        loss = lost / sent if sent > 0 else 0.0
+        if rng is not None and jitter > 0:
+            throughput *= max(0.0, 1.0 + rng.normal(0.0, jitter))
+            loss *= max(0.0, 1.0 + rng.normal(0.0, jitter * 0.5))
+        self._steps.clear()
+        self._elapsed = 0.0
+        return IntervalSample(
+            duration=full_duration,
+            throughput_bps=float(throughput),
+            loss_rate=float(min(1.0, loss)),
+            concurrency=concurrency,
+            parallelism=parallelism,
+            pipelining=pipelining,
+        )

@@ -1,0 +1,291 @@
+"""A transfer session (one "transfer task" in the paper's vocabulary).
+
+A session moves one dataset from a source DTN to a destination DTN over
+a path, using:
+
+* ``concurrency`` — number of worker processes, each moving one file at
+  a time (file-level parallelism: concurrent I/O *and* network flows);
+* ``parallelism`` — TCP streams per worker (network-only parallelism);
+* ``pipelining`` — control-channel commands in flight, which amortises
+  the per-file round trips that dominate lots-of-small-files transfers.
+
+Worker lifecycle matches GridFTP semantics: raising concurrency spawns
+processes (paying a startup delay of process creation plus connection
+establishment — the paper's footnote 2); lowering it tears processes
+down, and their in-progress files return to the queue with progress
+kept (restartable transfers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hosts.dtn import DataTransferNode
+from repro.network.path import Path
+from repro.network.tcp import CUBIC, TcpModel
+from repro.transfer.dataset import FileQueue
+from repro.transfer.metrics import ThroughputMonitor
+
+#: Process fork + data-channel establishment overhead, seconds.
+WORKER_SPAWN_OVERHEAD = 0.3
+
+#: Control-channel round trips per file without pipelining (STOR/RETR
+#: command plus acknowledgement).
+CONTROL_RTTS_PER_FILE = 2.0
+
+
+@dataclass(frozen=True)
+class TransferParams:
+    """The tunable application-layer parameters (paper §1, §4.4)."""
+
+    concurrency: int = 1
+    parallelism: int = 1
+    pipelining: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("concurrency", "parallelism", "pipelining"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                raise ValueError(f"{name} must be an integer >= 1, got {value!r}")
+
+    def with_(self, **kwargs) -> "TransferParams":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def total_streams(self) -> int:
+        """Network connections created: ``concurrency * parallelism``."""
+        return self.concurrency * self.parallelism
+
+
+class TransferSession:
+    """One transfer task and its worker pool.
+
+    Parameters
+    ----------
+    name:
+        Label used in traces and reports.
+    source, destination:
+        End hosts.
+    path:
+        Network path from source to destination.
+    queue:
+        File queue to consume (see :meth:`Dataset.queue`).
+    tcp:
+        Transport model for this session's streams.
+    params:
+        Initial parameter values.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: DataTransferNode,
+        destination: DataTransferNode,
+        path: Path,
+        queue: FileQueue,
+        tcp: TcpModel = CUBIC,
+        params: TransferParams = TransferParams(),
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.destination = destination
+        self.path = path
+        self.queue = queue
+        self.tcp = tcp
+        self.params = params
+        self.monitor = ThroughputMonitor()
+
+        # Per-worker state (parallel arrays).
+        self.rates = np.zeros(0)  # current send rate, bps
+        self.file_size = np.zeros(0)  # bytes of current file (0 = no file)
+        self.file_done = np.zeros(0)  # bytes completed of current file
+        self.gap_left = np.zeros(0)  # seconds of pause before sending resumes
+        self.has_file = np.zeros(0, dtype=bool)
+
+        self.total_good_bytes = 0.0
+        self.total_lost_bytes = 0.0
+        self.files_completed = 0
+        self.process_seconds = 0.0
+        self.current_loss = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.on_complete: Optional[Callable[["TransferSession"], None]] = None
+
+        self._resize_workers(params.concurrency)
+
+    # -- parameter control ---------------------------------------------------
+
+    @property
+    def concurrency(self) -> int:
+        """Current worker count."""
+        return self.params.concurrency
+
+    @property
+    def parallelism(self) -> int:
+        """Current streams per worker."""
+        return self.params.parallelism
+
+    @property
+    def pipelining(self) -> int:
+        """Current pipelining depth."""
+        return self.params.pipelining
+
+    def set_params(self, params: TransferParams) -> None:
+        """Apply a new parameter vector (spawning/dropping workers)."""
+        if params.concurrency != self.params.concurrency:
+            self._resize_workers(params.concurrency)
+        self.params = params
+
+    def set_concurrency(self, n: int) -> None:
+        """Convenience: change only the worker count."""
+        self.set_params(self.params.with_(concurrency=int(n)))
+
+    def _resize_workers(self, target: int) -> None:
+        current = self.rates.size
+        if target > current:
+            extra = target - current
+            self.rates = np.concatenate([self.rates, np.full(extra, self.tcp.initial_rate)])
+            self.file_size = np.concatenate([self.file_size, np.zeros(extra)])
+            self.file_done = np.concatenate([self.file_done, np.zeros(extra)])
+            startup = WORKER_SPAWN_OVERHEAD + CONTROL_RTTS_PER_FILE * self.path.rtt
+            self.gap_left = np.concatenate([self.gap_left, np.full(extra, startup)])
+            self.has_file = np.concatenate([self.has_file, np.zeros(extra, dtype=bool)])
+            self.assign_files()
+        elif target < current:
+            for w in range(target, current):
+                if self.has_file[w] and self.file_done[w] < self.file_size[w]:
+                    self.queue.push_back(float(self.file_size[w]), float(self.file_done[w]))
+            self.rates = self.rates[:target]
+            self.file_size = self.file_size[:target]
+            self.file_done = self.file_done[:target]
+            self.gap_left = self.gap_left[:target]
+            self.has_file = self.has_file[:target]
+
+    # -- file management -----------------------------------------------------
+
+    def assign_files(self) -> None:
+        """Hand queued files to idle workers."""
+        for w in np.flatnonzero(~self.has_file):
+            item = self.queue.pop()
+            if item is None:
+                break
+            self.file_size[w], self.file_done[w] = item
+            self.has_file[w] = True
+
+    def per_file_gap(self) -> float:
+        """Pause between consecutive files of one worker.
+
+        Control-channel round trips are amortised by pipelining; file
+        open/create latency at both file systems is not.
+        """
+        control = CONTROL_RTTS_PER_FILE * self.path.rtt / self.params.pipelining
+        return control + self.source.storage.open_latency + self.destination.storage.open_latency
+
+    # -- status ---------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while the session still has work."""
+        return self.finished_at is None
+
+    @property
+    def instantaneous_rate(self) -> float:
+        """Sum of current worker send rates, bps."""
+        return float(self.rates.sum())
+
+    def sending_mask(self) -> np.ndarray:
+        """Workers currently transferring (have a file and no gap)."""
+        return self.has_file & (self.gap_left <= 0.0)
+
+    # -- fluid step ------------------------------------------------------------
+
+    def step(self, dt: float, targets: np.ndarray, loss_rate: float, now: float) -> None:
+        """Advance worker state by ``dt`` given allocated rate targets.
+
+        Parameters
+        ----------
+        targets:
+            Per-worker allocated equilibrium rates from the executor.
+        loss_rate:
+            Packet-loss fraction on this session's path this step.
+        now:
+            Simulation time at the *start* of the step.
+        """
+        self.current_loss = loss_rate
+        self.rates = self.tcp.advance_rates(self.rates, targets, self.path.rtt, dt)
+
+        # Consume gaps; remaining time per worker is what's left of dt.
+        time_left = np.maximum(0.0, dt - self.gap_left)
+        self.gap_left = np.maximum(0.0, self.gap_left - dt)
+
+        goodput_factor = 1.0 - loss_rate
+        good_rate_Bps = self.rates * goodput_factor / 8.0
+
+        good_total = 0.0
+        sent_total = 0.0
+        for w in range(self.rates.size):
+            if not self.has_file[w] or time_left[w] <= 0.0:
+                continue
+            good, sent = self._advance_worker(w, time_left[w], good_rate_Bps[w], goodput_factor)
+            good_total += good
+            sent_total += sent
+
+        lost_total = sent_total - good_total
+        self.monitor.record(good_total, sent_total, lost_total, dt)
+        self.total_good_bytes += good_total
+        self.total_lost_bytes += lost_total
+        # Overhead accounting: every live worker is a process on both
+        # end hosts for the duration of the step (the resource-cost
+        # side of the paper's "minimal overhead" claim).
+        self.process_seconds += self.rates.size * dt
+
+        self.assign_files()
+        if self.queue.exhausted and not self.has_file.any() and self.finished_at is None:
+            self.finished_at = now + dt
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    def _advance_worker(
+        self, w: int, time_left: float, good_rate_Bps: float, goodput_factor: float
+    ) -> tuple[float, float]:
+        """Move one worker forward, cascading through file completions.
+
+        Returns ``(good_bytes, sent_bytes)`` moved during the step.
+        """
+        if good_rate_Bps <= 1e-9:
+            return 0.0, 0.0
+        good = 0.0
+        gap = self.per_file_gap()
+        while time_left > 1e-12 and self.has_file[w]:
+            need = self.file_size[w] - self.file_done[w]
+            finish_time = need / good_rate_Bps
+            if finish_time <= time_left:
+                good += need
+                self.file_done[w] = self.file_size[w]
+                self.files_completed += 1
+                time_left -= finish_time
+                item = self.queue.pop()
+                if item is None:
+                    self.has_file[w] = False
+                    self.file_size[w] = 0.0
+                    self.file_done[w] = 0.0
+                    break
+                self.file_size[w], self.file_done[w] = item
+                # The inter-file pause: spend it from this step's budget,
+                # carry any remainder into gap_left for future steps.
+                if gap >= time_left:
+                    self.gap_left[w] += gap - time_left
+                    time_left = 0.0
+                else:
+                    time_left -= gap
+            else:
+                moved = good_rate_Bps * time_left
+                self.file_done[w] += moved
+                good += moved
+                time_left = 0.0
+        sent = good / goodput_factor if goodput_factor > 0 else good
+        return good, sent

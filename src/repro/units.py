@@ -1,0 +1,168 @@
+"""Unit helpers for rates, sizes, and times.
+
+All internal simulation quantities use SI base units:
+
+* data sizes in **bytes**
+* data rates in **bits per second** (bps) — matching how the paper quotes
+  throughput (Gbps) — with byte-rate helpers where I/O math is natural
+* time in **seconds**
+
+The constructors below exist so that configuration code reads like the
+paper ("40 Gbps link", "1 GiB files", "30 ms RTT") instead of raw
+exponents.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Data sizes (bytes).  Decimal (KB/MB/GB) and binary (KiB/MiB/GiB) forms.
+# ---------------------------------------------------------------------------
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+TiB = 2**40
+
+
+def kilobytes(x: float) -> float:
+    """Size in bytes of ``x`` decimal kilobytes."""
+    return x * KB
+
+
+def megabytes(x: float) -> float:
+    """Size in bytes of ``x`` decimal megabytes."""
+    return x * MB
+
+
+def gigabytes(x: float) -> float:
+    """Size in bytes of ``x`` decimal gigabytes."""
+    return x * GB
+
+
+def kibibytes(x: float) -> float:
+    """Size in bytes of ``x`` binary kibibytes."""
+    return x * KiB
+
+
+def mebibytes(x: float) -> float:
+    """Size in bytes of ``x`` binary mebibytes."""
+    return x * MiB
+
+
+def gibibytes(x: float) -> float:
+    """Size in bytes of ``x`` binary gibibytes."""
+    return x * GiB
+
+
+# ---------------------------------------------------------------------------
+# Data rates (bits per second).
+# ---------------------------------------------------------------------------
+
+BIT = 1
+Kbps = 10**3
+Mbps = 10**6
+Gbps = 10**9
+
+
+def kbps(x: float) -> float:
+    """Rate in bps of ``x`` kilobits per second."""
+    return x * Kbps
+
+
+def mbps(x: float) -> float:
+    """Rate in bps of ``x`` megabits per second."""
+    return x * Mbps
+
+
+def gbps(x: float) -> float:
+    """Rate in bps of ``x`` gigabits per second."""
+    return x * Gbps
+
+
+def bps_to_gbps(rate_bps: float) -> float:
+    """Convert a bps rate to Gbps (for reporting)."""
+    return rate_bps / Gbps
+
+
+def bps_to_mbps(rate_bps: float) -> float:
+    """Convert a bps rate to Mbps (for reporting)."""
+    return rate_bps / Mbps
+
+
+def bytes_per_second(rate_bps: float) -> float:
+    """Byte rate equivalent of a bit rate."""
+    return rate_bps / 8.0
+
+
+def bits_per_second(rate_Bps: float) -> float:
+    """Bit rate equivalent of a byte rate."""
+    return rate_Bps * 8.0
+
+
+# ---------------------------------------------------------------------------
+# Time (seconds).
+# ---------------------------------------------------------------------------
+
+
+def milliseconds(x: float) -> float:
+    """Seconds in ``x`` milliseconds."""
+    return x * 1e-3
+
+
+def microseconds(x: float) -> float:
+    """Seconds in ``x`` microseconds."""
+    return x * 1e-6
+
+
+def minutes(x: float) -> float:
+    """Seconds in ``x`` minutes."""
+    return x * 60.0
+
+
+def hours(x: float) -> float:
+    """Seconds in ``x`` hours."""
+    return x * 3600.0
+
+
+# ---------------------------------------------------------------------------
+# Formatting helpers for report/bench output.
+# ---------------------------------------------------------------------------
+
+_RATE_STEPS = ((Gbps, "Gbps"), (Mbps, "Mbps"), (Kbps, "Kbps"))
+_SIZE_STEPS = ((TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB"))
+
+
+def format_rate(rate_bps: float, precision: int = 2) -> str:
+    """Human-readable bit rate, e.g. ``format_rate(2.5e9) == '2.50 Gbps'``."""
+    for step, suffix in _RATE_STEPS:
+        if abs(rate_bps) >= step:
+            return f"{rate_bps / step:.{precision}f} {suffix}"
+    return f"{rate_bps:.{precision}f} bps"
+
+
+def format_size(size_bytes: float, precision: int = 2) -> str:
+    """Human-readable byte size, e.g. ``format_size(2**30) == '1.00 GiB'``."""
+    for step, suffix in _SIZE_STEPS:
+        if abs(size_bytes) >= step:
+            return f"{size_bytes / step:.{precision}f} {suffix}"
+    return f"{size_bytes:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``format_duration(90) == '1m30s'``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    m, s = divmod(seconds, 60.0)
+    if m < 60:
+        return f"{int(m)}m{s:.0f}s"
+    h, m = divmod(m, 60.0)
+    return f"{int(h)}h{int(m)}m{s:.0f}s"

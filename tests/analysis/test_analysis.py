@@ -1,0 +1,132 @@
+"""Fairness, convergence, table, and trace tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.convergence import (
+    convergence_time,
+    steady_state,
+    time_to_fraction_of_max,
+)
+from repro.analysis.fairness import jain_index, share_ratio
+from repro.analysis.tables import format_table
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_index(np.array([5.0, 5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_total_unfairness(self):
+        assert jain_index(np.array([10.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index(np.array([])) == 1.0
+        assert jain_index(np.zeros(3)) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            jain_index(np.array([-1.0, 1.0]))
+
+    @given(
+        x=arrays(
+            dtype=float,
+            shape=st.integers(min_value=1, max_value=20),
+            elements=st.floats(min_value=0.0, max_value=1e6),
+        )
+    )
+    @settings(max_examples=100)
+    def test_bounds(self, x):
+        j = jain_index(x)
+        assert 1.0 / x.size - 1e-9 <= j <= 1.0 + 1e-9
+
+    @given(
+        x=arrays(
+            dtype=float,
+            shape=st.integers(min_value=1, max_value=20),
+            elements=st.floats(min_value=0.1, max_value=1e6),
+        ),
+        scale=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=80)
+    def test_scale_invariance(self, x, scale):
+        assert jain_index(x) == pytest.approx(jain_index(x * scale), rel=1e-6)
+
+
+class TestShareRatio:
+    def test_equal(self):
+        assert share_ratio(np.array([3.0, 3.0])) == pytest.approx(1.0)
+
+    def test_ratio(self):
+        assert share_ratio(np.array([2.0, 6.0])) == pytest.approx(3.0)
+
+    def test_zero_share_is_inf(self):
+        assert share_ratio(np.array([0.0, 1.0])) == float("inf")
+
+    def test_all_zero_is_one(self):
+        assert share_ratio(np.zeros(2)) == 1.0
+
+
+class TestSteadyState:
+    def test_tail_statistics(self):
+        v = np.concatenate([np.zeros(70), np.full(30, 10.0)])
+        mean, std = steady_state(v, tail_fraction=0.3)
+        assert mean == pytest.approx(10.0)
+        assert std == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert steady_state(np.array([])) == (0.0, 0.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            steady_state(np.array([1.0]), tail_fraction=0.0)
+
+
+class TestConvergenceTime:
+    def test_detects_settling_point(self):
+        t = np.arange(20, dtype=float)
+        v = np.concatenate([np.linspace(0, 10, 10), np.full(10, 10.0)])
+        ct = convergence_time(t, v, target=10.0, tolerance=0.05)
+        assert 7.0 <= ct <= 11.0
+
+    def test_never_converges(self):
+        t = np.arange(10, dtype=float)
+        v = np.array([0, 100, 0, 100, 0, 100, 0, 100, 0, 100], dtype=float)
+        assert convergence_time(t, v, target=50.0, tolerance=0.05) == float("inf")
+
+    def test_requires_hold(self):
+        t = np.arange(10, dtype=float)
+        # A single lucky spike at t=1 must not count.
+        v = np.array([0, 10, 0, 0, 0, 10, 10, 10, 10, 10], dtype=float)
+        ct = convergence_time(t, v, target=10.0, tolerance=0.1, hold=3)
+        assert ct >= 5.0
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            convergence_time(np.arange(3, dtype=float), np.zeros(4))
+
+    def test_time_to_fraction(self):
+        t = np.arange(5, dtype=float)
+        v = np.array([1.0, 2.0, 5.0, 9.0, 10.0])
+        assert time_to_fraction_of_max(t, v, 0.85) == pytest.approx(3.0)
+
+    def test_time_to_fraction_empty(self):
+        assert time_to_fraction_of_max(np.array([]), np.array([])) == float("inf")
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["A", "Boo"], [("x", 1), ("longer", 22)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+        assert "longer" in lines[3]
+
+    def test_column_widths_consistent(self):
+        out = format_table(["col"], [("a",), ("bbb",)])
+        lines = out.splitlines()
+        assert len(set(len(line) for line in lines if line.strip())) <= 2

@@ -1,0 +1,65 @@
+"""ASCII chart tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_chart import _downsample, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_ramp_is_monotone(self):
+        s = sparkline(np.linspace(0, 1, 8))
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_downsampled_to_width(self):
+        s = sparkline(np.sin(np.linspace(0, 10, 1000)), width=40)
+        assert len(s) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart({}) == ""
+
+    def test_contains_legend_and_axis(self):
+        chart = line_chart({"gd": [1, 2, 3, 4]}, height=5, width=20, y_label="Gbps")
+        assert "*=gd" in chart
+        assert "[Gbps]" in chart
+        assert "4" in chart  # max annotation
+
+    def test_two_series_distinct_markers(self):
+        chart = line_chart({"a": [1, 1, 1], "b": [2, 2, 2]}, height=4, width=10)
+        assert "*" in chart and "+" in chart
+
+    def test_row_count(self):
+        chart = line_chart({"x": list(range(10))}, height=7, width=30)
+        # height rows + axis line + legend line.
+        assert len(chart.splitlines()) == 9
+
+    def test_extremes_at_edges(self):
+        chart = line_chart({"x": [0, 10]}, height=5, width=2)
+        lines = chart.splitlines()
+        assert lines[0].rstrip().endswith("*")  # max on the top row
+        assert "*" in lines[4]  # min on the bottom row
+
+
+class TestDownsample:
+    def test_mean_preserved(self):
+        v = np.ones(100)
+        out = _downsample(v, 10)
+        assert np.allclose(out, 1.0)
+        assert out.size == 10
+
+    def test_passthrough_when_short(self):
+        v = np.arange(5.0)
+        assert np.array_equal(_downsample(v, 10), v)

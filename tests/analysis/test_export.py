@@ -1,0 +1,118 @@
+"""Result-export tests."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    records_to_csv,
+    rows_to_csv,
+    to_json,
+    to_plain,
+    write_csv,
+    write_json,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Inner:
+    value: float
+    label: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Outer:
+    name: str
+    inner: Inner
+    series: np.ndarray
+    table: dict
+
+
+class TestToPlain:
+    def test_dataclass_to_mapping(self):
+        plain = to_plain(Inner(value=1.5, label="x"))
+        assert plain == {"value": 1.5, "label": "x"}
+
+    def test_nested(self):
+        outer = Outer(
+            name="o",
+            inner=Inner(2.0, "y"),
+            series=np.array([1.0, 2.0]),
+            table={("a", "b"): 3},
+        )
+        plain = to_plain(outer)
+        assert plain["inner"]["value"] == 2.0
+        assert plain["series"] == [1.0, 2.0]
+        assert plain["table"] == {"a/b": 3}
+
+    def test_numpy_scalars(self):
+        assert to_plain(np.float64(1.25)) == 1.25
+        assert to_plain(np.int64(7)) == 7
+        assert isinstance(to_plain(np.int64(7)), int)
+
+    def test_non_finite(self):
+        assert to_plain(float("inf")) == "inf"
+        assert to_plain(float("-inf")) == "-inf"
+        assert to_plain(float("nan")) is None
+
+    def test_tuple_becomes_list(self):
+        assert to_plain((1, 2)) == [1, 2]
+
+
+class TestJson:
+    def test_round_trips(self):
+        outer = Outer("o", Inner(1.0, "z"), np.arange(3.0), {"k": 1})
+        parsed = json.loads(to_json(outer))
+        assert parsed["name"] == "o"
+        assert parsed["series"] == [0.0, 1.0, 2.0]
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "result.json"
+        write_json(Inner(3.0, "file"), str(path))
+        assert json.loads(path.read_text())["value"] == 3.0
+
+    def test_experiment_result_serialises(self):
+        """The real thing: a figure result goes straight to JSON."""
+        from repro.experiments import table1_testbeds
+
+        parsed = json.loads(to_json(table1_testbeds.run()))
+        assert len(parsed["rows"]) == 4
+
+
+class TestCsv:
+    def test_rows_to_csv(self):
+        text = rows_to_csv(["a", "b"], [(1, 2), (3, 4)])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_records_to_csv(self):
+        records = [Inner(1.0, "x"), Inner(2.0, "y")]
+        text = records_to_csv(records)
+        lines = text.strip().splitlines()
+        assert lines[0] == "value,label"
+        assert lines[2] == "2.0,y"
+
+    def test_records_validation(self):
+        with pytest.raises(ValueError):
+            records_to_csv([])
+        with pytest.raises(TypeError):
+            records_to_csv([{"not": "dataclass"}])
+
+    def test_nested_fields_json_encoded(self):
+        @dataclasses.dataclass
+        class WithDict:
+            name: str
+            data: dict
+
+        text = records_to_csv([WithDict("n", {"k": 1})])
+        assert '""k"": 1' in text or '"k": 1' in text
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv([Inner(1.0, "x")], str(path))
+        assert path.read_text().startswith("value,label")

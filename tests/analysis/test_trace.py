@@ -1,0 +1,117 @@
+"""Trace recorder tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace import SessionTrace, TraceRecorder
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import emulab_fig4, stampede2_comet
+from repro.transfer.dataset import small_dataset, uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams
+from repro.units import GiB, Mbps, bps_to_gbps
+
+
+class TestSessionTrace:
+    def test_window(self):
+        trace = SessionTrace(name="t")
+        for i in range(10):
+            trace.times.append(float(i))
+            trace.throughput_bps.append(float(i) * 10)
+            trace.concurrency.append(i)
+            trace.parallelism.append(1)
+            trace.loss_rate.append(0.0)
+        w = trace.window(3.0, 6.0)
+        assert w.times == [3.0, 4.0, 5.0]
+        assert w.mean_throughput() == pytest.approx(40.0)
+
+    def test_empty_mean(self):
+        assert SessionTrace(name="t").mean_throughput() == 0.0
+
+    def test_array_accessors(self):
+        trace = SessionTrace(name="t")
+        trace.times.append(1.0)
+        trace.throughput_bps.append(5.0)
+        trace.concurrency.append(3)
+        trace.loss_rate.append(0.1)
+        assert trace.timestamps().tolist() == [1.0]
+        assert trace.throughputs().tolist() == [5.0]
+        assert trace.concurrencies().tolist() == [3.0]
+        assert trace.losses().tolist() == [0.1]
+
+
+class TestRecorder:
+    def test_samples_once_per_period(self):
+        tb = emulab_fig4()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        rec = TraceRecorder(engine, period=1.0)
+        s = tb.new_session(uniform_dataset(50), params=TransferParams(concurrency=5), repeat=True)
+        rec.watch(s)
+        net.add_session(s)
+        engine.run_for(10.5)
+        assert len(rec[s.name].times) == 10
+
+    def test_goodput_matches_monitor(self):
+        tb = emulab_fig4()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        rec = TraceRecorder(engine, period=1.0)
+        s = tb.new_session(uniform_dataset(50), params=TransferParams(concurrency=10), repeat=True)
+        rec.watch(s)
+        net.add_session(s)
+        engine.run_for(30.0)
+        monitor_rate = s.monitor.take(concurrency=10).throughput_bps
+        trace_rate = np.mean(rec[s.name].throughput_bps[10:])
+        # The monitor measures the tail of the window; compare loosely.
+        assert trace_rate == pytest.approx(monitor_rate, rel=0.15)
+
+    def test_goodput_reflects_small_file_gaps(self):
+        """The regression this guards: traces must report goodput, not
+        the sum of warm TCP windows, for gap-dominated workloads."""
+        tb = stampede2_comet()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        rec = TraceRecorder(engine, period=1.0)
+        s = tb.new_session(
+            small_dataset(total_bytes=1 * GiB, seed=0),
+            params=TransferParams(concurrency=10, pipelining=1),
+            repeat=True,
+        )
+        rec.watch(s)
+        net.add_session(s)
+        engine.run_for(30.0)
+        trace_rate = np.mean(rec[s.name].throughput_bps[10:])
+        # Workers are stalled on control RTTs most of the time; goodput
+        # is far below the 18 Gbps the warm windows would suggest.
+        assert trace_rate < 5e9
+
+    def test_duplicate_watch_rejected(self):
+        engine = SimulationEngine(dt=0.1)
+        rec = TraceRecorder(engine)
+        tb = emulab_fig4()
+        s = tb.new_session(uniform_dataset(5), repeat=True)
+        rec.watch(s)
+        with pytest.raises(ValueError):
+            rec.watch(s)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(SimulationEngine(dt=0.1), period=0.0)
+
+    def test_inactive_sessions_not_sampled(self):
+        tb = emulab_fig4()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        rec = TraceRecorder(engine, period=1.0)
+        from repro.units import MB
+
+        s = tb.new_session(uniform_dataset(2, 1 * MB), params=TransferParams(concurrency=2))
+        rec.watch(s)
+        net.add_session(s)
+        engine.run_for(60.0)
+        n_samples = len(rec[s.name].times)
+        engine.run_for(10.0)
+        assert len(rec[s.name].times) == n_samples

@@ -1,0 +1,76 @@
+"""Globus heuristic tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.globus import GlobusController, globus_params
+from repro.core.controller import attach_agent
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import GB, Gbps, KiB, MiB
+
+
+class TestHeuristic:
+    def test_small_files_get_pipelining(self):
+        params = globus_params(uniform_dataset(1000, 4 * MiB))
+        assert params.pipelining == 20
+        assert params.concurrency == 2
+
+    def test_medium_files(self):
+        params = globus_params(uniform_dataset(100, 100 * MiB))
+        assert (params.concurrency, params.parallelism, params.pipelining) == (2, 4, 5)
+
+    def test_large_files_get_parallelism(self):
+        params = globus_params(uniform_dataset(1000, 1 * GB))
+        assert params.parallelism == 8
+        assert params.pipelining == 1
+
+    def test_tiny_files(self):
+        params = globus_params(uniform_dataset(10000, 10 * KiB))
+        assert params.pipelining == 20
+
+
+class TestController:
+    def test_fixed_for_whole_transfer(self):
+        tb = hpclab()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        ds = uniform_dataset(100)
+        session = tb.new_session(ds, repeat=True)
+        net.add_session(session)
+        controller = GlobusController(session=session, dataset=ds)
+        attach_agent(engine, controller, interval=3.0)
+        engine.run_for(1.0)
+        initial = session.params
+        engine.run_for(60.0)
+        assert session.params == initial
+
+    def test_underutilises_hpclab(self):
+        """The paper's core critique: fixed settings leave capacity idle."""
+        tb = hpclab()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        ds = uniform_dataset(100)
+        session = tb.new_session(ds, repeat=True)
+        net.add_session(session)
+        controller = GlobusController(session=session, dataset=ds)
+        attach_agent(engine, controller, interval=3.0)
+        engine.run_for(60.0)
+        throughput = controller.history[-1][1]
+        assert throughput < 0.5 * tb.max_throughput()
+        assert throughput > 5 * Gbps  # but not useless either
+
+    def test_history_recorded(self):
+        tb = hpclab()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        ds = uniform_dataset(100)
+        session = tb.new_session(ds, repeat=True)
+        net.add_session(session)
+        controller = GlobusController(session=session, dataset=ds)
+        attach_agent(engine, controller, interval=3.0)
+        engine.run_for(10.0)
+        assert len(controller.history) == 3

@@ -1,0 +1,86 @@
+"""Golden Section Search baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.golden_section import INV_PHI, GoldenSectionSearch
+from repro.core.optimizer import Observation
+from repro.transfer.metrics import IntervalSample
+from repro.transfer.session import TransferParams
+from repro.units import Gbps
+
+
+def obs(n: int, utility: float) -> Observation:
+    return Observation(
+        params=TransferParams(concurrency=n),
+        utility=utility,
+        sample=IntervalSample(
+            duration=5.0, throughput_bps=max(utility, 0) * Gbps, loss_rate=0.0, concurrency=n
+        ),
+    )
+
+
+def drive(gss, utility_fn, steps=60):
+    n = gss.first_setting()
+    visits = [n]
+    for _ in range(steps):
+        n = gss.update(obs(n, utility_fn(n)))
+        visits.append(n)
+    return visits
+
+
+class TestGoldenSection:
+    def test_golden_ratio_constant(self):
+        assert INV_PHI == pytest.approx(0.618, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoldenSectionSearch(tolerance=0)
+
+    def test_first_probe_inside_bracket(self):
+        gss = GoldenSectionSearch(lo=1, hi=64)
+        assert 1 < gss.first_setting() < 64
+
+    def test_finds_unimodal_peak(self):
+        peak = 30
+        gss = GoldenSectionSearch(lo=1, hi=64)
+        drive(gss, lambda n: -abs(n - peak))
+        assert gss.converged_setting is not None
+        assert abs(gss.converged_setting - peak) <= 3
+
+    def test_logarithmic_convergence(self):
+        """Bracket of 63 collapses within ~10 shrink rounds (20 probes)."""
+        gss = GoldenSectionSearch(lo=1, hi=64)
+        n = gss.first_setting()
+        for step in range(1, 40):
+            n = gss.update(obs(n, -abs(n - 48.0)))
+            if gss.converged_setting is not None:
+                break
+        assert step <= 22
+
+    def test_frozen_after_convergence(self):
+        """The related-work critique: GSS cannot adapt once converged."""
+        gss = GoldenSectionSearch(lo=1, hi=64)
+        drive(gss, lambda n: -abs(n - 20))
+        frozen = gss.converged_setting
+        # The landscape moves; GSS does not.
+        visits = drive(gss, lambda n: -abs(n - 50), steps=10)
+        assert set(visits) == {frozen}
+
+    def test_stays_in_domain(self):
+        gss = GoldenSectionSearch(lo=4, hi=16)
+        visits = drive(gss, lambda n: float(n))
+        assert all(4 <= v <= 16 for v in visits)
+
+    def test_monotone_landscape_converges_high(self):
+        gss = GoldenSectionSearch(lo=1, hi=64)
+        drive(gss, lambda n: float(n))
+        assert gss.converged_setting >= 55
+
+    def test_reset(self):
+        gss = GoldenSectionSearch(lo=1, hi=64)
+        drive(gss, lambda n: -abs(n - 20))
+        gss.reset()
+        assert gss.converged_setting is None

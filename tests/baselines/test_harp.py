@@ -1,0 +1,128 @@
+"""HARP baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.harp import (
+    HarpController,
+    HistoricalModel,
+    choose_concurrency,
+    fit_throughput_curve,
+)
+from repro.core.controller import attach_agent
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import campus_cluster, hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import Gbps
+
+
+class TestHistoricalModel:
+    def test_10g_lan_class_uses_history(self):
+        model = HistoricalModel()
+        assert model.ceiling(10 * Gbps, rtt=1e-4) == 9.5 * Gbps
+
+    def test_10g_wan_class_lower(self):
+        model = HistoricalModel()
+        assert model.ceiling(10 * Gbps, rtt=0.04) == 5.2 * Gbps
+
+    def test_fast_network_extrapolated(self):
+        model = HistoricalModel()
+        assert model.ceiling(40 * Gbps, rtt=1e-4) == pytest.approx(0.5 * 40 * Gbps)
+        assert model.ceiling(40 * Gbps, rtt=0.06) == pytest.approx(0.35 * 40 * Gbps)
+
+    def test_ceiling_never_exceeds_capacity_in_class(self):
+        model = HistoricalModel()
+        assert model.ceiling(5 * Gbps, rtt=1e-4) <= 5 * Gbps
+
+
+class TestCurveFit:
+    def test_fits_saturating_data(self):
+        c = np.array([2.0, 4.0, 8.0])
+        t = 10e9 * c / (3.0 + c)
+        t_sat, h = fit_throughput_curve(c, t)
+        assert t_sat == pytest.approx(10e9, rel=0.15)
+        assert h == pytest.approx(3.0, rel=0.3)
+
+    def test_linear_data_extrapolates_boundedly(self):
+        c = np.array([2.0, 4.0, 8.0])
+        t = 1e9 * c  # no saturation visible
+        t_sat, _ = fit_throughput_curve(c, t)
+        assert t_sat <= 2.0 * 8e9  # bounded at 2x best observation
+
+    def test_zero_throughput(self):
+        t_sat, h = fit_throughput_curve(np.array([2.0]), np.array([0.0]))
+        assert t_sat == 0.0
+
+
+class TestChooseConcurrency:
+    def test_reaches_target(self):
+        cc = choose_concurrency(t_sat=10e9, h=3.0, ceiling_bps=8e9)
+        predicted = 10e9 * cc / (3.0 + cc)
+        assert predicted >= 0.95 * 8e9
+
+    def test_minimal(self):
+        cc = choose_concurrency(t_sat=10e9, h=3.0, ceiling_bps=8e9)
+        below = 10e9 * (cc - 1) / (3.0 + cc - 1)
+        assert below < 0.95 * 8e9
+
+    def test_unreachable_target_returns_max(self):
+        assert choose_concurrency(t_sat=1e9, h=100.0, ceiling_bps=50e9, cc_max=32) == 32
+
+    def test_zero_target(self):
+        assert choose_concurrency(t_sat=0.0, h=1.0, ceiling_bps=0.0) == 1
+
+
+def run_harp(tb, start_time=0.0, duration=150.0, rig=None):
+    if rig is None:
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+    else:
+        engine, net = rig
+    session = tb.new_session(uniform_dataset(200), repeat=True)
+    controller = HarpController(session=session)
+    if start_time == 0.0:
+        net.add_session(session)
+    else:
+        engine.schedule_at(start_time, lambda: net.add_session(session))
+    attach_agent(engine, controller, interval=tb.sample_interval, start_time=start_time)
+    if rig is None:
+        engine.run_for(duration)
+    return controller, session, (engine, net)
+
+
+class TestControllerBehaviour:
+    def test_probes_then_fixes(self):
+        controller, session, _ = run_harp(hpclab())
+        assert controller.chosen_concurrency is not None
+        probed = [cc for _, cc, _ in controller.history[:3]]
+        assert probed == list(controller.probe_ladder)
+
+    def test_setting_stable_after_probing(self):
+        controller, session, _ = run_harp(hpclab())
+        late = {cc for _, cc, _ in controller.history[4:]}
+        assert late == {controller.chosen_concurrency}
+
+    def test_underperforms_on_40g_lan(self):
+        """History trained at 10G caps HARP's ambition on HPCLab."""
+        controller, session, _ = run_harp(hpclab())
+        tail = np.mean([t for _, _, t in controller.history[-10:]])
+        assert tail < 0.8 * hpclab().max_throughput()
+
+    def test_competitive_on_10g_lan(self):
+        """Campus Cluster matches the training class: HARP does fine."""
+        controller, session, _ = run_harp(campus_cluster())
+        tail = np.mean([t for _, _, t in controller.history[-10:]])
+        assert tail > 0.85 * campus_cluster().max_throughput()
+
+    def test_late_comer_picks_higher_concurrency(self):
+        """Fig. 2b: contended probes inflate the regression's optimum."""
+        tb = hpclab()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        first, _, rig = run_harp(tb, rig=(engine, net))
+        second, _, _ = run_harp(tb, start_time=60.0, rig=rig)
+        engine.run_for(200.0)
+        assert second.chosen_concurrency > first.chosen_concurrency

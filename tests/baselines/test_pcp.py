@@ -1,0 +1,49 @@
+"""PCP baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.pcp import PcpController
+from repro.core.controller import attach_agent
+from repro.core.hill_climbing import HillClimbing
+from repro.core.utility import ThroughputUtility
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import emulab_fig4
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import Mbps
+
+
+def make_pcp(duration=400.0):
+    tb = emulab_fig4()
+    engine = SimulationEngine(dt=0.1)
+    net = FluidTransferNetwork(engine)
+    session = tb.new_session(uniform_dataset(100), repeat=True)
+    net.add_session(session)
+    controller = PcpController(session=session, rng=np.random.default_rng(0))
+    attach_agent(engine, controller, interval=5.0)
+    engine.run_for(duration)
+    return controller
+
+
+class TestPcp:
+    def test_is_hill_climbing_on_throughput(self):
+        controller = make_pcp(duration=10.0)
+        assert isinstance(controller.optimizer, HillClimbing)
+        assert isinstance(controller.utility, ThroughputUtility)
+
+    def test_finds_throughput_but_ignores_loss(self):
+        """PCP reaches high throughput but with no pressure to back off
+        past saturation — its steady concurrency sits above Falcon's."""
+        controller = make_pcp()
+        tail_cc = controller.concurrencies()[-20:]
+        tail_tp = controller.throughputs()[-20:]
+        assert tail_tp.mean() > 85 * Mbps
+        # No regret: the walk drifts past the just-enough point of 10.
+        assert tail_cc.mean() > 10.0
+
+    def test_slow_convergence(self):
+        """±1 steps: still climbing after 20 intervals from cc=1."""
+        controller = make_pcp(duration=100.0)
+        assert controller.concurrencies().max() <= 21

@@ -1,0 +1,94 @@
+"""Stochastic-approximation baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.stochastic_approx import StochasticApproximation
+from repro.core.optimizer import Observation
+from repro.transfer.metrics import IntervalSample
+from repro.transfer.session import TransferParams
+from repro.units import Gbps
+
+
+def obs(n: int, utility: float) -> Observation:
+    return Observation(
+        params=TransferParams(concurrency=n),
+        utility=utility,
+        sample=IntervalSample(
+            duration=5.0, throughput_bps=max(utility, 0) * Gbps, loss_rate=0.0, concurrency=n
+        ),
+    )
+
+
+def drive(sa, utility_fn, steps, rng=None, noise=0.0):
+    n = sa.first_setting()
+    visits = [n]
+    for _ in range(steps):
+        u = utility_fn(n)
+        if rng is not None and noise > 0:
+            u *= 1.0 + rng.normal(0, noise)
+        n = sa.update(obs(n, u))
+        visits.append(n)
+    return visits
+
+
+class TestStochasticApproximation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StochasticApproximation(a0=0.0)
+        with pytest.raises(ValueError):
+            StochasticApproximation(alpha=0.4)
+
+    def test_gain_sequence_decays(self):
+        sa = StochasticApproximation()
+        gains = []
+        for k in range(5):
+            sa._k = k
+            gains.append(sa._a_k())
+        assert gains == sorted(gains, reverse=True)
+
+    def test_probe_offset_decays_but_stays_integral(self):
+        sa = StochasticApproximation(c0=4.0, gamma=0.5)
+        sa._k = 0
+        assert sa._c_k() == 4
+        sa._k = 1000
+        assert sa._c_k() == 1
+
+    def test_climbs_toward_optimum(self):
+        sa = StochasticApproximation(lo=1, hi=64, start=4)
+        drive(sa, lambda n: min(n, 48.0) / 1.02**0, steps=120)
+        assert sa.iterate > 20
+
+    def test_converges_under_noise_but_slowly(self):
+        """The ProbData critique: asymptotically sound, practically slow."""
+        rng = np.random.default_rng(0)
+        landscape = lambda n: -((n - 40.0) ** 2)
+        fast = StochasticApproximation(lo=1, hi=64, start=4)
+        drive(fast, landscape, steps=40, rng=rng, noise=0.02)
+        mid_progress = fast.iterate
+        drive(fast, landscape, steps=160, rng=rng, noise=0.02)
+        late_progress = fast.iterate
+        # Still moving toward 40, but the marginal progress collapses.
+        assert late_progress >= mid_progress - 5
+        assert abs(late_progress - 40) < abs(4 - 40)
+
+    def test_cannot_readapt_after_gains_decay(self):
+        sa = StochasticApproximation(lo=1, hi=64, start=4)
+        drive(sa, lambda n: -abs(n - 20.0), steps=200)
+        settled = sa.iterate
+        drive(sa, lambda n: -abs(n - 50.0), steps=60)
+        # With gains ~a0/200, sixty more probes barely move the iterate.
+        assert abs(sa.iterate - settled) < 8
+
+    def test_stays_in_domain(self):
+        sa = StochasticApproximation(lo=2, hi=10, start=5)
+        visits = drive(sa, lambda n: float(n), steps=80)
+        assert all(2 <= v <= 10 for v in visits)
+
+    def test_reset(self):
+        sa = StochasticApproximation()
+        drive(sa, lambda n: float(n), steps=10)
+        sa.reset()
+        assert sa.step_count == 0

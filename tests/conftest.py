@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.transfer.executor import FluidTransferNetwork
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    """A fresh simulation engine with the default step."""
+    return SimulationEngine(dt=0.1)
+
+
+@pytest.fixture
+def network(engine: SimulationEngine) -> FluidTransferNetwork:
+    """A fluid executor bound to the fresh engine."""
+    return FluidTransferNetwork(engine)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,116 @@
+"""Falcon agent and controller-scheduling tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.agent import FalconAgent
+from repro.core.controller import attach_agent
+from repro.core.gradient_descent import GradientDescent
+from repro.core.hill_climbing import HillClimbing
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import emulab_fig4, hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import MB, Mbps
+
+
+def make_rig(tb=None, optimizer=None, dataset=None, interval=3.0):
+    tb = tb or emulab_fig4()
+    engine = SimulationEngine(dt=0.1)
+    net = FluidTransferNetwork(engine)
+    session = tb.new_session(dataset or uniform_dataset(100), repeat=dataset is None)
+    net.add_session(session)
+    agent = FalconAgent(
+        session=session,
+        optimizer=optimizer or GradientDescent(hi=32),
+        rng=np.random.default_rng(0),
+    )
+    attach_agent(engine, agent, interval=interval)
+    return engine, net, session, agent
+
+
+class TestAgentLoop:
+    def test_start_applies_first_setting(self):
+        engine, _, session, agent = make_rig(optimizer=HillClimbing(hi=32, start=5))
+        engine.run_for(0.5)
+        assert session.params.concurrency == 5
+
+    def test_decisions_once_per_interval(self):
+        engine, _, _, agent = make_rig(interval=3.0)
+        engine.run_for(30.5)
+        assert len(agent.history) == 10
+
+    def test_history_records_measurements(self):
+        engine, _, _, agent = make_rig()
+        engine.run_for(20.0)
+        record = agent.history[-1]
+        assert record.throughput_bps > 0
+        assert record.params.concurrency >= 1
+        assert np.isfinite(record.utility)
+
+    def test_setting_changes_apply_to_session(self):
+        engine, _, session, agent = make_rig()
+        engine.run_for(30.0)
+        assert session.params == agent.history[-1].next_params
+
+    def test_accessors_align(self):
+        engine, _, _, agent = make_rig()
+        engine.run_for(15.0)
+        k = len(agent.history)
+        assert agent.utilities().shape == (k,)
+        assert agent.concurrencies().shape == (k,)
+        assert agent.throughputs().shape == (k,)
+        assert agent.times().shape == (k,)
+
+    def test_decisions_stop_when_session_finishes(self):
+        # A tiny dataset completes quickly; the periodic event must stop.
+        engine, _, session, agent = make_rig(dataset=uniform_dataset(3, 1 * MB))
+        engine.run_for(60.0)
+        assert not session.active
+        decisions_at_end = len(agent.history)
+        engine.run_for(30.0)
+        assert len(agent.history) == decisions_at_end
+
+
+class TestAgentOptimisation:
+    def test_gd_agent_converges_on_emulab(self):
+        engine, _, _, agent = make_rig(interval=5.0)
+        engine.run_for(300.0)
+        tail = agent.concurrencies()[-10:]
+        assert 7 <= tail.mean() <= 13  # optimum is 10
+
+    def test_agent_near_max_throughput(self):
+        engine, _, _, agent = make_rig(interval=5.0)
+        engine.run_for(300.0)
+        tail = agent.throughputs()[-10:]
+        assert tail.mean() >= 80 * Mbps
+
+    def test_hpclab_agent(self):
+        engine, _, _, agent = make_rig(tb=hpclab(), interval=3.0)
+        engine.run_for(200.0)
+        tail = agent.concurrencies()[-10:]
+        assert 7 <= tail.mean() <= 12  # optimum is 9
+
+
+class TestAttachAgent:
+    def test_delayed_start(self):
+        tb = emulab_fig4()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        session = tb.new_session(uniform_dataset(100), repeat=True)
+        agent = FalconAgent(
+            session=session, optimizer=HillClimbing(hi=32, start=7), rng=np.random.default_rng(0)
+        )
+        engine.schedule_at(10.0, lambda: net.add_session(session))
+        attach_agent(engine, agent, interval=3.0, start_time=10.0)
+        engine.run_for(9.0)
+        assert len(agent.history) == 0
+        engine.run_for(20.0)
+        assert len(agent.history) > 0
+
+    def test_invalid_interval(self):
+        engine = SimulationEngine(dt=0.1)
+        with pytest.raises(ValueError):
+            attach_agent(engine, object(), interval=0.0)  # type: ignore[arg-type]

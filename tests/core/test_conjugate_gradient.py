@@ -1,0 +1,133 @@
+"""Conjugate-gradient multi-parameter optimizer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conjugate_gradient import ConjugateGradientOptimizer
+from repro.core.optimizer import Observation
+from repro.transfer.metrics import IntervalSample
+from repro.transfer.session import TransferParams
+from repro.units import Gbps
+
+
+def obs(params: TransferParams, utility: float) -> Observation:
+    return Observation(
+        params=params,
+        utility=utility,
+        sample=IntervalSample(
+            duration=5.0,
+            throughput_bps=max(utility, 0) * Gbps,
+            loss_rate=0.0,
+            concurrency=params.concurrency,
+            parallelism=params.parallelism,
+            pipelining=params.pipelining,
+        ),
+    )
+
+
+def drive(optimizer, utility_fn, steps=200):
+    params = optimizer.first_setting()
+    visits = [params]
+    for _ in range(steps):
+        params = optimizer.update(obs(params, utility_fn(params)))
+        visits.append(params)
+    return visits
+
+
+def landscape(params: TransferParams) -> float:
+    """Concave-ish utility peaking at (n=12, p=1, q=16)."""
+    n, p, q = params.concurrency, params.parallelism, params.pipelining
+    return (
+        -((n - 12) / 12.0) ** 2
+        - 0.5 * (p - 1) ** 2
+        - (np.log2(q) - 4.0) ** 2 / 16.0
+        + 3.0
+    )
+
+
+class TestValidation:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            ConjugateGradientOptimizer(concurrency_bounds=(0, 10))
+        with pytest.raises(ValueError):
+            ConjugateGradientOptimizer(parallelism_bounds=(5, 2))
+
+
+class TestProbePlan:
+    def test_cycle_has_six_probes(self):
+        cg = ConjugateGradientOptimizer()
+        params = cg.first_setting()
+        center_before = cg.center
+        for _ in range(5):
+            params = cg.update(obs(params, 1.0))
+        # After 6 observations the center moves (5 updates = 6th probe pending).
+        assert cg.center == center_before
+        cg.update(obs(params, 1.0))
+
+    def test_probes_vary_one_dim_at_a_time(self):
+        cg = ConjugateGradientOptimizer(
+            start=TransferParams(concurrency=10, parallelism=4, pipelining=8)
+        )
+        center = cg.center
+        probes = [cg.first_setting()]
+        params = probes[0]
+        for _ in range(5):
+            params = cg.update(obs(params, 1.0))
+            probes.append(params)
+        for probe in probes:
+            diffs = sum(
+                getattr(probe, dim) != getattr(center, dim)
+                for dim in ("concurrency", "parallelism", "pipelining")
+            )
+            assert diffs <= 1
+
+
+class TestConvergence:
+    def test_converges_to_multi_dim_optimum(self):
+        cg = ConjugateGradientOptimizer(
+            start=TransferParams(concurrency=2, parallelism=4, pipelining=2)
+        )
+        drive(cg, landscape, steps=300)
+        final = cg.center
+        assert abs(final.concurrency - 12) <= 4
+        assert final.parallelism <= 2
+        assert 8 <= final.pipelining <= 32
+
+    def test_respects_bounds(self):
+        cg = ConjugateGradientOptimizer(
+            concurrency_bounds=(1, 8),
+            parallelism_bounds=(1, 2),
+            pipelining_bounds=(1, 4),
+        )
+        visits = drive(cg, lambda p: float(p.concurrency * p.parallelism), steps=120)
+        for v in visits:
+            assert 1 <= v.concurrency <= 8
+            assert 1 <= v.parallelism <= 2
+            assert 1 <= v.pipelining <= 4
+
+    def test_slower_than_single_param_gd(self):
+        """One CG move needs 6 probes vs GD's 2 — the paper's 3x factor."""
+        cg = ConjugateGradientOptimizer()
+        params = cg.first_setting()
+        moves = 0
+        for _ in range(30):
+            before = cg.center
+            params = cg.update(obs(params, landscape(params)))
+            if cg.center != before:
+                moves += 1
+        assert moves <= 5  # at most one move per 6 observations
+
+    def test_pipelining_searched_in_log_space(self):
+        cg = ConjugateGradientOptimizer(
+            start=TransferParams(concurrency=4, parallelism=1, pipelining=8)
+        )
+        probes = [cg.first_setting()]
+        params = probes[0]
+        for _ in range(5):
+            params = cg.update(obs(params, 1.0))
+            probes.append(params)
+        qs = sorted({p.pipelining for p in probes})
+        # ±1 in log2 space around 8 -> probes at 4 and 16, not 7 and 9.
+        assert 4 in qs and 16 in qs

@@ -1,0 +1,148 @@
+"""Gradient Descent optimizer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gradient_descent import GradientDescent
+from repro.core.optimizer import Observation
+from repro.transfer.metrics import IntervalSample
+from repro.transfer.session import TransferParams
+from repro.units import Gbps
+
+
+def obs(n: int, utility: float) -> Observation:
+    return Observation(
+        params=TransferParams(concurrency=n),
+        utility=utility,
+        sample=IntervalSample(
+            duration=5.0, throughput_bps=max(utility, 0) * Gbps, loss_rate=0.0, concurrency=n
+        ),
+    )
+
+
+def drive(optimizer, utility_fn, steps=120, rng=None, noise=0.0):
+    n = optimizer.first_setting()
+    visits = [n]
+    for _ in range(steps):
+        u = utility_fn(n)
+        if rng is not None and noise > 0:
+            u *= 1.0 + rng.normal(0, noise)
+        n = optimizer.update(obs(n, u))
+        visits.append(n)
+    return visits
+
+
+def falcon_landscape(n, optimum=48, per_worker=1.0, K=1.02):
+    return min(n, optimum) * per_worker / K**n
+
+
+class TestProbing:
+    def test_first_setting_is_low_probe(self):
+        gd = GradientDescent(lo=1, hi=64, start=10, epsilon=1)
+        assert gd.first_setting() == 9
+
+    def test_alternates_low_high(self):
+        gd = GradientDescent(lo=1, hi=64, start=10, epsilon=1)
+        n0 = gd.first_setting()
+        n1 = gd.update(obs(n0, 1.0))
+        assert n1 == 11  # high probe follows the low probe
+
+    def test_adaptive_epsilon_grows_with_center(self):
+        small = GradientDescent(lo=1, hi=64, start=4)
+        large = GradientDescent(lo=1, hi=64, start=48)
+        assert small._eps() == 1
+        assert large._eps() == 3
+
+    def test_fixed_epsilon_respected(self):
+        gd = GradientDescent(lo=1, hi=64, start=48, epsilon=1)
+        assert gd.first_setting() == 47
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientDescent(epsilon=0)
+        with pytest.raises(ValueError):
+            GradientDescent(lo=5, hi=2)
+
+
+class TestConvergence:
+    def test_converges_to_distant_optimum_noiseless(self):
+        gd = GradientDescent(lo=1, hi=64, start=2)
+        visits = drive(gd, falcon_landscape, steps=60)
+        assert abs(gd.center - 48) <= 6
+
+    def test_faster_than_hill_climbing(self):
+        """GD reaches the neighbourhood of 48 in far fewer samples."""
+        gd = GradientDescent(lo=1, hi=64, start=2)
+        n = gd.first_setting()
+        for step in range(1, 100):
+            n = gd.update(obs(n, falcon_landscape(n)))
+            if gd.center >= 40:
+                break
+        assert step < 25  # vs ~47 for hill climbing
+
+    def test_converges_to_near_optimum(self):
+        gd = GradientDescent(lo=1, hi=64, start=2)
+        visits = drive(gd, lambda n: falcon_landscape(n, optimum=10), steps=60)
+        tail = visits[-10:]
+        assert 7 <= np.mean(tail) <= 13
+
+    def test_probes_bounce_around_center_at_steady_state(self):
+        gd = GradientDescent(lo=1, hi=64, start=10, epsilon=1)
+        visits = drive(gd, lambda n: falcon_landscape(n, optimum=10), steps=80)
+        tail = visits[-12:]
+        assert set(tail) <= {8, 9, 10, 11, 12}
+
+    def test_converges_under_noise(self):
+        rng = np.random.default_rng(3)
+        gd = GradientDescent(lo=1, hi=64, start=2)
+        visits = drive(gd, falcon_landscape, steps=160, rng=rng, noise=0.02)
+        assert np.mean(visits[-20:]) > 32
+
+    def test_descends_from_above(self):
+        gd = GradientDescent(lo=1, hi=64, start=60)
+        visits = drive(gd, lambda n: falcon_landscape(n, optimum=10), steps=100)
+        assert np.mean(visits[-10:]) < 20
+
+    def test_stays_in_domain(self):
+        gd = GradientDescent(lo=1, hi=16, start=2)
+        visits = drive(gd, lambda n: float(n), steps=60)
+        assert all(1 <= v <= 16 for v in visits)
+
+
+class TestTheta:
+    def test_theta_grows_on_consistent_sign(self):
+        gd = GradientDescent(lo=1, hi=64, start=2)
+        n = gd.first_setting()
+        for _ in range(8):  # 4 full probe cycles on a rising slope
+            n = gd.update(obs(n, float(n)))
+        assert gd.theta > 1.0
+
+    def test_theta_resets_on_flip(self):
+        gd = GradientDescent(lo=1, hi=64, start=10, epsilon=1)
+        # Rising cycle then falling cycle.
+        n = gd.first_setting()
+        n = gd.update(obs(n, 1.0))  # low u=1
+        n = gd.update(obs(n, 2.0))  # high u=2 -> positive gradient
+        n = gd.update(obs(n, 2.0))  # low u=2
+        n = gd.update(obs(n, 1.0))  # high u=1 -> negative gradient
+        assert gd.theta == 1.0
+
+    def test_theta_capped(self):
+        gd = GradientDescent(lo=1, hi=1024, start=2, theta_max=4.0)
+        drive(gd, lambda n: float(n), steps=60)
+        assert gd.theta <= 4.0
+
+    def test_max_step_limits_single_move(self):
+        gd = GradientDescent(lo=1, hi=1024, start=100, max_step=5.0, epsilon=1)
+        n = gd.first_setting()
+        n = gd.update(obs(n, 1.0))
+        n = gd.update(obs(n, 100.0))  # enormous gradient
+        assert abs(gd.center - 100) <= 5
+
+    def test_reset_clears_state(self):
+        gd = GradientDescent(lo=1, hi=64, start=2)
+        drive(gd, lambda n: float(n), steps=10)
+        gd.reset()
+        assert gd.theta == 1.0

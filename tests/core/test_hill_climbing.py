@@ -1,0 +1,111 @@
+"""Hill Climbing optimizer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hill_climbing import HillClimbing
+from repro.core.optimizer import Observation
+from repro.transfer.metrics import IntervalSample
+from repro.transfer.session import TransferParams
+from repro.units import Gbps
+
+
+def obs(n: int, utility: float) -> Observation:
+    return Observation(
+        params=TransferParams(concurrency=n),
+        utility=utility,
+        sample=IntervalSample(
+            duration=5.0, throughput_bps=utility * Gbps, loss_rate=0.0, concurrency=n
+        ),
+    )
+
+
+def drive(optimizer, utility_fn, steps=200):
+    """Feed the optimizer a noiseless utility landscape; return visits."""
+    n = optimizer.first_setting()
+    visits = [n]
+    for _ in range(steps):
+        n = optimizer.update(obs(n, utility_fn(n)))
+        visits.append(n)
+    return visits
+
+
+class TestBasics:
+    def test_starts_at_minimum(self):
+        assert HillClimbing(lo=1, hi=32).first_setting() == 1
+
+    def test_custom_start(self):
+        assert HillClimbing(lo=1, hi=32, start=5).first_setting() == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HillClimbing(lo=0, hi=10)
+        with pytest.raises(ValueError):
+            HillClimbing(threshold=-0.1)
+
+
+class TestClimbing:
+    def test_climbs_monotone_slope(self):
+        hc = HillClimbing(lo=1, hi=64)
+        visits = drive(hc, lambda n: float(n), steps=70)
+        assert max(visits) == 64
+
+    def test_one_step_per_interval(self):
+        hc = HillClimbing(lo=1, hi=64)
+        visits = drive(hc, lambda n: float(n), steps=30)
+        diffs = np.abs(np.diff(visits))
+        assert np.all(diffs <= 1)
+
+    def test_oscillates_around_peak(self):
+        peak = 10
+        hc = HillClimbing(lo=1, hi=64)
+        visits = drive(hc, lambda n: -abs(n - peak), steps=120)
+        tail = visits[-30:]
+        assert min(tail) >= peak - 2
+        assert max(tail) <= peak + 2
+
+    def test_reverses_on_decline(self):
+        hc = HillClimbing(lo=1, hi=64, start=20)
+        visits = drive(hc, lambda n: -float(n), steps=30)
+        assert visits[-1] < 10
+
+    def test_threshold_parks_early(self):
+        """With a 3% threshold the walker stalls where gains fade (the
+        behaviour that motivated defaulting to 0)."""
+        hc_strict = HillClimbing(lo=1, hi=64, threshold=0.03)
+        visits = drive(hc_strict, lambda n: min(n, 48) / 1.02**n, steps=150)
+        assert max(visits) < 40
+
+    def test_bounces_at_domain_edges(self):
+        hc = HillClimbing(lo=1, hi=5)
+        visits = drive(hc, lambda n: float(n), steps=40)
+        assert all(1 <= v <= 5 for v in visits)
+
+    def test_keeps_exploring_at_peak(self):
+        """The paper requires continuous search even after convergence."""
+        hc = HillClimbing(lo=1, hi=64)
+        visits = drive(hc, lambda n: -abs(n - 8), steps=100)
+        tail = visits[-20:]
+        assert len(set(tail)) >= 2  # still moving, not frozen
+
+    def test_reset(self):
+        hc = HillClimbing(lo=1, hi=64, start=3)
+        drive(hc, lambda n: float(n), steps=10)
+        hc.reset()
+        assert hc.first_setting() == 3
+
+
+class TestConvergenceSpeed:
+    def test_linear_time_to_distant_optimum(self):
+        """Reaching n* requires ~n* observations — the Fig. 7 bottleneck."""
+        hc = HillClimbing(lo=1, hi=64)
+        target = 48
+        landscape = lambda n: min(n, target) / 1.02**n
+        n = hc.first_setting()
+        for step in range(1, 200):
+            n = hc.update(obs(n, landscape(n)))
+            if n >= target:
+                break
+        assert step >= target - 5  # no shortcuts possible

@@ -1,0 +1,55 @@
+"""Optimizer base-class and Observation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gradient_descent import GradientDescent
+from repro.core.optimizer import ConcurrencyOptimizer, Observation
+from repro.transfer.metrics import IntervalSample
+from repro.transfer.session import TransferParams
+
+
+class TestDomainClamp:
+    def test_clamp_rounds(self):
+        opt = GradientDescent(lo=1, hi=10)
+        assert opt.clamp(4.4) == 4
+        assert opt.clamp(4.6) == 5
+
+    def test_clamp_bounds(self):
+        opt = GradientDescent(lo=2, hi=8)
+        assert opt.clamp(-5) == 2
+        assert opt.clamp(100) == 8
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            GradientDescent(lo=0, hi=5)
+        with pytest.raises(ValueError):
+            GradientDescent(lo=6, hi=5)
+
+
+class TestObservation:
+    def test_concurrency_accessor(self):
+        obs = Observation(
+            params=TransferParams(concurrency=7, parallelism=2),
+            utility=1.0,
+            sample=IntervalSample(
+                duration=3.0, throughput_bps=1e9, loss_rate=0.0, concurrency=7
+            ),
+        )
+        assert obs.concurrency == 7
+
+    def test_frozen(self):
+        obs = Observation(
+            params=TransferParams(),
+            utility=1.0,
+            sample=IntervalSample(duration=1.0, throughput_bps=0, loss_rate=0, concurrency=1),
+        )
+        with pytest.raises(Exception):
+            obs.utility = 2.0  # type: ignore[misc]
+
+
+class TestAbstractContract:
+    def test_cannot_instantiate_base(self):
+        with pytest.raises(TypeError):
+            ConcurrencyOptimizer(lo=1, hi=4)  # type: ignore[abstract]

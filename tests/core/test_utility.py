@@ -1,0 +1,186 @@
+"""Utility-function tests, including the §3.1 concavity proof."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.utility import (
+    LinearPenaltyUtility,
+    LossRegretUtility,
+    MultiParamUtility,
+    NonlinearPenaltyUtility,
+    ThroughputUtility,
+    concavity_limit,
+    concurrency_regret_second_derivative,
+    is_strictly_concave_at,
+    utility_curve,
+)
+from repro.transfer.metrics import IntervalSample
+from repro.units import Gbps
+
+
+def sample(n=4, total_gbps=8.0, loss=0.0, p=1, q=1):
+    return IntervalSample(
+        duration=5.0,
+        throughput_bps=total_gbps * Gbps,
+        loss_rate=loss,
+        concurrency=n,
+        parallelism=p,
+        pipelining=q,
+    )
+
+
+class TestThroughputUtility:
+    def test_equals_total_throughput(self):
+        assert ThroughputUtility()(sample(n=4, total_gbps=8.0)) == pytest.approx(8.0)
+
+    def test_blind_to_loss(self):
+        u = ThroughputUtility()
+        assert u(sample(loss=0.0)) == u(sample(loss=0.2))
+
+
+class TestLossRegret:
+    def test_no_loss_equals_throughput(self):
+        assert LossRegretUtility()(sample(total_gbps=8.0)) == pytest.approx(8.0)
+
+    def test_b10_penalty(self):
+        # 1% loss with B=10 removes 10% of the reward.
+        u = LossRegretUtility(B=10.0)
+        assert u(sample(total_gbps=8.0, loss=0.01)) == pytest.approx(8.0 * 0.9)
+
+    def test_custom_b(self):
+        u = LossRegretUtility(B=50.0)
+        assert u(sample(total_gbps=8.0, loss=0.01)) == pytest.approx(8.0 * 0.5)
+
+
+class TestLinearPenalty:
+    def test_formula(self):
+        # n=10, total 10G -> t=1; u = 10 - 0 - 10*10*0.02 = 8.
+        u = LinearPenaltyUtility(B=10.0, C=0.02)
+        assert u(sample(n=10, total_gbps=10.0)) == pytest.approx(8.0)
+
+    def test_penalty_grows_quadratically(self):
+        u = LinearPenaltyUtility(C=0.01)
+        # Same total throughput at double concurrency -> lower utility.
+        assert u(sample(n=20, total_gbps=10.0)) < u(sample(n=10, total_gbps=10.0))
+
+
+class TestNonlinearPenalty:
+    def test_formula(self):
+        u = NonlinearPenaltyUtility(B=10.0, K=1.02)
+        expected = 10.0 / 1.02**10
+        assert u(sample(n=10, total_gbps=10.0)) == pytest.approx(expected)
+
+    def test_loss_term(self):
+        u = NonlinearPenaltyUtility(B=10.0, K=1.02)
+        clean = u(sample(n=10, total_gbps=10.0, loss=0.0))
+        lossy = u(sample(n=10, total_gbps=10.0, loss=0.01))
+        assert lossy == pytest.approx(clean - 10.0 * 0.01 * 10.0)
+
+    def test_k_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            NonlinearPenaltyUtility(K=1.0)
+
+    def test_requires_2pct_gain_per_worker(self):
+        """u(n+1) > u(n) iff throughput gain beats ~K-1."""
+        u = NonlinearPenaltyUtility(K=1.02)
+        base = u(sample(n=10, total_gbps=10.0))
+        assert u(sample(n=11, total_gbps=10.0 * 1.03)) > base  # 3% gain: worth it
+        assert u(sample(n=11, total_gbps=10.0 * 1.01)) < base  # 1% gain: not worth it
+
+
+class TestMultiParam:
+    def test_p1_matches_nonlinear_reward(self):
+        mp = MultiParamUtility()
+        nl = NonlinearPenaltyUtility()
+        assert mp(sample(n=10, total_gbps=10.0)) == pytest.approx(
+            nl(sample(n=10, total_gbps=10.0))
+        )
+
+    def test_parallelism_penalised_via_total_streams(self):
+        mp = MultiParamUtility(K=1.02)
+        same_throughput_more_streams = mp(sample(n=10, total_gbps=10.0, p=4))
+        fewer_streams = mp(sample(n=10, total_gbps=10.0, p=1))
+        assert same_throughput_more_streams < fewer_streams
+
+    def test_pipelining_free(self):
+        mp = MultiParamUtility()
+        assert mp(sample(q=1)) == mp(sample(q=64))
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            MultiParamUtility(K=0.99)
+
+
+class TestConcavity:
+    def test_limit_values_match_paper(self):
+        # Paper: K=1.01 -> upper limit ~200; K=1.02 -> ~101.
+        assert concavity_limit(1.01) == pytest.approx(200.0, rel=0.01)
+        assert concavity_limit(1.02) == pytest.approx(101.0, rel=0.01)
+
+    def test_limit_requires_k_above_one(self):
+        with pytest.raises(ValueError):
+            concavity_limit(1.0)
+
+    def test_second_derivative_formula(self):
+        # f''(n) = t K^-n ln K (-2 + n ln K), Eq. 5.
+        n, t, K = 10.0, 2.0, 1.02
+        expected = t * K**-n * math.log(K) * (-2 + n * math.log(K))
+        assert concurrency_regret_second_derivative(n, t, K) == pytest.approx(expected)
+
+    @given(
+        n=st.floats(min_value=1.0, max_value=100.0),
+        k=st.floats(min_value=1.005, max_value=1.1),
+    )
+    @settings(max_examples=200)
+    def test_strictly_concave_inside_limit(self, n, k):
+        if n < concavity_limit(k):
+            assert is_strictly_concave_at(n, k)
+        elif n > concavity_limit(k) * 1.0001:
+            assert not is_strictly_concave_at(n, k)
+
+    @given(k=st.floats(min_value=1.005, max_value=1.2))
+    @settings(max_examples=100)
+    def test_numeric_concavity_matches_analytic(self, k):
+        """Finite-difference f'' agrees in sign with Eq. 5 inside the region."""
+        limit = concavity_limit(k)
+        n = limit / 2.0
+        f = lambda x: x / k**x
+        h = 1e-3
+        numeric = (f(n + h) - 2 * f(n) + f(n - h)) / h**2
+        assert numeric < 0
+
+    @given(
+        n=st.integers(min_value=1, max_value=90),
+        rate=st.floats(min_value=0.1, max_value=40.0),
+    )
+    @settings(max_examples=150)
+    def test_nonlinear_utility_concave_in_n_at_fixed_per_worker_rate(self, n, rate):
+        """Discrete concavity of u(n) = n·r/K^n for n < 2/ln K."""
+        u = NonlinearPenaltyUtility(K=1.02)
+
+        def val(m):
+            return u(sample(n=m, total_gbps=rate * m))
+
+        if n + 2 < concavity_limit(1.02):
+            assert val(n + 1) - val(n) >= val(n + 2) - val(n + 1) - 1e-12
+
+
+class TestUtilityCurve:
+    def test_matches_direct_eval(self):
+        model = lambda n: (min(n, 10) * 1e9, 0.0)
+        curve = utility_curve(NonlinearPenaltyUtility(), model, [1, 5, 10, 20])
+        assert len(curve) == 4
+        assert curve[1] > curve[0]  # rising region
+
+    def test_peak_at_saturation(self):
+        model = lambda n: (min(n, 10) * 1e9, 0.0)
+        import numpy as np
+
+        grid = list(range(1, 40))
+        curve = utility_curve(NonlinearPenaltyUtility(), model, grid)
+        assert grid[int(np.argmax(curve))] == 10

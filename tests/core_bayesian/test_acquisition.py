@@ -1,0 +1,66 @@
+"""Acquisition-function tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian.acquisition import (
+    expected_improvement,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+
+
+class TestExpectedImprovement:
+    def test_non_negative(self):
+        mean = np.array([-5.0, 0.0, 5.0])
+        std = np.array([1.0, 1.0, 1.0])
+        assert np.all(expected_improvement(mean, std, best=2.0) >= 0.0)
+
+    def test_prefers_higher_mean_same_std(self):
+        ei = expected_improvement(np.array([1.0, 3.0]), np.array([1.0, 1.0]), best=0.0)
+        assert ei[1] > ei[0]
+
+    def test_prefers_higher_std_same_mean(self):
+        ei = expected_improvement(np.array([0.0, 0.0]), np.array([0.5, 2.0]), best=1.0)
+        assert ei[1] > ei[0]
+
+    def test_zero_std_no_improvement(self):
+        ei = expected_improvement(np.array([1.0]), np.array([0.0]), best=2.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_large_lead_approaches_mean_gap(self):
+        ei = expected_improvement(np.array([10.0]), np.array([0.1]), best=0.0, xi=0.0)
+        assert ei[0] == pytest.approx(10.0, rel=0.01)
+
+
+class TestProbabilityOfImprovement:
+    def test_bounded_unit_interval(self):
+        mean = np.linspace(-5, 5, 11)
+        std = np.ones(11)
+        pi = probability_of_improvement(mean, std, best=0.0)
+        assert np.all((pi >= 0.0) & (pi <= 1.0))
+
+    def test_half_at_incumbent(self):
+        pi = probability_of_improvement(np.array([1.0]), np.array([1.0]), best=1.0, xi=0.0)
+        assert pi[0] == pytest.approx(0.5)
+
+    def test_monotone_in_mean(self):
+        pi = probability_of_improvement(np.array([0.0, 1.0, 2.0]), np.ones(3), best=1.0)
+        assert pi[0] < pi[1] < pi[2]
+
+
+class TestUCB:
+    def test_formula(self):
+        ucb = upper_confidence_bound(np.array([1.0]), np.array([2.0]), kappa=2.0)
+        assert ucb[0] == pytest.approx(5.0)
+
+    def test_ignores_best(self):
+        a = upper_confidence_bound(np.array([1.0]), np.array([1.0]), best=0.0)
+        b = upper_confidence_bound(np.array([1.0]), np.array([1.0]), best=100.0)
+        assert a[0] == b[0]
+
+    def test_kappa_zero_is_pure_exploitation(self):
+        ucb = upper_confidence_bound(np.array([3.0, 1.0]), np.array([0.1, 9.0]), kappa=0.0)
+        assert int(np.argmax(ucb)) == 0

@@ -1,0 +1,128 @@
+"""Bayesian optimizer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian.optimizer import BayesianOptimizer
+from repro.core.optimizer import Observation
+from repro.transfer.metrics import IntervalSample
+from repro.transfer.session import TransferParams
+from repro.units import Gbps
+
+
+def obs(n: int, utility: float) -> Observation:
+    return Observation(
+        params=TransferParams(concurrency=n),
+        utility=utility,
+        sample=IntervalSample(
+            duration=5.0, throughput_bps=max(utility, 0) * Gbps, loss_rate=0.0, concurrency=n
+        ),
+    )
+
+
+def drive(bo, utility_fn, steps, rng=None, noise=0.0):
+    n = bo.first_setting()
+    visits = [n]
+    for _ in range(steps):
+        u = utility_fn(n)
+        if rng is not None and noise > 0:
+            u *= 1.0 + rng.normal(0, noise)
+        n = bo.update(obs(n, u))
+        visits.append(n)
+    return visits
+
+
+def falcon_landscape(n, optimum=10, K=1.02):
+    return min(n, optimum) / K**n
+
+
+class TestBootstrap:
+    def test_first_settings_random_in_domain(self):
+        bo = BayesianOptimizer(lo=1, hi=32, rng=np.random.default_rng(0))
+        assert 1 <= bo.first_setting() <= 32
+
+    def test_three_random_samples_by_default(self):
+        assert BayesianOptimizer(rng=np.random.default_rng(0)).random_samples == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(window=1)
+        with pytest.raises(ValueError):
+            BayesianOptimizer(random_samples=0)
+
+
+class TestWindow:
+    def test_history_capped_at_window(self):
+        bo = BayesianOptimizer(lo=1, hi=16, window=5, rng=np.random.default_rng(0))
+        drive(bo, lambda n: float(n), steps=20)
+        assert len(bo.history) == 5
+
+    def test_window_keeps_most_recent(self):
+        bo = BayesianOptimizer(lo=1, hi=16, window=4, rng=np.random.default_rng(0))
+        n = bo.first_setting()
+        seen = []
+        for i in range(10):
+            seen.append((n, float(i)))
+            n = bo.update(obs(n, float(i)))
+        assert [u for _, u in bo.history] == [6.0, 7.0, 8.0, 9.0]
+
+
+class TestConvergence:
+    def test_concentrates_near_optimum(self):
+        rng = np.random.default_rng(2)
+        bo = BayesianOptimizer(lo=1, hi=32, rng=rng)
+        visits = drive(bo, falcon_landscape, steps=50)
+        tail = visits[-15:]
+        assert 7 <= np.median(tail) <= 14
+
+    def test_beats_random_search(self):
+        """BO's tail utility should exceed uniform-random sampling's."""
+        rng = np.random.default_rng(3)
+        bo = BayesianOptimizer(lo=1, hi=32, rng=rng)
+        visits = drive(bo, falcon_landscape, steps=40, rng=rng, noise=0.02)
+        bo_tail = np.mean([falcon_landscape(v) for v in visits[-10:]])
+        random_mean = np.mean([falcon_landscape(v) for v in rng.integers(1, 33, 200)])
+        assert bo_tail > random_mean
+
+    def test_respects_domain(self):
+        rng = np.random.default_rng(4)
+        bo = BayesianOptimizer(lo=3, hi=9, rng=rng)
+        visits = drive(bo, falcon_landscape, steps=30)
+        assert all(3 <= v <= 9 for v in visits)
+
+    def test_still_explores_at_steady_state(self):
+        """Windowed history forces periodic exploration (paper §3.2)."""
+        rng = np.random.default_rng(5)
+        bo = BayesianOptimizer(lo=1, hi=32, rng=rng)
+        visits = drive(bo, falcon_landscape, steps=80)
+        tail = visits[-30:]
+        assert len(set(tail)) >= 3
+
+    def test_adapts_after_shift(self):
+        """When the optimum moves, the sliding window lets BO follow."""
+        rng = np.random.default_rng(6)
+        bo = BayesianOptimizer(lo=1, hi=32, window=15, rng=rng)
+        n = bo.first_setting()
+        for _ in range(40):
+            n = bo.update(obs(n, falcon_landscape(n, optimum=6)))
+        for _ in range(60):
+            n = bo.update(obs(n, falcon_landscape(n, optimum=20)))
+        # Should now be operating well above the old optimum.
+        recent = [h[0] for h in bo.history[-8:]]
+        assert np.median(recent) > 10
+
+    def test_reset(self):
+        rng = np.random.default_rng(7)
+        bo = BayesianOptimizer(lo=1, hi=32, rng=rng)
+        drive(bo, falcon_landscape, steps=10)
+        bo.reset()
+        assert bo.history == []
+        assert bo.last_acquisition is None
+
+    def test_acquisition_label_recorded(self):
+        rng = np.random.default_rng(8)
+        bo = BayesianOptimizer(lo=1, hi=32, rng=rng)
+        drive(bo, falcon_landscape, steps=10)
+        assert bo.last_acquisition in {"ei", "pi", "ucb"}

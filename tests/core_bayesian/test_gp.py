@@ -1,0 +1,118 @@
+"""Gaussian-process regression tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bayesian.gp import GaussianProcess
+from repro.core.bayesian.kernels import RBFKernel
+
+
+class TestBasics:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.array([[0.0]]))
+
+    def test_fit_validation(self):
+        gp = GaussianProcess()
+        with pytest.raises(ValueError):
+            gp.fit(np.array([[1.0], [2.0]]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(noise=-0.1)
+
+    def test_n_observations(self):
+        gp = GaussianProcess()
+        assert gp.n_observations == 0
+        gp.fit(np.array([1.0, 2.0, 3.0]), np.array([1.0, 2.0, 3.0]))
+        assert gp.n_observations == 3
+
+
+class TestPosterior:
+    def test_interpolates_noise_free_data(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        y = np.sin(x)
+        gp = GaussianProcess(noise=1e-4).fit(x, y)
+        mean, _ = gp.predict(x[:, None])
+        assert np.allclose(mean, y, atol=0.02)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 1.0, 0.0])
+        gp = GaussianProcess(noise=0.05).fit(x, y)
+        _, std_near = gp.predict(np.array([[1.0]]))
+        _, std_far = gp.predict(np.array([[15.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_variance_non_negative(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 10, 15)
+        y = rng.normal(size=15)
+        gp = GaussianProcess(noise=0.1).fit(x, y)
+        _, std = gp.predict(np.linspace(-5, 15, 60)[:, None])
+        assert np.all(std >= 0.0)
+
+    def test_far_field_reverts_to_mean(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([5.0, 7.0, 6.0])
+        gp = GaussianProcess(noise=0.05).fit(x, y)
+        mean, _ = gp.predict(np.array([[100.0]]))
+        assert mean[0] == pytest.approx(y.mean(), abs=0.5)
+
+    def test_constant_targets_handled(self):
+        # Zero variance targets must not divide by zero.
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.full(3, 4.2)
+        gp = GaussianProcess(noise=0.1).fit(x, y)
+        mean, _ = gp.predict(np.array([[1.5]]))
+        assert mean[0] == pytest.approx(4.2, abs=0.01)
+
+    def test_smoothing_under_noise(self):
+        rng = np.random.default_rng(2)
+        x = np.linspace(0, 10, 40)
+        truth = np.sin(x)
+        y = truth + rng.normal(0, 0.2, size=40)
+        gp = GaussianProcess(noise=0.2).fit(x, y)
+        mean, _ = gp.predict(x[:, None])
+        # Posterior mean should be closer to the truth than the data is.
+        assert np.abs(mean - truth).mean() < np.abs(y - truth).mean()
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_posterior_std_at_observations_bounded_by_noise_scale(self, seed):
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0, 20, 10))
+        y = rng.normal(size=10)
+        gp = GaussianProcess(noise=0.1).fit(x, y)
+        _, std = gp.predict(x[:, None])
+        spread = y.std() or 1.0
+        assert np.all(std <= spread * 1.5)
+
+
+class TestHyperparameterFit:
+    def test_mll_prefers_sensible_length_scale(self):
+        # Smooth long-wavelength data should select a longer scale than
+        # the shortest grid option.
+        x = np.linspace(0, 10, 20)
+        y = np.sin(x / 3.0)
+        gp = GaussianProcess(noise=0.05)
+        gp.fit(x, y, optimize=True)
+        assert gp.kernel.length_scale > 0.5
+
+    def test_optimize_false_keeps_kernel(self):
+        kernel = RBFKernel(length_scale=7.7, variance=2.2)
+        gp = GaussianProcess(kernel=kernel, noise=0.1)
+        gp.fit(np.array([0.0, 1.0, 2.0]), np.array([1.0, 2.0, 3.0]), optimize=False)
+        assert gp.kernel.length_scale == 7.7
+
+    def test_two_points_skip_optimization(self):
+        gp = GaussianProcess(noise=0.1)
+        gp.fit(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        mean, _ = gp.predict(np.array([[0.5]]))
+        assert 1.0 <= mean[0] <= 2.0

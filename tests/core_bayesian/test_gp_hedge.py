@@ -1,0 +1,103 @@
+"""GP-Hedge portfolio tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bayesian.gp_hedge import GPHedge
+
+
+def flat_acq(value_index):
+    """An acquisition that always nominates a fixed candidate index."""
+
+    def acq(mean, std, best):
+        scores = np.zeros_like(mean)
+        scores[value_index] = 1.0
+        return scores
+
+    return acq
+
+
+class TestSelection:
+    def test_uniform_probabilities_initially(self):
+        hedge = GPHedge(rng=np.random.default_rng(0))
+        probs = hedge.probabilities()
+        assert np.allclose(probs, 1.0 / 3.0)
+
+    def test_propose_returns_candidate_value(self):
+        hedge = GPHedge(rng=np.random.default_rng(0))
+        candidates = np.array([1.0, 2.0, 3.0])
+        mean = np.array([0.1, 0.5, 0.2])
+        std = np.ones(3)
+        value, name = hedge.propose(candidates, mean, std, best=0.4)
+        assert value in candidates
+        assert name in {"ei", "pi", "ucb"}
+
+    def test_gains_shift_distribution(self):
+        hedge = GPHedge(
+            acquisitions=[("a", flat_acq(0)), ("b", flat_acq(1))],
+            rng=np.random.default_rng(0),
+            decay=1.0,
+        )
+        candidates = np.array([10.0, 20.0])
+        for _ in range(5):
+            hedge.propose(candidates, np.zeros(2), np.ones(2), best=0.0)
+            # Arm "b" nominates candidate 20, which the posterior loves.
+            hedge.reward(lambda v: 1.0 if v == 20.0 else -1.0)
+        probs = hedge.probabilities()
+        assert probs[1] > 0.9
+
+    def test_winner_selected_more_often(self):
+        rng = np.random.default_rng(1)
+        hedge = GPHedge(
+            acquisitions=[("a", flat_acq(0)), ("b", flat_acq(1))], rng=rng, decay=1.0
+        )
+        candidates = np.array([10.0, 20.0])
+        picks = {"a": 0, "b": 0}
+        for _ in range(60):
+            _, name = hedge.propose(candidates, np.zeros(2), np.ones(2), best=0.0)
+            picks[name] += 1
+            hedge.reward(lambda v: 1.0 if v == 20.0 else 0.0)
+        assert picks["b"] > picks["a"]
+
+
+class TestRewarding:
+    def test_all_arms_rewarded_not_just_selected(self):
+        hedge = GPHedge(
+            acquisitions=[("a", flat_acq(0)), ("b", flat_acq(1))],
+            rng=np.random.default_rng(0),
+            decay=1.0,
+        )
+        hedge.propose(np.array([1.0, 2.0]), np.zeros(2), np.ones(2), best=0.0)
+        hedge.reward(lambda v: v)
+        gains = hedge.gains
+        assert gains["a"] == pytest.approx(1.0)
+        assert gains["b"] == pytest.approx(2.0)
+
+    def test_decay_forgets_old_gains(self):
+        hedge = GPHedge(
+            acquisitions=[("a", flat_acq(0))], rng=np.random.default_rng(0), decay=0.5
+        )
+        for _ in range(3):
+            hedge.propose(np.array([1.0]), np.zeros(1), np.ones(1), best=0.0)
+            hedge.reward(lambda v: 1.0)
+        # 1*0.25 + 1*0.5 + 1 = 1.75 with decay 0.5.
+        assert hedge.gains["a"] == pytest.approx(1.75)
+
+    def test_reward_without_pending_is_noop(self):
+        hedge = GPHedge(rng=np.random.default_rng(0))
+        hedge.reward(lambda v: 100.0)
+        assert all(g == 0.0 for g in hedge.gains.values())
+
+
+class TestValidation:
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            GPHedge(acquisitions=[])
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ValueError):
+            GPHedge(decay=0.0)
+        with pytest.raises(ValueError):
+            GPHedge(decay=1.5)

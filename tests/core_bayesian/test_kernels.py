@@ -1,0 +1,85 @@
+"""Kernel tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bayesian.kernels import Matern52Kernel, RBFKernel, _sqdist
+
+
+class TestSqdist:
+    def test_known_values(self):
+        a = np.array([[0.0], [1.0]])
+        b = np.array([[0.0], [2.0]])
+        d = _sqdist(a, b)
+        assert d[0, 0] == pytest.approx(0.0)
+        assert d[1, 1] == pytest.approx(1.0)
+        assert d[0, 1] == pytest.approx(4.0)
+
+    def test_non_negative_despite_rounding(self):
+        x = np.full((3, 1), 1e8)
+        assert np.all(_sqdist(x, x) >= 0.0)
+
+
+@pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+class TestKernelProperties:
+    def test_diagonal_is_variance(self, kernel_cls):
+        k = kernel_cls(length_scale=2.0, variance=3.0)
+        x = np.array([[0.0], [1.0], [5.0]])
+        assert np.allclose(np.diag(k(x, x)), 3.0)
+
+    def test_symmetry(self, kernel_cls):
+        k = kernel_cls()
+        x = np.array([[0.0], [1.0], [2.5]])
+        gram = k(x, x)
+        assert np.allclose(gram, gram.T)
+
+    def test_decays_with_distance(self, kernel_cls):
+        k = kernel_cls(length_scale=1.0)
+        x0 = np.array([[0.0]])
+        near = k(x0, np.array([[0.5]]))[0, 0]
+        far = k(x0, np.array([[5.0]]))[0, 0]
+        assert near > far
+
+    def test_psd(self, kernel_cls):
+        k = kernel_cls(length_scale=1.5)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=(12, 1))
+        gram = k(x, x) + 1e-10 * np.eye(12)
+        eigvals = np.linalg.eigvalsh(gram)
+        assert np.all(eigvals > -1e-8)
+
+    def test_validation(self, kernel_cls):
+        with pytest.raises(ValueError):
+            kernel_cls(length_scale=0.0)
+        with pytest.raises(ValueError):
+            kernel_cls(variance=-1.0)
+
+    def test_with_params(self, kernel_cls):
+        k = kernel_cls().with_params(length_scale=9.0, variance=4.0)
+        assert k.length_scale == 9.0
+        assert k.variance == 4.0
+
+    @given(scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40)
+    def test_longer_scale_means_higher_correlation(self, kernel_cls, scale):
+        near = kernel_cls(length_scale=scale)(np.array([[0.0]]), np.array([[1.0]]))[0, 0]
+        far = kernel_cls(length_scale=scale * 2)(np.array([[0.0]]), np.array([[1.0]]))[0, 0]
+        assert far >= near
+
+
+class TestKernelShapes:
+    def test_rectangular_gram(self):
+        k = RBFKernel()
+        a = np.zeros((3, 1))
+        b = np.zeros((5, 1))
+        assert k(a, b).shape == (3, 5)
+
+    def test_matern_rougher_than_rbf_mid_range(self):
+        rbf = RBFKernel()(np.array([[0.0]]), np.array([[1.0]]))[0, 0]
+        matern = Matern52Kernel()(np.array([[0.0]]), np.array([[1.0]]))[0, 0]
+        # At one length scale the Matern correlation is lower than RBF's.
+        assert matern < rbf + 1e-9

@@ -1,0 +1,123 @@
+"""Tests for the shared experiment plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.globus import GlobusController
+from repro.core.agent import FalconAgent
+from repro.core.bayesian import BayesianOptimizer
+from repro.core.gradient_descent import GradientDescent
+from repro.core.hill_climbing import HillClimbing
+from repro.experiments.common import (
+    launch_controller,
+    launch_falcon,
+    make_context,
+    optimizer_factory,
+    retire_at,
+    steady_window,
+    sweep_concurrency,
+    window_mean_bps,
+)
+from repro.testbeds.presets import emulab_fig4, hpclab
+from repro.transfer.dataset import uniform_dataset
+
+
+class TestContext:
+    def test_contexts_are_isolated(self):
+        a = make_context(seed=1)
+        b = make_context(seed=1)
+        assert a.engine is not b.engine
+        assert a.network is not b.network
+
+    def test_named_rngs_deterministic(self):
+        a = make_context(seed=5).rng("x").random(4)
+        b = make_context(seed=5).rng("x").random(4)
+        assert np.allclose(a, b)
+
+
+class TestOptimizerFactory:
+    def test_kinds(self):
+        assert isinstance(optimizer_factory("hc", hi=8), HillClimbing)
+        assert isinstance(optimizer_factory("gd", hi=8), GradientDescent)
+        assert isinstance(
+            optimizer_factory("bo", hi=8, rng=np.random.default_rng(0)), BayesianOptimizer
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            optimizer_factory("simulated-annealing", hi=8)
+
+    def test_domain_passed_through(self):
+        assert optimizer_factory("gd", hi=23).hi == 23
+
+
+class TestSweep:
+    def test_points_cover_grid(self):
+        pts = sweep_concurrency(emulab_fig4, (1, 5, 10), measure_time=5.0, warmup=4.0)
+        assert [p.concurrency for p in pts] == [1, 5, 10]
+
+    def test_monotone_below_saturation(self):
+        pts = sweep_concurrency(emulab_fig4, (1, 4, 8), measure_time=5.0, warmup=4.0)
+        tputs = [p.throughput_bps for p in pts]
+        assert tputs == sorted(tputs)
+
+
+class TestLaunchers:
+    def test_launch_falcon_defaults(self):
+        ctx = make_context(0)
+        launched = launch_falcon(ctx, hpclab())
+        assert isinstance(launched.controller, FalconAgent)
+        assert launched.session in ctx.network.sessions
+
+    def test_launch_falcon_deferred_start(self):
+        ctx = make_context(0)
+        launched = launch_falcon(ctx, hpclab(), start_time=15.0)
+        assert launched.session not in ctx.network.sessions
+        ctx.engine.run_for(20.0)
+        assert launched.session in ctx.network.sessions
+
+    def test_launch_controller(self):
+        ctx = make_context(0)
+        ds = uniform_dataset(10)
+        launched = launch_controller(
+            ctx, hpclab(), lambda s: GlobusController(session=s, dataset=ds), dataset=ds
+        )
+        ctx.engine.run_for(10.0)
+        assert launched.session.params.concurrency == 3  # Globus large-file tier
+
+    def test_retire_at_removes_session(self):
+        ctx = make_context(0)
+        launched = launch_falcon(ctx, hpclab())
+        retire_at(ctx, launched, 20.0)
+        ctx.engine.run_for(30.0)
+        assert not launched.session.active
+        assert launched.session not in ctx.network.sessions
+
+    def test_retire_idempotent_when_finished(self):
+        from repro.units import MB
+
+        ctx = make_context(0)
+        launched = launch_falcon(
+            ctx, hpclab(), dataset=uniform_dataset(2, 1 * MB), repeat=False
+        )
+        retire_at(ctx, launched, 60.0)  # session will already be done
+        ctx.engine.run_for(90.0)
+        assert not launched.session.active
+
+
+class TestWindows:
+    def test_window_mean(self):
+        ctx = make_context(0)
+        launched = launch_falcon(ctx, hpclab())
+        ctx.engine.run_for(60.0)
+        mean = window_mean_bps(launched.trace, 30.0, 60.0)
+        assert mean > 0
+
+    def test_steady_window_respects_start(self):
+        ctx = make_context(0)
+        launched = launch_falcon(ctx, hpclab(), start_time=100.0)
+        t0, t1 = steady_window(launched, end=120.0, span=60.0)
+        assert t0 == 100.0
+        assert t1 == 120.0

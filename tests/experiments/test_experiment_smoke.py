@@ -1,0 +1,98 @@
+"""Smoke tests for every experiment module (short horizons).
+
+These verify each figure's ``run()`` executes, returns a well-formed
+result, and renders; the full-horizon shape assertions live in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig01_concurrency,
+    fig02_state_of_art,
+    fig04_overhead,
+    fig06_utility_forms,
+    fig07_convergence,
+    fig09_gd_networks,
+    fig10_bo_networks,
+    fig11_gd_competition,
+    fig13_concurrency_traces,
+    table1_testbeds,
+)
+
+
+class TestTable1:
+    def test_rows_and_render(self):
+        result = table1_testbeds.run()
+        assert len(result.rows) == 4
+        text = result.render()
+        for name, *_ in table1_testbeds.PAPER_TABLE1:
+            assert name in text
+
+    def test_matches_paper_columns(self):
+        result = table1_testbeds.run()
+        by_name = {r.name: r for r in result.rows}
+        for name, _storage, _bw, rtt_ms, bottleneck in table1_testbeds.PAPER_TABLE1:
+            assert by_name[name].rtt * 1e3 == pytest.approx(rtt_ms)
+            assert by_name[name].bottleneck == bottleneck
+
+
+class TestSweepFigures:
+    def test_fig4_short(self):
+        result = fig04_overhead.run(measure_time=6.0)
+        assert result.saturation_concurrency == 10
+        assert result.loss_at(32) > result.loss_at(4)
+        assert "Loss" in result.render()
+
+    def test_fig1_curve_shape(self):
+        pts = fig01_concurrency.sweep_concurrency(
+            fig01_concurrency._networks()["HPCLab"], (1, 8, 16), measure_time=6.0
+        )
+        assert pts[1].throughput_bps > 3 * pts[0].throughput_bps
+
+
+class TestAnalyticFigures:
+    def test_fig6_estimated_peaks(self):
+        p001, p002, pnl = fig06_utility_forms.estimated_peaks()
+        assert p002 < p001  # stronger linear penalty peaks earlier
+        assert abs(pnl - 48) <= 2
+        assert abs(p002 - 25) <= 2
+
+
+class TestControllerFigures:
+    def test_fig7_short(self):
+        result = fig07_convergence.run(duration=120.0)
+        assert set(result.runs) == {"hc", "gd", "bo"}
+        assert result.runs["gd"].steady_throughput_bps > 0
+        assert "Algorithm" in result.render()
+
+    def test_fig9_single_network(self):
+        result = fig09_gd_networks.run_networks("gd", seed=1, duration=90.0)
+        assert set(result.runs) == set(fig09_gd_networks.NETWORKS)
+        for run in result.runs.values():
+            assert 0 < run.steady_throughput_bps <= run.achievable_bps * 1.05
+
+    def test_fig10_is_bo(self):
+        result = fig10_bo_networks.run(seed=1, duration=60.0)
+        assert result.algorithm == "BO"
+
+    def test_fig11_phases(self):
+        result = fig11_gd_competition.run(seed=1, phase=60.0)
+        labels = [p.label for p in result.phases]
+        assert labels == ["one", "two", "three", "reclaim"]
+        assert len(result.phase("three").shares_bps) == 3
+        assert "Jain" in result.render()
+
+    def test_fig13_phase_structure(self):
+        result = fig13_concurrency_traces.run(seed=1, phase=60.0)
+        assert result.saturation_concurrency == 50
+        assert result.phase("two").total_concurrency > 0
+
+    def test_fig2_render(self):
+        result = fig02_state_of_art.run(seed=1, settle=60.0)
+        assert result.globus_bps > 0
+        assert result.harp_bps > result.globus_bps
+        assert "Globus" in result.render()

@@ -1,0 +1,56 @@
+"""Smoke tests for the extension experiments (short horizons)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import bbr_extension, overhead, related_work, robustness
+
+
+class TestRelatedWork:
+    def test_runs_all_tuners(self):
+        result = related_work.run(seed=1, duration=120.0)
+        assert set(result.runs) == {
+            "falcon-gd",
+            "falcon-bo",
+            "pcp (HC)",
+            "gridftp-apt (GSS)",
+            "probdata (SA)",
+        }
+        assert "Tuner" in result.render()
+
+    def test_all_make_progress(self):
+        result = related_work.run(seed=1, duration=120.0)
+        for run in result.runs.values():
+            assert run.steady_throughput_bps > 0
+
+
+class TestBbr:
+    def test_result_structure(self):
+        result = bbr_extension.run(seed=1, duration=120.0)
+        assert result.single_cubic_bps > 0
+        assert result.single_bbr_bps > 0
+        assert result.mixed_bbr_bps > 0
+        assert 0 < result.bbr_share_ratio < 10
+        assert "competing pair" in result.render()
+
+
+class TestRobustness:
+    def test_phases_measured(self):
+        result = robustness.run(seed=1, cycle=60.0, cycles=2)
+        for run in result.runs.values():
+            assert run.on_throughput_bps > 0
+            assert run.off_throughput_bps > 0
+        static = result.runs["static-20"]
+        assert static.on_concurrency == pytest.approx(20.0)
+
+
+class TestOverhead:
+    def test_accounting_consistent(self):
+        result = overhead.run(seed=1, duration=120.0)
+        for run in result.runs.values():
+            assert run.goodput_bytes > 0
+            assert run.process_seconds > 0
+            assert 0 <= run.loss_overhead < 0.3
+        fixed = result.runs["fixed-32"]
+        assert fixed.process_seconds == pytest.approx(32 * 120.0, rel=0.02)

@@ -1,0 +1,72 @@
+"""NIC, CPU, and DTN tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hosts.cpu import CpuModel
+from repro.hosts.dtn import DataTransferNode
+from repro.hosts.nic import Nic
+from repro.storage.parallel_fs import ParallelFileSystem
+from repro.units import Gbps
+
+
+class TestNic:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Nic(capacity=0.0)
+
+    def test_allocation_caps_at_line_rate(self):
+        nic = Nic(capacity=10 * Gbps)
+        alloc = nic.allocate(np.array([8e9, 8e9]))
+        assert alloc.sum() == pytest.approx(10e9)
+        assert np.allclose(alloc, 5e9)
+
+    def test_allocation_under_capacity(self):
+        nic = Nic(capacity=10 * Gbps)
+        alloc = nic.allocate(np.array([1e9, 2e9]))
+        assert np.allclose(alloc, [1e9, 2e9])
+
+
+class TestCpuModel:
+    def test_full_efficiency_within_cores(self):
+        cpu = CpuModel(cores=24)
+        assert cpu.efficiency(1) == 1.0
+        assert cpu.efficiency(24) == 1.0
+
+    def test_oversubscription_degrades(self):
+        cpu = CpuModel(cores=24, oversubscription_penalty=0.3)
+        assert cpu.efficiency(48) < 1.0
+        assert cpu.efficiency(96) < cpu.efficiency(48)
+
+    def test_floor(self):
+        cpu = CpuModel(cores=4, oversubscription_penalty=10.0, floor=0.4)
+        assert cpu.efficiency(1000) == pytest.approx(0.4)
+
+    def test_monotone_decreasing(self):
+        cpu = CpuModel(cores=16)
+        effs = [cpu.efficiency(n) for n in range(1, 200, 10)]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuModel(cores=0)
+        with pytest.raises(ValueError):
+            CpuModel(floor=0.0)
+        with pytest.raises(ValueError):
+            CpuModel(oversubscription_penalty=-1.0)
+
+
+class TestDataTransferNode:
+    def test_composition_defaults(self):
+        dtn = DataTransferNode("dtn-1")
+        assert isinstance(dtn.storage, ParallelFileSystem)
+        assert isinstance(dtn.nic, Nic)
+        assert isinstance(dtn.cpu, CpuModel)
+
+    def test_custom_parts(self):
+        storage = ParallelFileSystem(name="custom")
+        dtn = DataTransferNode("dtn-2", storage=storage, nic=Nic(40 * Gbps))
+        assert dtn.storage.name == "custom"
+        assert dtn.nic.capacity == 40 * Gbps

@@ -1,0 +1,67 @@
+"""Determinism: identical seeds must give bit-identical experiments.
+
+Reproducibility is the whole point of a simulation-backed reproduction;
+any hidden global randomness or dict-ordering dependence would silently
+break the benchmark numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import launch_falcon, make_context
+from repro.testbeds.presets import emulab_fig4, hpclab
+
+
+def run_once(seed: int, kind: str = "gd", duration: float = 120.0):
+    ctx = make_context(seed)
+    launched = launch_falcon(ctx, hpclab(), kind=kind)
+    ctx.engine.run_for(duration)
+    agent = launched.controller
+    return agent.concurrencies(), agent.throughputs()
+
+
+class TestDeterminism:
+    def test_same_seed_identical_trajectories(self):
+        cc1, tp1 = run_once(seed=11)
+        cc2, tp2 = run_once(seed=11)
+        assert np.array_equal(cc1, cc2)
+        assert np.array_equal(tp1, tp2)
+
+    def test_same_seed_identical_bo(self):
+        cc1, tp1 = run_once(seed=12, kind="bo")
+        cc2, tp2 = run_once(seed=12, kind="bo")
+        assert np.array_equal(cc1, cc2)
+        assert np.array_equal(tp1, tp2)
+
+    def test_different_seeds_differ(self):
+        cc1, _ = run_once(seed=13, kind="bo")
+        cc2, _ = run_once(seed=14, kind="bo")
+        assert not np.array_equal(cc1, cc2)
+
+    def test_multi_agent_determinism(self):
+        def run(seed):
+            ctx = make_context(seed)
+            tb = emulab_fig4()
+            a = launch_falcon(ctx, tb, kind="gd", name="a")
+            b = launch_falcon(ctx, tb, kind="gd", name="b", start_time=30.0)
+            ctx.engine.run_for(150.0)
+            return (
+                a.controller.concurrencies(),
+                b.controller.concurrencies(),
+                np.array(a.trace.throughput_bps),
+            )
+
+        r1 = run(21)
+        r2 = run(21)
+        for x, y in zip(r1, r2):
+            assert np.array_equal(x, y)
+
+    def test_experiment_run_deterministic(self):
+        from repro.experiments import fig04_overhead
+
+        a = fig04_overhead.run(measure_time=5.0)
+        b = fig04_overhead.run(measure_time=5.0)
+        assert [(p.throughput_bps, p.loss_rate) for p in a.points] == [
+            (p.throughput_bps, p.loss_rate) for p in b.points
+        ]

@@ -1,0 +1,93 @@
+"""Integration: Falcon adapts to mid-run condition changes."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.testbeds.presets import emulab, hpclab
+from repro.units import Mbps
+
+
+class TestBottleneckShifts:
+    @pytest.mark.parametrize("kind", ["gd", "bo"])
+    def test_recovers_from_storage_slowdown(self, kind):
+        """Halving the write array mid-run (hot spot): Falcon re-converges
+        near the new, lower optimum instead of thrashing."""
+        ctx = make_context(seed=30)
+        tb = hpclab()
+        launched = launch_falcon(ctx, tb, kind=kind)
+
+        def degrade():
+            storage = tb.destination.storage
+            tb.destination.storage = replace(
+                storage,
+                per_process_write_bps=storage.per_process_write_bps / 2,
+                aggregate_write_bps=storage.aggregate_write_bps / 2,
+            )
+
+        ctx.engine.schedule_at(180.0, degrade)
+        ctx.engine.run_for(420.0)
+        after = window_mean_bps(launched.trace, 360, 420)
+        # New ceiling is 14 Gbps; Falcon should deliver most of it.
+        assert after >= 0.75 * 14e9
+        assert after <= 14.5e9
+
+    def test_exploits_capacity_increase(self):
+        """Un-throttling per-process I/O mid-run: the continuous search
+        discovers the higher optimum."""
+        ctx = make_context(seed=31)
+        tb = emulab(link_bps=200 * Mbps, per_process_bps=10 * Mbps)
+        launched = launch_falcon(ctx, tb, kind="gd", hi=40)
+
+        before_ceiling = 100e6  # 10 workers x 10 Mbps typical early state
+
+        def faster():
+            for host in (tb.source, tb.destination):
+                storage = host.storage
+                host.storage = replace(
+                    storage,
+                    per_process_read_bps=storage.per_process_read_bps * 2,
+                    per_process_write_bps=storage.per_process_write_bps * 2,
+                )
+
+        ctx.engine.schedule_at(200.0, faster)
+        ctx.engine.run_for(500.0)
+        before = window_mean_bps(launched.trace, 140, 200)
+        after = window_mean_bps(launched.trace, 440, 500)
+        assert after > before * 1.2
+
+
+class TestBackgroundTraffic:
+    def test_survives_competing_fixed_load(self):
+        """A non-adaptive background session appears and disappears;
+        Falcon's throughput dips then fully recovers."""
+        from repro.transfer.dataset import uniform_dataset
+        from repro.transfer.session import TransferParams
+
+        ctx = make_context(seed=32)
+        tb = emulab(link_bps=200 * Mbps, per_process_bps=20 * Mbps)
+        launched = launch_falcon(ctx, tb, kind="gd", hi=32)
+
+        background = tb.new_session(
+            uniform_dataset(100), params=TransferParams(concurrency=10), repeat=True
+        )
+
+        ctx.engine.schedule_at(150.0, lambda: ctx.network.add_session(background))
+
+        def stop_background():
+            background.finished_at = ctx.engine.now
+            if background in ctx.network.sessions:
+                ctx.network.remove_session(background)
+
+        ctx.engine.schedule_at(300.0, stop_background)
+        ctx.engine.run_for(460.0)
+
+        alone = window_mean_bps(launched.trace, 90, 150)
+        contended = window_mean_bps(launched.trace, 240, 300)
+        recovered = window_mean_bps(launched.trace, 400, 460)
+        assert contended < 0.85 * alone
+        assert recovered > 0.85 * alone

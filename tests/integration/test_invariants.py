@@ -1,0 +1,124 @@
+"""Property-based invariants of the full substrate.
+
+Hypothesis drives the executor and session through randomized
+configurations and parameter changes, asserting the physical laws the
+fluid model must never break: byte conservation, capacity respect, and
+non-negativity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hosts.dtn import DataTransferNode
+from repro.hosts.nic import Nic
+from repro.network.path import build_dumbbell
+from repro.sim.engine import SimulationEngine
+from repro.storage.parallel_fs import throttled_fs
+from repro.testbeds.base import Testbed
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams
+from repro.units import MB, Mbps
+
+
+def tiny_testbed(link_mbps: float, per_proc_mbps: float) -> Testbed:
+    storage = throttled_fs(per_proc_mbps * Mbps, 10 * link_mbps * Mbps)
+    src = DataTransferNode("s", storage=storage, nic=Nic(4 * link_mbps * Mbps))
+    dst = DataTransferNode(
+        "d",
+        storage=throttled_fs(per_proc_mbps * Mbps, 10 * link_mbps * Mbps),
+        nic=Nic(4 * link_mbps * Mbps),
+    )
+    return Testbed(
+        name="tiny",
+        source=src,
+        destination=dst,
+        path=build_dumbbell(link_mbps * Mbps, 0.02, edge_capacity=4 * link_mbps * Mbps),
+        sample_interval=3.0,
+        bottleneck="Network",
+    )
+
+
+class TestConservationProperties:
+    @given(
+        link=st.floats(min_value=50, max_value=1000),
+        per_proc=st.floats(min_value=5, max_value=100),
+        n=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_throughput_never_exceeds_capacity(self, link, per_proc, n):
+        tb = tiny_testbed(link, per_proc)
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        session = tb.new_session(
+            uniform_dataset(50, 100 * MB), params=TransferParams(concurrency=n), repeat=True
+        )
+        net.add_session(session)
+        engine.run_for(12.0)
+        sample = session.monitor.take(concurrency=n)
+        ceiling = min(link * 1e6, n * per_proc * 1e6)
+        assert sample.throughput_bps <= ceiling * 1.02
+        assert sample.throughput_bps >= 0.0
+
+    @given(
+        n=st.integers(min_value=1, max_value=16),
+        files=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_finite_dataset_fully_delivered(self, n, files):
+        tb = tiny_testbed(500, 100)
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        total = files * 10 * MB
+        session = tb.new_session(
+            uniform_dataset(files, 10 * MB), params=TransferParams(concurrency=n)
+        )
+        net.add_session(session)
+        engine.run_for(120.0)
+        assert not session.active
+        assert session.total_good_bytes == pytest.approx(total, rel=1e-3)
+        assert session.files_completed == files
+
+    @given(
+        resizes=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=6)
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bytes_conserved_across_resizes(self, resizes):
+        """Arbitrary concurrency changes mid-flight never lose or
+        duplicate bytes — files return to the queue with progress."""
+        tb = tiny_testbed(500, 100)
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        files = 10
+        session = tb.new_session(
+            uniform_dataset(files, 20 * MB), params=TransferParams(concurrency=4)
+        )
+        net.add_session(session)
+        for n in resizes:
+            engine.run_for(3.0)
+            if session.active:
+                session.set_concurrency(n)
+        engine.run_for(200.0)
+        assert not session.active
+        assert session.total_good_bytes == pytest.approx(files * 20 * MB, rel=1e-3)
+
+    @given(n_sessions=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_aggregate_capacity_respected_with_competition(self, n_sessions):
+        tb = tiny_testbed(400, 50)
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        sessions = []
+        for _ in range(n_sessions):
+            s = tb.new_session(
+                uniform_dataset(50, 100 * MB), params=TransferParams(concurrency=8), repeat=True
+            )
+            net.add_session(s)
+            sessions.append(s)
+        engine.run_for(15.0)
+        total = sum(s.monitor.take(concurrency=8).throughput_bps for s in sessions)
+        assert total <= 400e6 * 1.02

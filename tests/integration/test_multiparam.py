@@ -1,0 +1,59 @@
+"""Integration: multi-parameter optimization end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conjugate_gradient import ConjugateGradientOptimizer
+from repro.core.utility import MultiParamUtility
+from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.testbeds.presets import stampede2_comet
+from repro.transfer.dataset import small_dataset, uniform_dataset
+from repro.transfer.session import TransferParams
+from repro.units import GiB
+
+
+def run_mp(dataset, seed=40, duration=350.0):
+    ctx = make_context(seed)
+    optimizer = ConjugateGradientOptimizer(
+        concurrency_bounds=(1, 40), parallelism_bounds=(1, 8), pipelining_bounds=(1, 64)
+    )
+    launched = launch_falcon(
+        ctx,
+        stampede2_comet(),
+        dataset=dataset,
+        optimizer=optimizer,
+        utility=MultiParamUtility(),
+        name="mp",
+    )
+    ctx.engine.run_for(duration)
+    return ctx, launched
+
+
+class TestMultiParam:
+    def test_small_files_discover_pipelining(self):
+        """On a tiny-file workload the tuner must raise pipelining well
+        above 1 — that's where all the throughput hides."""
+        _, launched = run_mp(small_dataset(total_bytes=4 * GiB, seed=1))
+        assert launched.session.params.pipelining >= 8
+
+    def test_large_files_keep_streams_lean(self):
+        """Eq. 7 penalises total streams: with per-process I/O binding,
+        parallelism must stay low."""
+        _, launched = run_mp(uniform_dataset(300))
+        assert launched.session.params.parallelism <= 2
+
+    def test_reaches_reasonable_throughput(self):
+        _, launched = run_mp(uniform_dataset(300), duration=400.0)
+        tail = window_mean_bps(launched.trace, 280, 400)
+        assert tail >= 0.6 * stampede2_comet().max_throughput()
+
+    def test_parameters_stay_in_bounds(self):
+        _, launched = run_mp(uniform_dataset(300))
+        history = launched.controller.history
+        for record in history:
+            p = record.params
+            assert 1 <= p.concurrency <= 40
+            assert 1 <= p.parallelism <= 8
+            assert 1 <= p.pipelining <= 64

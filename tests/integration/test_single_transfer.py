@@ -1,0 +1,64 @@
+"""Integration: full Falcon runs on every Table 1 testbed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import launch_falcon, make_context
+from repro.testbeds.presets import TABLE1, campus_cluster, emulab_fig4, hpclab, xsede
+
+
+@pytest.mark.parametrize("factory", [emulab_fig4, xsede, hpclab, campus_cluster])
+@pytest.mark.parametrize("kind", ["gd", "bo"])
+def test_falcon_reaches_near_optimal(factory, kind):
+    """Fig 9/10 in miniature: >=75% utilisation on every testbed.
+
+    (The full-horizon benches assert the tighter per-figure numbers;
+    240 s with BO's exploration needs a little slack on the lossy
+    Emulab path.)"""
+    ctx = make_context(seed=7)
+    tb = factory()
+    launched = launch_falcon(ctx, tb, kind=kind)
+    ctx.engine.run_for(240.0)
+    agent = launched.controller
+    tail = agent.throughputs()[-12:]
+    assert tail.mean() >= 0.75 * tb.max_throughput()
+
+
+@pytest.mark.parametrize("factory", [emulab_fig4, hpclab])
+def test_falcon_concurrency_tracks_optimum(factory):
+    ctx = make_context(seed=8)
+    tb = factory()
+    launched = launch_falcon(ctx, tb, kind="gd")
+    ctx.engine.run_for(240.0)
+    tail = launched.controller.concurrencies()[-12:]
+    assert abs(tail.mean() - tb.optimal_concurrency()) <= 3
+
+
+def test_falcon_keeps_loss_low_on_lossy_path():
+    """The B=10 loss regret keeps Emulab loss ~1% at high utilisation."""
+    ctx = make_context(seed=9)
+    launched = launch_falcon(ctx, emulab_fig4(), kind="gd")
+    ctx.engine.run_for(240.0)
+    records = launched.controller.history[-12:]
+    mean_loss = np.mean([r.loss_rate for r in records])
+    mean_tput = np.mean([r.throughput_bps for r in records])
+    assert mean_loss < 0.03
+    assert mean_tput >= 0.8 * 100e6
+
+
+def test_finite_transfer_completes():
+    """An actual (non-repeating) dataset is fully delivered and the
+    session retires itself from the executor."""
+    from repro.transfer.dataset import uniform_dataset
+    from repro.units import MB
+
+    ctx = make_context(seed=10)
+    tb = emulab_fig4()
+    dataset = uniform_dataset(20, 10 * MB)  # 200 MB
+    launched = launch_falcon(ctx, tb, kind="gd", dataset=dataset, repeat=False)
+    ctx.engine.run_for(120.0)
+    assert not launched.session.active
+    assert launched.session.total_good_bytes == pytest.approx(200 * MB, rel=1e-3)
+    assert launched.session not in ctx.network.sessions

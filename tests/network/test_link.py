@@ -1,0 +1,48 @@
+"""Link model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.link import Link
+from repro.network.queue import NoLossModel
+from repro.units import Gbps
+
+
+class TestLinkValidation:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            Link("bad", capacity=0.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Link("bad", capacity=1.0, delay=-0.1)
+
+
+class TestLinkAllocation:
+    def test_allocate_is_max_min(self):
+        link = Link("l", capacity=10 * Gbps)
+        alloc = link.allocate(np.array([4e9, 4e9, 4e9]))
+        assert np.allclose(alloc, 10e9 / 3)
+
+    def test_allocate_under_capacity(self):
+        link = Link("l", capacity=10 * Gbps)
+        alloc = link.allocate(np.array([1e9, 2e9]))
+        assert np.allclose(alloc, [1e9, 2e9])
+
+
+class TestLinkLoss:
+    def test_custom_loss_model(self):
+        link = Link("l", capacity=1e9, loss_model=NoLossModel())
+        assert link.loss_rate(1e9, 50, 0.03) == 0.0
+
+    def test_default_drop_tail(self):
+        link = Link("l", capacity=1e8)
+        assert link.loss_rate(1e8, 32, 0.03) > 0.01
+
+
+class TestUtilization:
+    def test_utilization(self):
+        link = Link("l", capacity=10e9)
+        assert link.utilization(5e9) == pytest.approx(0.5)

@@ -1,0 +1,86 @@
+"""Loss-model tests — anchored on the paper's Fig. 4 curve."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.queue import DropTailLossModel, NoLossModel
+from repro.units import Mbps
+
+
+class TestNoLossModel:
+    def test_always_zero(self):
+        model = NoLossModel()
+        assert model.loss_rate(1e9, 1e8, 100, 0.03) == 0.0
+
+
+class TestDropTailBelowSaturation:
+    def test_residual_only(self):
+        model = DropTailLossModel()
+        loss = model.loss_rate(offered_bps=50 * Mbps, capacity_bps=100 * Mbps, n_flows=5, rtt=0.03)
+        assert loss == pytest.approx(model.residual_loss)
+
+    def test_zero_flows(self):
+        model = DropTailLossModel()
+        assert model.loss_rate(0.0, 100 * Mbps, 0, 0.03) == 0.0
+
+    def test_zero_capacity(self):
+        model = DropTailLossModel()
+        assert model.loss_rate(1.0, 0.0, 1, 0.03) == 0.0
+
+
+class TestDropTailSaturated:
+    """The Fig. 4 anchor: 100 Mbps link, 30 ms RTT."""
+
+    def setup_method(self):
+        self.model = DropTailLossModel()
+        self.capacity = 100 * Mbps
+        self.rtt = 0.03
+
+    def loss(self, n):
+        return self.model.loss_rate(self.capacity, self.capacity, n, self.rtt)
+
+    def test_loss_below_2pct_at_saturation_point(self):
+        assert self.loss(10) < 0.02
+
+    def test_loss_about_10pct_at_32_flows(self):
+        assert 0.06 <= self.loss(32) <= 0.13
+
+    def test_loss_monotone_in_flows(self):
+        losses = [self.loss(n) for n in (10, 16, 24, 32, 48)]
+        assert losses == sorted(losses)
+
+    def test_loss_capped(self):
+        assert self.loss(10_000) <= self.model.max_loss
+
+    def test_rtt_floor_prevents_lan_blowup(self):
+        lan = self.model.loss_rate(self.capacity, self.capacity, 10, 1e-4)
+        floor = self.model.loss_rate(self.capacity, self.capacity, 10, 5e-3)
+        assert lan == pytest.approx(floor)
+
+    def test_larger_rtt_means_less_loss(self):
+        # Larger per-flow window in packets -> fewer probing losses.
+        short = self.model.loss_rate(self.capacity, self.capacity, 20, 0.01)
+        long = self.model.loss_rate(self.capacity, self.capacity, 20, 0.08)
+        assert long < short
+
+
+class TestDropTailProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        rtt=st.floats(min_value=1e-5, max_value=0.5),
+        util=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=120)
+    def test_loss_in_unit_range(self, n, rtt, util):
+        model = DropTailLossModel()
+        loss = model.loss_rate(util * 1e8, 1e8, n, rtt)
+        assert 0.0 <= loss <= model.max_loss
+
+    @given(n=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60)
+    def test_saturated_at_least_residual(self, n):
+        model = DropTailLossModel()
+        assert model.loss_rate(1e8, 1e8, n, 0.03) >= model.residual_loss

@@ -1,0 +1,75 @@
+"""Fluid TCP model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.tcp import BBR, CUBIC, TcpModel, stream_window_cap
+from repro.units import Gbps, MiB
+
+
+class TestWindowCap:
+    def test_cap_formula(self):
+        # 16 MiB window over 60 ms -> ~2.24 Gbps.
+        cap = stream_window_cap(16 * MiB, 0.06)
+        assert cap == pytest.approx(16 * MiB * 8 / 0.06)
+        assert 2.0e9 < cap < 2.5e9
+
+    def test_zero_rtt_is_unbounded(self):
+        assert stream_window_cap(16 * MiB, 0.0) == float("inf")
+
+    def test_smaller_window_smaller_cap(self):
+        assert stream_window_cap(8 * MiB, 0.06) < stream_window_cap(16 * MiB, 0.06)
+
+
+class TestRampDynamics:
+    def test_instant_decrease(self):
+        model = TcpModel()
+        rates = np.array([10e9])
+        out = model.advance_rates(rates, np.array([1e9]), rtt=0.03, dt=0.1)
+        assert out[0] == pytest.approx(1e9)
+
+    def test_gradual_increase(self):
+        model = TcpModel()
+        out = model.advance_rates(np.array([0.0]), np.array([1e9]), rtt=0.03, dt=0.1)
+        assert 0.0 < out[0] < 1e9
+
+    def test_converges_to_target(self):
+        model = TcpModel()
+        rates = np.array([0.0])
+        target = np.array([1e9])
+        for _ in range(200):
+            rates = model.advance_rates(rates, target, rtt=0.03, dt=0.1)
+        assert rates[0] == pytest.approx(1e9, rel=1e-3)
+
+    def test_ramp_tau_floor(self):
+        model = TcpModel(min_ramp_time=0.25, ramp_rtts=20)
+        assert model.ramp_tau(1e-4) == pytest.approx(0.25)
+        assert model.ramp_tau(0.06) == pytest.approx(1.2)
+
+    def test_longer_rtt_ramps_slower(self):
+        model = TcpModel()
+        fast = model.advance_rates(np.array([0.0]), np.array([1e9]), rtt=0.01, dt=0.1)
+        slow = model.advance_rates(np.array([0.0]), np.array([1e9]), rtt=0.1, dt=0.1)
+        assert slow[0] < fast[0]
+
+    def test_vectorised_mixed_directions(self):
+        model = TcpModel()
+        rates = np.array([2e9, 0.5e9])
+        target = np.array([1e9, 1e9])
+        out = model.advance_rates(rates, target, rtt=0.03, dt=0.1)
+        assert out[0] == pytest.approx(1e9)  # down: instant
+        assert 0.5e9 < out[1] < 1e9  # up: gradual
+
+
+class TestPresets:
+    def test_loss_based_variants_share_aggressiveness(self):
+        assert CUBIC.aggressiveness == 1.0
+
+    def test_bbr_is_more_aggressive(self):
+        assert BBR.aggressiveness > 1.0
+
+    def test_stream_cap_uses_buffer(self):
+        model = TcpModel(buffer_bytes=32 * MiB)
+        assert model.stream_cap(0.06) == pytest.approx(32 * MiB * 8 / 0.06)

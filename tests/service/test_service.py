@@ -1,0 +1,121 @@
+"""Falcon transfer-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import FalconService, JobState
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import GB, MB
+
+
+def make_service(max_active=4, seed=0):
+    engine = SimulationEngine(dt=0.1)
+    network = FluidTransferNetwork(engine)
+    return FalconService(engine=engine, network=network, max_active=max_active, seed=seed)
+
+
+class TestSubmission:
+    def test_job_starts_immediately_with_free_slot(self):
+        svc = make_service()
+        job = svc.submit(hpclab(), uniform_dataset(10, 1 * GB))
+        assert job.state is JobState.RUNNING
+        assert job.started_at == 0.0
+
+    def test_job_ids_increment(self):
+        svc = make_service()
+        tb = hpclab()
+        a = svc.submit(tb, uniform_dataset(5, 1 * MB))
+        b = svc.submit(tb, uniform_dataset(5, 1 * MB))
+        assert b.job_id == a.job_id + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_service(max_active=0)
+
+
+class TestQueueing:
+    def test_excess_jobs_queue_fifo(self):
+        svc = make_service(max_active=1)
+        tb = hpclab()
+        first = svc.submit(tb, uniform_dataset(10, 1 * GB), name="first")
+        second = svc.submit(tb, uniform_dataset(10, 1 * GB), name="second")
+        assert first.state is JobState.RUNNING
+        assert second.state is JobState.QUEUED
+        assert svc.queued() == [second]
+
+    def test_queued_job_starts_when_slot_frees(self):
+        svc = make_service(max_active=1)
+        tb = hpclab()
+        first = svc.submit(tb, uniform_dataset(5, 100 * MB), name="first")
+        second = svc.submit(tb, uniform_dataset(5, 100 * MB), name="second")
+        svc.engine.run_for(120.0)
+        assert first.state is JobState.COMPLETED
+        assert second.state in (JobState.RUNNING, JobState.COMPLETED)
+        assert second.started_at is not None
+        assert second.queue_wait > 0
+
+    def test_parallel_jobs_share_fairly(self):
+        svc = make_service(max_active=2)
+        tb = hpclab()
+        a = svc.submit(tb, uniform_dataset(200, 1 * GB), name="a")
+        b = svc.submit(tb, uniform_dataset(200, 1 * GB), name="b")
+        svc.engine.run_for(200.0)
+        assert a.state is JobState.COMPLETED
+        assert b.state is JobState.COMPLETED
+        ratio = a.report.mean_throughput_bps / b.report.mean_throughput_bps
+        assert 0.75 <= ratio <= 1.33
+
+
+class TestCompletionReports:
+    def test_report_accounts_all_bytes(self):
+        svc = make_service()
+        job = svc.submit(hpclab(), uniform_dataset(20, 500 * MB))
+        svc.engine.run_for(120.0)
+        assert job.state is JobState.COMPLETED
+        report = job.report
+        assert report.bytes_moved == pytest.approx(20 * 500 * MB, rel=1e-3)
+        assert report.files == 20
+        assert report.mean_throughput_bps > 0
+        assert report.decisions > 0
+        assert report.process_seconds > 0
+
+    def test_report_summary_renders(self):
+        svc = make_service()
+        job = svc.submit(hpclab(), uniform_dataset(5, 100 * MB))
+        svc.engine.run_for(60.0)
+        assert "files" in job.report.summary()
+
+    def test_falcon_quality_in_service(self):
+        """The service's agent should beat a 1-worker transfer handily."""
+        svc = make_service()
+        job = svc.submit(hpclab(), uniform_dataset(100, 1 * GB))
+        svc.engine.run_for(120.0)
+        # 100 GB at >= 15 Gbps mean (single worker would give 3.2 Gbps).
+        assert job.report.mean_throughput_bps > 15e9
+
+
+class TestCancellation:
+    def test_cancel_queued(self):
+        svc = make_service(max_active=1)
+        tb = hpclab()
+        svc.submit(tb, uniform_dataset(10, 1 * GB))
+        waiting = svc.submit(tb, uniform_dataset(10, 1 * GB))
+        svc.cancel(waiting)
+        assert waiting.state is JobState.CANCELLED
+        assert svc.queued() == []
+
+    def test_cancel_running_frees_slot(self):
+        svc = make_service(max_active=1)
+        tb = hpclab()
+        running = svc.submit(tb, uniform_dataset(100, 1 * GB), name="running")
+        waiting = svc.submit(tb, uniform_dataset(5, 100 * MB), name="waiting")
+        svc.engine.run_for(10.0)
+        svc.cancel(running)
+        assert running.state is JobState.CANCELLED
+        assert waiting.state is JobState.RUNNING
+        svc.engine.run_for(60.0)
+        assert waiting.state is JobState.COMPLETED

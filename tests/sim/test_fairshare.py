@@ -1,0 +1,171 @@
+"""Max-min fairness tests, including the hypothesis invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sim.fairshare import (
+    bottleneck_utilization,
+    max_min_fair_share,
+    weighted_max_min_fair_share,
+)
+
+demand_arrays = arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=40),
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+
+class TestMaxMinBasics:
+    def test_under_capacity_gets_demand(self):
+        alloc = max_min_fair_share(np.array([1.0, 2.0, 3.0]), capacity=10.0)
+        assert np.allclose(alloc, [1, 2, 3])
+
+    def test_equal_demands_split_evenly(self):
+        alloc = max_min_fair_share(np.array([5.0, 5.0, 5.0, 5.0]), capacity=10.0)
+        assert np.allclose(alloc, 2.5)
+
+    def test_small_demand_fully_served(self):
+        alloc = max_min_fair_share(np.array([1.0, 100.0, 100.0]), capacity=11.0)
+        assert alloc[0] == pytest.approx(1.0)
+        assert alloc[1] == pytest.approx(5.0)
+        assert alloc[2] == pytest.approx(5.0)
+
+    def test_textbook_example(self):
+        # Demands 2, 2.6, 4, 5 with capacity 10 -> 2, 2.6, 2.7, 2.7.
+        alloc = max_min_fair_share(np.array([2.0, 2.6, 4.0, 5.0]), capacity=10.0)
+        assert np.allclose(alloc, [2.0, 2.6, 2.7, 2.7])
+
+    def test_zero_capacity(self):
+        alloc = max_min_fair_share(np.array([1.0, 2.0]), capacity=0.0)
+        assert np.allclose(alloc, 0.0)
+
+    def test_zero_demands(self):
+        alloc = max_min_fair_share(np.zeros(3), capacity=5.0)
+        assert np.allclose(alloc, 0.0)
+
+    def test_empty(self):
+        assert max_min_fair_share(np.zeros(0), capacity=5.0).size == 0
+
+    def test_single_flow(self):
+        assert max_min_fair_share(np.array([7.0]), capacity=5.0)[0] == pytest.approx(5.0)
+
+    def test_order_invariance(self):
+        d = np.array([3.0, 1.0, 7.0, 2.0])
+        alloc = max_min_fair_share(d, capacity=8.0)
+        perm = np.array([2, 0, 3, 1])
+        alloc_perm = max_min_fair_share(d[perm], capacity=8.0)
+        assert np.allclose(alloc[perm], alloc_perm)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            max_min_fair_share(np.array([-1.0]), capacity=1.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            max_min_fair_share(np.array([1.0]), capacity=-1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            max_min_fair_share(np.ones((2, 2)), capacity=1.0)
+
+
+class TestMaxMinProperties:
+    @given(demands=demand_arrays, capacity=st.floats(min_value=0.0, max_value=1e7))
+    @settings(max_examples=150)
+    def test_feasibility(self, demands, capacity):
+        alloc = max_min_fair_share(demands, capacity)
+        assert np.all(alloc >= -1e-9)
+        assert np.all(alloc <= demands + 1e-6 * np.maximum(demands, 1.0))
+        assert alloc.sum() <= capacity + 1e-6 * max(capacity, 1.0) or demands.sum() <= capacity
+
+    @given(demands=demand_arrays, capacity=st.floats(min_value=1.0, max_value=1e7))
+    @settings(max_examples=150)
+    def test_work_conserving(self, demands, capacity):
+        # Either all demand is met or capacity is exhausted.
+        alloc = max_min_fair_share(demands, capacity)
+        total = alloc.sum()
+        slack_ok = abs(total - demands.sum()) <= 1e-6 * max(demands.sum(), 1.0)
+        full_ok = abs(total - capacity) <= 1e-6 * max(capacity, 1.0)
+        assert slack_ok or full_ok
+
+    @given(demands=demand_arrays, capacity=st.floats(min_value=1.0, max_value=1e7))
+    @settings(max_examples=150)
+    def test_max_min_property(self, demands, capacity):
+        # No satisfied flow exceeds the level of any unsatisfied flow.
+        alloc = max_min_fair_share(demands, capacity)
+        unsat = alloc < demands - 1e-6 * np.maximum(demands, 1.0)
+        if unsat.any():
+            fair_level = alloc[unsat].min()
+            assert np.all(alloc <= fair_level + 1e-6 * max(fair_level, 1.0))
+
+    @given(demands=demand_arrays)
+    @settings(max_examples=80)
+    def test_monotone_in_capacity(self, demands):
+        lo = max_min_fair_share(demands, 10.0)
+        hi = max_min_fair_share(demands, 20.0)
+        assert np.all(hi >= lo - 1e-9)
+
+
+class TestWeightedMaxMin:
+    def test_equal_weights_match_unweighted(self):
+        d = np.array([4.0, 6.0, 10.0])
+        w = np.ones(3)
+        assert np.allclose(
+            weighted_max_min_fair_share(d, w, 12.0), max_min_fair_share(d, 12.0)
+        )
+
+    def test_weights_bias_allocation(self):
+        d = np.array([100.0, 100.0])
+        w = np.array([1.0, 3.0])
+        alloc = weighted_max_min_fair_share(d, w, 8.0)
+        assert alloc[1] == pytest.approx(3 * alloc[0])
+        assert alloc.sum() == pytest.approx(8.0)
+
+    def test_under_capacity_gets_demand(self):
+        d = np.array([1.0, 2.0])
+        alloc = weighted_max_min_fair_share(d, np.array([1.0, 9.0]), 100.0)
+        assert np.allclose(alloc, d)
+
+    def test_small_demand_redistribution(self):
+        # Flow 0 wants little; its leftover goes to flow 1.
+        d = np.array([1.0, 100.0])
+        alloc = weighted_max_min_fair_share(d, np.array([1.0, 1.0]), 10.0)
+        assert alloc[0] == pytest.approx(1.0)
+        assert alloc[1] == pytest.approx(9.0)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            weighted_max_min_fair_share(np.array([1.0]), np.array([0.0]), 1.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_max_min_fair_share(np.array([1.0, 2.0]), np.array([1.0]), 1.0)
+
+    @given(
+        demands=demand_arrays,
+        capacity=st.floats(min_value=1.0, max_value=1e7),
+    )
+    @settings(max_examples=80)
+    def test_weighted_feasibility(self, demands, capacity):
+        weights = np.full(demands.shape, 2.0)
+        alloc = weighted_max_min_fair_share(demands, weights, capacity)
+        assert np.all(alloc >= -1e-9)
+        assert np.all(alloc <= demands + 1e-6 * np.maximum(demands, 1.0))
+        assert alloc.sum() <= max(capacity, demands.sum()) + 1e-5 * max(capacity, 1.0)
+
+
+class TestUtilization:
+    def test_full(self):
+        assert bottleneck_utilization(np.array([10.0, 10.0]), 10.0) == pytest.approx(1.0)
+
+    def test_partial(self):
+        assert bottleneck_utilization(np.array([2.0, 3.0]), 10.0) == pytest.approx(0.5)
+
+    def test_zero_capacity(self):
+        assert bottleneck_utilization(np.array([1.0]), 0.0) == 0.0

@@ -1,0 +1,31 @@
+"""Storage device preset tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.device import HDD, NVME_SSD, SATA_SSD, StorageDevice
+from repro.units import Gbps
+
+
+class TestValidation:
+    def test_rejects_zero_rates(self):
+        with pytest.raises(ValueError):
+            StorageDevice(read_bps=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            StorageDevice(open_latency=-1.0)
+
+
+class TestPresets:
+    def test_speed_ordering(self):
+        assert HDD.read_bps < SATA_SSD.read_bps < NVME_SSD.read_bps
+
+    def test_paper_bounds(self):
+        # Paper: single-file read/write < 10 Gbps on HDD, < 30 Gbps on SSD.
+        assert HDD.read_bps < 10 * Gbps
+        assert NVME_SSD.read_bps < 30 * Gbps
+
+    def test_hdd_seek_latency_dominates(self):
+        assert HDD.open_latency > NVME_SSD.open_latency

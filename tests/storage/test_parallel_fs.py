@@ -1,0 +1,113 @@
+"""Parallel file system model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.parallel_fs import ParallelFileSystem, throttled_fs
+from repro.units import Gbps, Mbps
+
+
+def lustre() -> ParallelFileSystem:
+    return ParallelFileSystem(
+        name="lustre",
+        per_process_read_bps=0.6 * Gbps,
+        per_process_write_bps=1.5 * Gbps,
+        aggregate_read_bps=6 * Gbps,
+        aggregate_write_bps=12 * Gbps,
+        contention=0.01,
+    )
+
+
+class TestValidation:
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            ParallelFileSystem(per_process_read_bps=0.0)
+
+    def test_rejects_negative_contention(self):
+        with pytest.raises(ValueError):
+            ParallelFileSystem(contention=-0.1)
+
+
+class TestSaturationStructure:
+    def test_read_saturation_streams(self):
+        assert lustre().read_saturation_streams() == 10
+
+    def test_write_saturation_streams(self):
+        assert lustre().write_saturation_streams() == 8
+
+    def test_effective_capacity_at_knee(self):
+        fs = lustre()
+        assert fs.effective_read_capacity(10) == pytest.approx(6 * Gbps)
+
+    def test_contention_degrades_past_knee(self):
+        fs = lustre()
+        assert fs.effective_read_capacity(30) < fs.effective_read_capacity(10)
+
+    def test_degradation_floor(self):
+        fs = lustre()
+        assert fs.effective_read_capacity(100_000) >= 0.5 * 6 * Gbps
+
+    def test_custom_knee(self):
+        fs = ParallelFileSystem(contention=0.01, contention_knee=5)
+        assert fs.effective_read_capacity(5) == fs.aggregate_read_bps
+        assert fs.effective_read_capacity(6) < fs.aggregate_read_bps
+
+
+class TestAllocation:
+    def test_single_stream_capped_at_per_process(self):
+        fs = lustre()
+        alloc = fs.allocate_read(np.array([10e9]))
+        assert alloc[0] == pytest.approx(0.6 * Gbps)
+
+    def test_aggregate_cap_binds(self):
+        fs = lustre()
+        demands = np.full(20, 0.6 * Gbps)
+        alloc = fs.allocate_read(demands)
+        assert alloc.sum() <= fs.effective_read_capacity(20) * (1 + 1e-9)
+        assert alloc.sum() > 5.0 * Gbps
+
+    def test_read_write_independent_limits(self):
+        fs = lustre()
+        one = np.array([10e9])
+        assert fs.allocate_write(one)[0] == pytest.approx(1.5 * Gbps)
+        assert fs.allocate_read(one)[0] == pytest.approx(0.6 * Gbps)
+
+    def test_idle_streams_ignored_for_contention(self):
+        fs = lustre()
+        demands = np.array([0.6e9, 0.0, 0.0])
+        alloc = fs.allocate_read(demands)
+        assert alloc[0] == pytest.approx(0.6e9)
+        assert np.all(alloc[1:] == 0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        demand=st.floats(min_value=0.0, max_value=5e9),
+    )
+    @settings(max_examples=100)
+    def test_allocation_feasible(self, n, demand):
+        fs = lustre()
+        alloc = fs.allocate_read(np.full(n, demand))
+        assert np.all(alloc <= min(demand, fs.per_process_read_bps) + 1e-3)
+        assert alloc.sum() <= fs.effective_read_capacity(n) + 1e-3
+
+
+class TestThrottledFs:
+    def test_emulab_throttle_shape(self):
+        fs = throttled_fs(10 * Mbps, 400 * Mbps)
+        assert fs.per_process_read_bps == 10 * Mbps
+        assert fs.per_process_write_bps == 10 * Mbps
+        assert fs.contention == 0.0
+
+    def test_no_contention_degradation(self):
+        fs = throttled_fs(10 * Mbps, 400 * Mbps)
+        assert fs.effective_read_capacity(1000) == pytest.approx(400 * Mbps)
+
+    def test_fig4_saturation_structure(self):
+        # 10 Mbps/process, 100 Mbps of link downstream: the fs itself
+        # saturates at 40 streams; the link (elsewhere) at 10.
+        fs = throttled_fs(10 * Mbps, 400 * Mbps)
+        assert fs.read_saturation_streams() == 40

@@ -1,0 +1,75 @@
+"""CLI tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, TESTBEDS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune", "hpclab"])
+        assert args.optimizer == "gd"
+        assert args.duration == 300.0
+
+    def test_tune_options(self):
+        args = build_parser().parse_args(
+            ["tune", "xsede", "--optimizer", "bo", "--duration", "60", "--seed", "3"]
+        )
+        assert (args.optimizer, args.duration, args.seed) == ("bo", 60.0, 3)
+
+
+class TestCommands:
+    def test_list_testbeds(self, capsys):
+        assert main(["list-testbeds"]) == 0
+        out = capsys.readouterr().out
+        for name in TESTBEDS:
+            assert name in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "HPCLab" in capsys.readouterr().out
+
+    def test_tune_unknown_testbed(self, capsys):
+        assert main(["tune", "nowhere"]) == 2
+        assert "unknown testbed" in capsys.readouterr().out
+
+    def test_tune_short_run(self, capsys):
+        assert main(["tune", "hpclab", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "steady throughput" in out
+        assert "Gbps" in out
+
+    def test_export_table1(self, tmp_path, capsys):
+        out = tmp_path / "t1.json"
+        assert main(["export", "table1", "--out", str(out)]) == 0
+        import json
+
+        parsed = json.loads(out.read_text())
+        assert len(parsed["rows"]) == 4
+
+    def test_export_unknown(self, capsys):
+        assert main(["export", "fig99"]) == 2
+
+    def test_every_experiment_module_importable(self):
+        import importlib
+
+        for module_path in EXPERIMENTS.values():
+            module = importlib.import_module(module_path)
+            assert hasattr(module, "main")
+            assert hasattr(module, "run")

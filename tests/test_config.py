@@ -1,0 +1,51 @@
+"""Configuration defaults tests."""
+
+from __future__ import annotations
+
+import math
+
+from repro import config
+
+
+class TestSimConfig:
+    def test_defaults_match_paper(self):
+        cfg = config.DEFAULT_CONFIG
+        # Paper §4: 3 s local / 5 s wide-area sample transfers.
+        assert cfg.local_sample_interval == 3.0
+        assert cfg.wide_sample_interval == 5.0
+
+    def test_with_replaces_only_given_fields(self):
+        cfg = config.DEFAULT_CONFIG.with_(dt=0.05)
+        assert cfg.dt == 0.05
+        assert cfg.measurement_jitter == config.DEFAULT_CONFIG.measurement_jitter
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.DEFAULT_CONFIG.dt = 1.0  # type: ignore[misc]
+
+
+class TestPaperConstants:
+    def test_loss_penalty(self):
+        assert config.DEFAULT_LOSS_PENALTY_B == 10.0
+
+    def test_concurrency_base(self):
+        assert config.DEFAULT_CONCURRENCY_BASE_K == 1.02
+
+    def test_k_concave_limit_is_about_100(self):
+        # Paper: K=1.02 keeps strict concavity up to n ~ 101.
+        assert 2.0 / math.log(config.DEFAULT_CONCURRENCY_BASE_K) > 100
+
+    def test_linear_penalty_examples(self):
+        assert config.LINEAR_PENALTY_C_LOW == 0.01
+        assert config.LINEAR_PENALTY_C_HIGH == 0.02
+
+    def test_bo_constants(self):
+        assert config.BO_RANDOM_SAMPLES == 3
+        assert config.BO_OBSERVATION_WINDOW == 20
+
+    def test_hc_threshold(self):
+        assert config.HILL_CLIMBING_THRESHOLD == 0.03

@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in library docstrings.
+
+The examples in user-facing docstrings (unit helpers, token bucket,
+RNG streams) are part of the documented contract; this keeps them
+honest.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.sim.rng
+import repro.storage.throttle
+import repro.units
+
+MODULES = [repro.units, repro.storage.throttle, repro.sim.rng]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,88 @@
+"""Unit-helper tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestSizes:
+    def test_decimal_prefixes(self):
+        assert units.KB == 1_000
+        assert units.MB == 1_000_000
+        assert units.GB == 1_000_000_000
+        assert units.TB == 1_000_000_000_000
+
+    def test_binary_prefixes(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GiB == 1024**3
+        assert units.TiB == 1024**4
+
+    def test_size_constructors(self):
+        assert units.kilobytes(2) == 2000
+        assert units.megabytes(1.5) == 1.5e6
+        assert units.gigabytes(3) == 3e9
+        assert units.kibibytes(1) == 1024
+        assert units.mebibytes(2) == 2 * 1024**2
+        assert units.gibibytes(0.5) == 0.5 * 1024**3
+
+    def test_binary_vs_decimal_gap(self):
+        # The classic 7.4% gap at GB scale.
+        assert units.GiB / units.GB == pytest.approx(1.0737, abs=1e-3)
+
+
+class TestRates:
+    def test_rate_constructors(self):
+        assert units.kbps(5) == 5e3
+        assert units.mbps(10) == 1e7
+        assert units.gbps(40) == 4e10
+
+    def test_rate_conversions_roundtrip(self):
+        assert units.bps_to_gbps(units.gbps(2.5)) == pytest.approx(2.5)
+        assert units.bps_to_mbps(units.mbps(125)) == pytest.approx(125)
+
+    def test_bytes_bits_roundtrip(self):
+        assert units.bytes_per_second(8e9) == 1e9
+        assert units.bits_per_second(1e9) == 8e9
+
+    @given(st.floats(min_value=1.0, max_value=1e12, allow_nan=False))
+    def test_byte_bit_inverse(self, rate):
+        assert units.bits_per_second(units.bytes_per_second(rate)) == pytest.approx(rate)
+
+
+class TestTimes:
+    def test_time_constructors(self):
+        assert units.milliseconds(30) == pytest.approx(0.03)
+        assert units.microseconds(100) == pytest.approx(1e-4)
+        assert units.minutes(2) == 120
+        assert units.hours(1.5) == 5400
+
+
+class TestFormatting:
+    def test_format_rate_scales(self):
+        assert units.format_rate(2.5e9) == "2.50 Gbps"
+        assert units.format_rate(3e6) == "3.00 Mbps"
+        assert units.format_rate(9e3) == "9.00 Kbps"
+        assert units.format_rate(12) == "12.00 bps"
+
+    def test_format_rate_precision(self):
+        assert units.format_rate(1e9, precision=0) == "1 Gbps"
+
+    def test_format_size_scales(self):
+        assert units.format_size(2**30) == "1.00 GiB"
+        assert units.format_size(5 * 2**20) == "5.00 MiB"
+        assert units.format_size(100) == "100 B"
+        assert units.format_size(3 * 2**40) == "3.00 TiB"
+
+    def test_format_duration_bands(self):
+        assert units.format_duration(0.5) == "500.0ms"
+        assert units.format_duration(12.3) == "12.3s"
+        assert units.format_duration(90) == "1m30s"
+        assert units.format_duration(3725) == "1h2m5s"
+
+    def test_format_duration_negative(self):
+        assert units.format_duration(-90) == "-1m30s"

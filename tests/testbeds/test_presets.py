@@ -1,0 +1,113 @@
+"""Testbed preset tests — Table 1 fidelity and analytic expectations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbeds.presets import (
+    TABLE1,
+    campus_cluster,
+    emulab,
+    emulab_fig4,
+    emulab_high_optimal,
+    emulab_io_bound,
+    hpclab,
+    stampede2_comet,
+    xsede,
+)
+from repro.units import Gbps, Mbps, milliseconds
+
+
+class TestTable1Fidelity:
+    def test_emulab_row(self):
+        tb = emulab_fig4()
+        assert tb.path.rtt == pytest.approx(milliseconds(30))
+        assert tb.bottleneck == "Network"
+
+    def test_xsede_row(self):
+        tb = xsede()
+        assert tb.path.capacity == 10 * Gbps
+        assert tb.path.rtt == pytest.approx(milliseconds(40))
+        assert tb.bottleneck == "Disk Read"
+
+    def test_hpclab_row(self):
+        tb = hpclab()
+        assert tb.path.capacity == 40 * Gbps
+        assert tb.path.rtt == pytest.approx(milliseconds(0.1))
+        assert tb.bottleneck == "Disk Write"
+
+    def test_campus_row(self):
+        tb = campus_cluster()
+        assert tb.source.nic.capacity == 10 * Gbps
+        assert tb.bottleneck == "NIC"
+
+    def test_table1_has_four_rows(self):
+        assert len(TABLE1()) == 4
+
+
+class TestAnalyticOptima:
+    def test_emulab_fig4_optimum_is_10(self):
+        assert emulab_fig4().optimal_concurrency() == 10
+
+    def test_emulab_high_optimum_is_48(self):
+        assert emulab_high_optimal().optimal_concurrency() == 48
+
+    def test_emulab_io_bound_optimum_is_48(self):
+        assert emulab_io_bound().optimal_concurrency() == 48
+
+    def test_hpclab_optimum_about_9(self):
+        assert hpclab().optimal_concurrency() == 9
+
+    def test_xsede_optimum_about_10(self):
+        assert xsede().optimal_concurrency() == 10
+
+    def test_campus_optimum_about_7(self):
+        assert campus_cluster().optimal_concurrency() == 7
+
+    def test_max_throughputs(self):
+        assert hpclab().max_throughput() == pytest.approx(28 * Gbps)
+        assert xsede().max_throughput() == pytest.approx(5.8 * Gbps)
+        assert campus_cluster().max_throughput() == pytest.approx(10 * Gbps)
+        assert emulab_fig4().max_throughput() == pytest.approx(100 * Mbps)
+
+    def test_stampede2_comet_long_fat(self):
+        tb = stampede2_comet()
+        assert tb.path.rtt == pytest.approx(milliseconds(60))
+        # Window cap ~2.2 Gbps: the parallelism-relevant regime.
+        assert tb.tcp.stream_cap(tb.path.rtt) < 3 * Gbps
+
+    def test_single_worker_rates_match_paper_fig1(self):
+        # Fig 1a: concurrency 1 gives <8 Gbps in HPCLab, <2 in XSEDE.
+        assert hpclab().per_worker_cap() < 8 * Gbps
+        assert xsede().per_worker_cap() < 2 * Gbps
+
+
+class TestIsolation:
+    def test_fresh_instances_do_not_share_hosts(self):
+        a, b = hpclab(), hpclab()
+        assert a.source is not b.source
+        assert a.source.storage is not b.source.storage
+
+    def test_sessions_of_one_instance_share_hosts(self):
+        tb = hpclab()
+        from repro.transfer.dataset import uniform_dataset
+
+        s1 = tb.new_session(uniform_dataset(5))
+        s2 = tb.new_session(uniform_dataset(5))
+        assert s1.source is s2.source
+        assert s1.name != s2.name
+
+    def test_describe_mentions_bottleneck(self):
+        assert "NIC" in campus_cluster().describe()
+
+
+class TestParameterisedEmulab:
+    def test_custom_throttle(self):
+        tb = emulab(link_bps=500 * Mbps, per_process_bps=25 * Mbps)
+        assert tb.optimal_concurrency() == 20
+
+    def test_io_bound_variant_has_lossless_headroom(self):
+        tb = emulab_io_bound()
+        # The link (2G) is twice the storage aggregate: no congestion.
+        assert tb.path.capacity == pytest.approx(2e9)
+        assert tb.source.storage.aggregate_read_bps == pytest.approx(1e9)

@@ -1,0 +1,99 @@
+"""Background-traffic generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import emulab_fig4
+from repro.transfer.background import OnOffTraffic
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams
+
+
+def make_rig():
+    tb = emulab_fig4()
+    engine = SimulationEngine(dt=0.1)
+    net = FluidTransferNetwork(engine)
+    return tb, engine, net
+
+
+class TestOnOffCycle:
+    def test_phases_alternate(self):
+        tb, engine, net = make_rig()
+        bg = OnOffTraffic(engine=engine, network=net, testbed=tb, on_time=10.0, off_time=10.0)
+        bg.start()
+        engine.run_for(45.0)
+        kinds = [k for _, k in bg.transitions]
+        assert kinds[:4] == ["on", "off", "on", "off"]
+
+    def test_phase_durations(self):
+        tb, engine, net = make_rig()
+        bg = OnOffTraffic(engine=engine, network=net, testbed=tb, on_time=15.0, off_time=5.0)
+        bg.start()
+        engine.run_for(60.0)
+        times = [t for t, _ in bg.transitions]
+        gaps = np.diff(times)
+        assert gaps[0] == pytest.approx(15.0, abs=0.01)  # first ON phase
+        assert gaps[1] == pytest.approx(5.0, abs=0.01)  # first OFF phase
+
+    def test_initial_delay(self):
+        tb, engine, net = make_rig()
+        bg = OnOffTraffic(engine=engine, network=net, testbed=tb)
+        bg.start(initial_delay=20.0)
+        engine.run_for(10.0)
+        assert not bg.active
+        engine.run_for(15.0)
+        assert bg.active
+
+    def test_stop_removes_load(self):
+        tb, engine, net = make_rig()
+        bg = OnOffTraffic(engine=engine, network=net, testbed=tb, on_time=100.0)
+        bg.start()
+        engine.run_for(5.0)
+        assert bg.active
+        bg.stop()
+        assert not bg.active
+        engine.run_for(200.0)
+        assert not bg.active  # never comes back
+
+    def test_jittered_phases_vary(self):
+        tb, engine, net = make_rig()
+        bg = OnOffTraffic(
+            engine=engine,
+            network=net,
+            testbed=tb,
+            on_time=10.0,
+            off_time=10.0,
+            jitter=0.3,
+            rng=np.random.default_rng(0),
+        )
+        bg.start()
+        engine.run_for(120.0)
+        gaps = np.diff([t for t, _ in bg.transitions])
+        assert gaps.std() > 0.5
+
+
+class TestImpactOnForeground:
+    def test_foreground_throughput_dips_during_on(self):
+        tb, engine, net = make_rig()
+        fg = tb.new_session(
+            uniform_dataset(100), params=TransferParams(concurrency=10), repeat=True
+        )
+        net.add_session(fg)
+        bg = OnOffTraffic(
+            engine=engine, network=net, testbed=tb, concurrency=10, on_time=30.0, off_time=30.0
+        )
+        bg.start(initial_delay=30.0)
+
+        engine.run_for(30.0)
+        alone = fg.monitor.take(concurrency=10).throughput_bps
+        engine.run_for(30.0)  # background ON
+        contended = fg.monitor.take(concurrency=10).throughput_bps
+        engine.run_for(30.0)  # background OFF
+        recovered = fg.monitor.take(concurrency=10).throughput_bps
+
+        assert contended < 0.7 * alone
+        assert recovered > 0.85 * alone

@@ -1,0 +1,60 @@
+"""Weighted (BBR-vs-Cubic) bandwidth-sharing tests in the executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.tcp import BBR, CUBIC
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import emulab_fig4
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams
+
+
+def run_pair(tcp_a, tcp_b, n=10, seconds=30.0):
+    tb = emulab_fig4()
+    engine = SimulationEngine(dt=0.1)
+    net = FluidTransferNetwork(engine)
+    a = tb.new_session(
+        uniform_dataset(50), params=TransferParams(concurrency=n), repeat=True, tcp=tcp_a
+    )
+    b = tb.new_session(
+        uniform_dataset(50), params=TransferParams(concurrency=n), repeat=True, tcp=tcp_b
+    )
+    net.add_session(a)
+    net.add_session(b)
+    engine.run_for(seconds)
+    return (
+        a.monitor.take(concurrency=n).throughput_bps,
+        b.monitor.take(concurrency=n).throughput_bps,
+    )
+
+
+class TestWeightedSharing:
+    def test_cubic_pair_splits_evenly(self):
+        ra, rb = run_pair(CUBIC, CUBIC)
+        assert ra == pytest.approx(rb, rel=0.05)
+
+    def test_bbr_beats_cubic_at_saturated_link(self):
+        cubic_rate, bbr_rate = run_pair(CUBIC, BBR)
+        assert bbr_rate > cubic_rate * 1.2
+
+    def test_bbr_advantage_bounded_by_weight(self):
+        cubic_rate, bbr_rate = run_pair(CUBIC, BBR)
+        # The weighted fair share caps BBR's edge at its weight ratio.
+        assert bbr_rate / cubic_rate <= BBR.aggressiveness / CUBIC.aggressiveness + 0.15
+
+    def test_bbr_pair_splits_evenly(self):
+        ra, rb = run_pair(BBR, BBR)
+        assert ra == pytest.approx(rb, rel=0.05)
+
+    def test_total_capacity_unchanged(self):
+        cubic_rate, bbr_rate = run_pair(CUBIC, BBR)
+        assert cubic_rate + bbr_rate <= 100e6 * 1.01
+
+    def test_unsaturated_link_no_advantage(self):
+        # 2+2 workers at 10 Mbps each: 40 Mbps << 100 Mbps capacity.
+        cubic_rate, bbr_rate = run_pair(CUBIC, BBR, n=2)
+        assert bbr_rate == pytest.approx(cubic_rate, rel=0.05)

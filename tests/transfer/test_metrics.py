@@ -1,0 +1,110 @@
+"""Throughput monitor tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.transfer.metrics import IntervalSample, ThroughputMonitor
+
+
+class TestIntervalSample:
+    def test_per_worker(self):
+        s = IntervalSample(duration=1.0, throughput_bps=10e9, loss_rate=0.0, concurrency=5)
+        assert s.per_worker_bps == pytest.approx(2e9)
+
+    def test_per_worker_zero_concurrency(self):
+        s = IntervalSample(duration=1.0, throughput_bps=1.0, loss_rate=0.0, concurrency=0)
+        assert s.per_worker_bps == 0.0
+
+
+class TestMonitorAccounting:
+    def test_throughput_from_bytes(self):
+        mon = ThroughputMonitor(tail_fraction=1.0)
+        for _ in range(10):
+            mon.record(good_bytes=1e6, sent_bytes=1e6, lost_bytes=0.0, dt=0.1)
+        sample = mon.take(concurrency=2)
+        assert sample.duration == pytest.approx(1.0)
+        assert sample.throughput_bps == pytest.approx(1e7 * 8)
+
+    def test_loss_fraction(self):
+        mon = ThroughputMonitor(tail_fraction=1.0)
+        mon.record(good_bytes=90.0, sent_bytes=100.0, lost_bytes=10.0, dt=1.0)
+        assert mon.take(concurrency=1).loss_rate == pytest.approx(0.1)
+
+    def test_take_resets(self):
+        mon = ThroughputMonitor()
+        mon.record(1e6, 1e6, 0.0, 1.0)
+        mon.take(concurrency=1)
+        empty = mon.take(concurrency=1)
+        assert empty.duration == 0.0
+        assert empty.throughput_bps == 0.0
+
+    def test_elapsed_property(self):
+        mon = ThroughputMonitor()
+        mon.record(1.0, 1.0, 0.0, 0.5)
+        mon.record(1.0, 1.0, 0.0, 0.5)
+        assert mon.elapsed == pytest.approx(1.0)
+
+    def test_params_carried_through(self):
+        mon = ThroughputMonitor()
+        mon.record(1.0, 1.0, 0.0, 1.0)
+        s = mon.take(concurrency=4, parallelism=2, pipelining=8)
+        assert (s.concurrency, s.parallelism, s.pipelining) == (4, 2, 8)
+
+    def test_invalid_tail_fraction(self):
+        with pytest.raises(ValueError):
+            ThroughputMonitor(tail_fraction=0.0)
+        with pytest.raises(ValueError):
+            ThroughputMonitor(tail_fraction=1.5)
+
+
+class TestTailMeasurement:
+    def test_tail_skips_rampup(self):
+        """Early low-rate steps are excluded from the measured window."""
+        mon = ThroughputMonitor(tail_fraction=0.5)
+        # 5 s of ramp at 0 B/s then 5 s at 1 MB/s.
+        for _ in range(50):
+            mon.record(0.0, 0.0, 0.0, 0.1)
+        for _ in range(50):
+            mon.record(1e5, 1e5, 0.0, 0.1)
+        sample = mon.take(concurrency=1)
+        assert sample.throughput_bps == pytest.approx(1e6 * 8, rel=0.05)
+        # But the reported duration covers the full interval.
+        assert sample.duration == pytest.approx(10.0)
+
+    def test_full_fraction_averages_everything(self):
+        mon = ThroughputMonitor(tail_fraction=1.0)
+        for _ in range(50):
+            mon.record(0.0, 0.0, 0.0, 0.1)
+        for _ in range(50):
+            mon.record(1e5, 1e5, 0.0, 0.1)
+        sample = mon.take(concurrency=1)
+        assert sample.throughput_bps == pytest.approx(0.5e6 * 8, rel=0.05)
+
+
+class TestJitter:
+    def test_jitter_perturbs_throughput(self):
+        rng = np.random.default_rng(0)
+        values = []
+        for _ in range(50):
+            mon = ThroughputMonitor()
+            mon.record(1e6, 1e6, 0.0, 1.0)
+            values.append(mon.take(concurrency=1, rng=rng, jitter=0.05).throughput_bps)
+        values = np.array(values)
+        assert values.std() > 0
+        assert values.mean() == pytest.approx(8e6, rel=0.05)
+
+    def test_no_rng_means_exact(self):
+        mon = ThroughputMonitor()
+        mon.record(1e6, 1e6, 0.0, 1.0)
+        assert mon.take(concurrency=1).throughput_bps == pytest.approx(8e6)
+
+    def test_jitter_never_negative(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            mon = ThroughputMonitor()
+            mon.record(1e3, 1e3, 0.0, 1.0)
+            s = mon.take(concurrency=1, rng=rng, jitter=1.0)  # extreme jitter
+            assert s.throughput_bps >= 0.0
+            assert 0.0 <= s.loss_rate <= 1.0
