@@ -1,0 +1,177 @@
+"""Fluid-step hot-path benchmark: 8 competing sessions x 64 workers.
+
+Times the simulator core on the heaviest recurring shape in the
+reproduction — many sessions with large worker pools arbitrated across
+many shared resources every fluid step (the scenario behind Figs 8,
+11, 12 and the competing-agent sweeps).  Eight site pairs cross one
+saturated 10 Gbps backbone, so every step exercises demand caps,
+iterative waterfilling over ~49 resources, per-link loss, and the
+session advance for 512 workers.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full run
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --baseline # print only
+
+Writes ``BENCH_hotpath.json`` with the measured numbers next to the
+pre-PR baseline (captured on the same scenario before the topology
+cache / vectorized advance landed) so the speedup is visible in-repo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path as FsPath
+
+from repro.hosts.dtn import DataTransferNode
+from repro.hosts.nic import Nic
+from repro.network.link import Link
+from repro.network.path import Path
+from repro.network.queue import DropTailLossModel, NoLossModel
+from repro.sim.engine import SimulationEngine
+from repro.storage.parallel_fs import ParallelFileSystem
+from repro.testbeds.base import Testbed
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams
+from repro.units import GB, Gbps, milliseconds
+
+#: Scenario shape (the acceptance scenario from ISSUE 1).
+N_SESSIONS = 8
+CONCURRENCY = 64
+
+#: Pre-PR numbers for the default scenario (30 s sim, dt=0.1), measured
+#: on the seed code (commit 865df62) on the reference container.  The
+#: "speedup" field in BENCH_hotpath.json is current vs. this.
+BASELINE_PRE_PR = {
+    "wall_seconds": 2.330,
+    "steps_per_second": 129.0,
+}
+
+
+def build_scenario(n_sessions: int = N_SESSIONS, concurrency: int = CONCURRENCY, dt: float = 0.1):
+    """``n_sessions`` site pairs crossing one shared 10 Gbps backbone."""
+    engine = SimulationEngine(dt=dt)
+    network = FluidTransferNetwork(engine)
+    backbone = Link(
+        "backbone", 10 * Gbps, delay=milliseconds(10), loss_model=DropTailLossModel()
+    )
+    lossless = NoLossModel()
+    sessions = []
+    for i in range(n_sessions):
+        storage = ParallelFileSystem(name=f"pfs-{i}")
+        src = DataTransferNode(f"src-{i}", storage=storage, nic=Nic(40 * Gbps, name=f"nic-s{i}"))
+        dst = DataTransferNode(
+            f"dst-{i}",
+            storage=ParallelFileSystem(name=f"pfs-{i}d"),
+            nic=Nic(40 * Gbps, name=f"nic-d{i}"),
+        )
+        path = Path(
+            links=(
+                Link(f"edge-src-{i}", 40 * Gbps, delay=milliseconds(1), loss_model=lossless),
+                backbone,
+                Link(f"edge-dst-{i}", 40 * Gbps, delay=milliseconds(1), loss_model=lossless),
+            ),
+            name=f"path-{i}",
+        )
+        tb = Testbed(
+            name=f"site-{i}",
+            source=src,
+            destination=dst,
+            path=path,
+            sample_interval=5.0,
+            bottleneck="Network",
+        )
+        session = tb.new_session(
+            uniform_dataset(256, 1 * GB),
+            params=TransferParams(concurrency=concurrency, parallelism=2),
+            repeat=True,
+        )
+        network.add_session(session)
+        sessions.append(session)
+    return engine, network, sessions
+
+
+def run_bench(sim_time: float, dt: float = 0.1) -> dict:
+    """Measure wall time and fluid steps/sec for the scenario."""
+    engine, network, sessions = build_scenario(dt=dt)
+    engine.enable_profiling()
+
+    steps = [0]
+    inner = engine.fluid_step
+
+    def counting_step(now: float, step_dt: float) -> None:
+        steps[0] += 1
+        inner(now, step_dt)
+
+    engine.fluid_step = counting_step
+
+    t0 = time.perf_counter()
+    engine.run_for(sim_time)
+    wall = time.perf_counter() - t0
+
+    result = {
+        "sim_time": sim_time,
+        "dt": dt,
+        "fluid_steps": steps[0],
+        "wall_seconds": round(wall, 4),
+        "steps_per_second": round(steps[0] / wall, 1),
+        "total_good_bytes": float(sum(s.total_good_bytes for s in sessions)),
+    }
+    profile = getattr(engine, "profile", None)
+    if profile is not None and getattr(profile, "totals", None):
+        result["subsystem_seconds"] = {
+            name: round(seconds, 4) for name, seconds in sorted(profile.totals.items())
+        }
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="short CI run, no JSON output")
+    parser.add_argument("--sim-time", type=float, default=30.0, help="simulated seconds")
+    parser.add_argument("--dt", type=float, default=0.1, help="fluid step size")
+    parser.add_argument(
+        "--baseline", action="store_true", help="print measurements without writing JSON"
+    )
+    parser.add_argument("--out", default="BENCH_hotpath.json", help="output path")
+    args = parser.parse_args(argv)
+
+    sim_time = 3.0 if args.smoke else args.sim_time
+    result = run_bench(sim_time, dt=args.dt)
+    print(
+        f"{N_SESSIONS} sessions x {CONCURRENCY} workers, {sim_time:g}s sim: "
+        f"{result['wall_seconds']:.3f}s wall, {result['steps_per_second']:.0f} steps/s"
+    )
+    for name, seconds in result.get("subsystem_seconds", {}).items():
+        print(f"  {name:<14} {seconds:.4f}s")
+
+    if args.smoke or args.baseline:
+        return 0
+
+    baseline = BASELINE_PRE_PR
+    payload = {
+        "scenario": {
+            "sessions": N_SESSIONS,
+            "concurrency": CONCURRENCY,
+            "workers": N_SESSIONS * CONCURRENCY,
+            "sim_time": sim_time,
+            "dt": args.dt,
+        },
+        "baseline_pre_pr": baseline,
+        "current": result,
+    }
+    if baseline.get("steps_per_second"):
+        payload["speedup"] = round(
+            result["steps_per_second"] / baseline["steps_per_second"], 2
+        )
+    FsPath(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -120,6 +120,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
     from repro.experiments.common import launch_falcon, make_context
 
     ctx = make_context(seed=args.seed)
+    if args.profile:
+        ctx.engine.enable_profiling()
     tb = factory()
     launched = launch_falcon(ctx, tb, kind=args.optimizer)
     ctx.engine.run_for(args.duration)
@@ -137,6 +139,9 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
     print(f"throughput  {sparkline(launched.trace.throughput_bps)}")
     print(f"concurrency {sparkline(launched.trace.concurrency)}")
+    if args.profile:
+        print()
+        print(ctx.engine.profile.report())
     return 0
 
 
@@ -168,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--optimizer", choices=("gd", "bo", "hc"), default="gd")
     tune.add_argument("--duration", type=float, default=300.0)
     tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-subsystem wall-time counters after the run",
+    )
     tune.set_defaults(fn=cmd_tune)
     return parser
 

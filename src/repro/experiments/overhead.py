@@ -8,7 +8,8 @@ throughput-greedy tuner, and a heavily over-provisioned fixed setting
 move the *same* number of bytes on the lossy Emulab bottleneck; we
 account
 
-* process-seconds consumed (host CPU/memory footprint),
+* process-seconds consumed (host CPU/memory footprint, counting each
+  worker as one process on *both* end hosts),
 * retransmitted bytes (network waste),
 * goodput achieved,
 
@@ -37,6 +38,8 @@ class OverheadRun:
     name: str
     goodput_bytes: float
     lost_bytes: float
+    #: Worker-process lifetime, both end hosts (a transfer at
+    #: concurrency n consumes 2n process-seconds per second).
     process_seconds: float
     mean_throughput_bps: float
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.fairshare import max_min_fair_share
+from repro.sim.fairshare import _fair_share_unchecked
 from repro.units import Gbps
 
 
@@ -37,4 +37,4 @@ class Nic:
 
     def allocate(self, demands: np.ndarray) -> np.ndarray:
         """Max-min fair allocation of one direction's line rate."""
-        return max_min_fair_share(np.asarray(demands, dtype=float), self.capacity)
+        return _fair_share_unchecked(np.asarray(demands, dtype=float), self.capacity)

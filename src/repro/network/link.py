@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.network.queue import DropTailLossModel, LossModel
-from repro.sim.fairshare import max_min_fair_share
+from repro.sim.fairshare import _fair_share_unchecked
 
 
 @dataclass
@@ -40,7 +40,7 @@ class Link:
 
     def allocate(self, demands: np.ndarray) -> np.ndarray:
         """Max-min fair allocation of this link's capacity."""
-        return max_min_fair_share(np.asarray(demands, dtype=float), self.capacity)
+        return _fair_share_unchecked(np.asarray(demands, dtype=float), self.capacity)
 
     def loss_rate(self, offered_bps: float, n_flows: int, rtt: float) -> float:
         """Packet-loss fraction for the given load (see :class:`LossModel`)."""

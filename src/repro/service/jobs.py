@@ -41,7 +41,9 @@ class TransferReport:
     loss_fraction:
         Lost bytes over sent bytes across the whole job.
     process_seconds:
-        Worker-process lifetime consumed (the overhead metric).
+        Worker-process lifetime consumed across both end hosts (the
+        overhead metric; each worker is a process at the source *and*
+        the destination).
     """
 
     bytes_moved: float

@@ -88,18 +88,30 @@ class FalconService:
         return job
 
     def cancel(self, job: TransferJob) -> None:
-        """Cancel a queued or running job."""
+        """Cancel a queued or running job.
+
+        Cancelling a running job tears its workers down the same way a
+        concurrency decrease does — in-flight files return to the queue
+        with their progress kept — and attaches a *partial*
+        :class:`TransferReport` covering the work done so far.
+        """
         if job.state is JobState.QUEUED:
             self._queue.remove(job)
             job.state = JobState.CANCELLED
             job.finished_at = self.engine.now
         elif job.state is JobState.RUNNING:
             session = job._extras["session"]
+            agent: FalconAgent = job._extras["agent"]
+            # Tear down the worker pool: in-progress files go back to
+            # the session's queue via push_back with progress intact
+            # (restartable-transfer semantics), not silently stranded.
+            session._resize_workers(0)
             session.finished_at = self.engine.now
             if session in self.network.sessions:
                 self.network.remove_session(session)
             job.state = JobState.CANCELLED
             job.finished_at = self.engine.now
+            job.report = self._partial_report(job, session, agent)
             self._active.remove(job)
             self._dispatch()
 
@@ -150,9 +162,16 @@ class FalconService:
         agent: FalconAgent = job._extras["agent"]
         job.state = JobState.COMPLETED
         job.finished_at = self.engine.now
-        duration = max(job.finished_at - (job.started_at or 0.0), 1e-9)
+        job.report = self._partial_report(job, session, agent)
+        if job in self._active:
+            self._active.remove(job)
+        self._dispatch()
+
+    def _partial_report(self, job: TransferJob, session, agent: FalconAgent) -> TransferReport:
+        """Report covering whatever the session moved up to now."""
+        duration = max((job.finished_at or 0.0) - (job.started_at or 0.0), 1e-9)
         sent = session.total_good_bytes + session.total_lost_bytes
-        job.report = TransferReport(
+        return TransferReport(
             bytes_moved=session.total_good_bytes,
             duration=duration,
             mean_throughput_bps=session.total_good_bytes * 8.0 / duration,
@@ -162,6 +181,3 @@ class FalconService:
             loss_fraction=session.total_lost_bytes / sent if sent > 0 else 0.0,
             process_seconds=session.process_seconds,
         )
-        if job in self._active:
-            self._active.remove(job)
-        self._dispatch()

@@ -68,10 +68,20 @@ class SimulationEngine:
             raise ValueError("dt must be positive")
         self.dt = float(dt)
         self.fluid_step = fluid_step
+        #: Optional :class:`~repro.sim.profile.PerfCounters` collecting
+        #: per-subsystem wall time and steps/sec.  ``None`` = no profiling.
+        self.profile: Optional["PerfCounters"] = None
         self._now = 0.0
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._stopped = False
+
+    def enable_profiling(self) -> "PerfCounters":
+        """Attach (and return) a fresh perf-counter set to this engine."""
+        from repro.sim.profile import PerfCounters
+
+        self.profile = PerfCounters()
+        return self.profile
 
     @property
     def now(self) -> float:
@@ -168,18 +178,29 @@ class SimulationEngine:
         The step size is chosen so the span divides evenly (avoiding a
         tiny ragged final step), and events scheduled *by* a fluid step
         (e.g. a file completing mid-interval) fire before integration
-        continues.
+        continues.  The remaining span is re-clamped against the event
+        queue after every step: an event a fluid callback schedules
+        inside the original span shortens the following steps so it
+        fires exactly at its timestamp instead of on the old grid (up
+        to one full step late).
         """
         while not self._stopped:
-            span = horizon - self._now
-            if span <= 1e-12:
-                self._now = horizon
+            if horizon - self._now <= 1e-12:
+                self._now = max(self._now, horizon)
                 return
+            nxt = self._peek_time()
+            target = horizon if nxt is None else min(horizon, nxt)
+            span = target - self._now
+            if span <= 1e-12:
+                self._fire_due_events()
+                continue
             steps = max(1, math.ceil(span / self.dt - 1e-9))
             step = span / steps
             if self.fluid_step is not None:
                 self.fluid_step(self._now, step)
             self._now += step
+            if self.profile is not None:
+                self.profile.note_step(step)
             nxt = self._peek_time()
             if nxt is not None and nxt <= self._now + 1e-12:
                 self._fire_due_events()

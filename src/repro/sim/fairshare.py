@@ -43,6 +43,16 @@ def max_min_fair_share(demands: np.ndarray, capacity: float) -> np.ndarray:
         raise ValueError("demands must be non-negative")
     if capacity < 0:
         raise ValueError("capacity must be non-negative")
+    return _fair_share_unchecked(demands, capacity)
+
+
+def _fair_share_unchecked(demands: np.ndarray, capacity: float) -> np.ndarray:
+    """:func:`max_min_fair_share` without input validation.
+
+    Internal fast path for the simulator's resource allocators, which
+    call this tens of thousands of times per simulated second with
+    demands they constructed themselves (1-D float, non-negative).
+    """
     n = demands.size
     if n == 0:
         return np.zeros(0)

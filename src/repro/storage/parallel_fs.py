@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.fairshare import max_min_fair_share
+from repro.sim.fairshare import _fair_share_unchecked
 from repro.units import Gbps
 
 
@@ -117,7 +117,7 @@ class ParallelFileSystem:
     def _allocate(self, demands, per_process: float, capacity_fn) -> np.ndarray:
         demands = np.minimum(np.asarray(demands, dtype=float), per_process)
         active = int(np.count_nonzero(demands > 0))
-        return max_min_fair_share(demands, capacity_fn(active))
+        return _fair_share_unchecked(demands, capacity_fn(active))
 
 
 def throttled_fs(

@@ -17,11 +17,21 @@ Every fluid step the executor:
    move file bytes.
 
 The executor is deliberately the *only* place where sessions interact.
+
+Performance: the resource topology (groupings, member index arrays,
+stream/weight vectors, waterfill scratch) depends only on *which*
+sessions are attached and their worker counts / parallelism — not on
+per-step state — so it is built once and cached in a :class:`_Topology`.
+A dirty flag set by session add/remove and by ``set_params`` /
+worker-resize invalidates it; a cheap per-step fingerprint (session
+identities, worker counts, parallelism) is kept as a safety net against
+unreported changes.  See DESIGN.md "Performance".
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -48,6 +58,42 @@ class _Resource:
     streams: np.ndarray | None = None
     link: Link | None = None
     last_alloc: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    # -- cached arbitration scaffolding (filled by _build_topology) --------
+    #: ``members`` as a column vector, for 2-D fancy indexing.
+    members_col: np.ndarray | None = None
+    #: (m, k) indices of the *other* resources serving each member,
+    #: padded with the always-inf sentinel column of the grants matrix.
+    other_rows: np.ndarray | None = None
+    #: Per-step gather of the demand caps for this resource's members.
+    demand_sub: np.ndarray | None = None
+    #: Links only: total stream count and the worst member-path RTT.
+    n_flows: int = 0
+    link_rtt: float = 0.0
+
+
+@dataclass
+class _Topology:
+    """Cached per-step arbitration state for a fixed session set."""
+
+    fingerprint: tuple
+    sessions: list[TransferSession]
+    offsets: np.ndarray
+    total: int
+    resources: list[_Resource]
+    #: Per-worker demand cap assuming the worker holds a file.
+    caps_full: np.ndarray
+    #: Scratch: concatenated has_file mask, refreshed each step.
+    has_file: np.ndarray
+    #: Scratch: grants[w, r] = resource r's last allocation to worker w.
+    #: The extra final column stays +inf forever (padding sentinel).
+    grants: np.ndarray
+    #: Per session, the ``id()`` of every link on its path (loss lookup).
+    session_link_ids: list[list[int]]
+    #: Waterfill memo: the allocation is a pure function of the demand
+    #: caps for a fixed topology, and the caps only change when a worker
+    #: gains/loses a file — so identical caps replay the cached result.
+    memo_demand_cap: np.ndarray | None = None
+    memo_final: np.ndarray | None = None
 
 
 class FluidTransferNetwork:
@@ -57,6 +103,8 @@ class FluidTransferNetwork:
         self.engine = engine
         self.config = config
         self.sessions: list[TransferSession] = []
+        self._topo: _Topology | None = None
+        self._dirty = True
         engine.fluid_step = self.fluid_step
 
     # -- session management ----------------------------------------------------
@@ -67,11 +115,24 @@ class FluidTransferNetwork:
             raise ValueError(f"session {session.name!r} already added")
         session.started_at = self.engine.now
         session.assign_files()
+        session.on_topology_change = self.invalidate_topology
         self.sessions.append(session)
+        self._dirty = True
 
     def remove_session(self, session: TransferSession) -> None:
         """Detach a session (finished or cancelled)."""
         self.sessions.remove(session)
+        session.on_topology_change = None
+        self._dirty = True
+
+    def invalidate_topology(self) -> None:
+        """Force a topology rebuild on the next fluid step.
+
+        Called automatically when sessions are added/removed or change
+        their parameters; public so exotic callers that mutate shared
+        resources in place can request a rebuild explicitly.
+        """
+        self._dirty = True
 
     def active_sessions(self) -> list[TransferSession]:
         """Sessions that still have work."""
@@ -87,29 +148,104 @@ class FluidTransferNetwork:
         for s in sessions:
             s.assign_files()
 
-        counts = np.array([s.rates.size for s in sessions])
-        offsets = np.concatenate([[0], np.cumsum(counts)])
-        total_workers = int(offsets[-1])
-        if total_workers == 0:
+        topo = self._topology(sessions)
+        if topo.total == 0:
             return
 
-        demand_cap = self._demand_caps(sessions, offsets, total_workers)
-        resources = self._build_resources(sessions, offsets, total_workers)
-        final = self._waterfill(demand_cap, resources, total_workers)
-        losses = self._session_losses(sessions, offsets, resources, final)
+        t0 = perf_counter()
+        demand_cap = self._demand_caps(topo)
+        t1 = perf_counter()
+        final = self._waterfill(demand_cap, topo)
+        t2 = perf_counter()
+        losses = self._session_losses(topo, final)
+        t3 = perf_counter()
 
+        offsets = topo.offsets
         for i, s in enumerate(sessions):
             targets = final[offsets[i] : offsets[i + 1]]
             s.step(dt, targets, losses[i], now)
             if not s.active and s in self.sessions:
-                self.sessions.remove(s)
+                self.remove_session(s)
+        t4 = perf_counter()
+
+        prof = self.engine.profile
+        if prof is not None:
+            prof.add("demand_caps", t1 - t0)
+            prof.add("waterfill", t2 - t1)
+            prof.add("loss", t3 - t2)
+            prof.add("session_step", t4 - t3)
+
+    # -- topology cache ----------------------------------------------------------
+
+    def _topology(self, sessions: list[TransferSession]) -> _Topology:
+        """The cached topology, rebuilt only when stale.
+
+        The dirty flag is the primary invalidation mechanism; the
+        fingerprint catches direct mutations that bypassed the session
+        notification hook (e.g. tests poking worker arrays).
+        """
+        fingerprint = tuple(
+            (id(s), s.rates.size, s.params.parallelism) for s in sessions
+        )
+        topo = self._topo
+        if not self._dirty and topo is not None and topo.fingerprint == fingerprint:
+            return topo
+        topo = self._build_topology(sessions, fingerprint)
+        self._topo = topo
+        self._dirty = False
+        return topo
+
+    def _build_topology(
+        self, sessions: list[TransferSession], fingerprint: tuple
+    ) -> _Topology:
+        counts = np.array([s.rates.size for s in sessions])
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        total = int(offsets[-1])
+
+        resources = self._build_resources(sessions, offsets)
+        n_res = len(resources)
+
+        # Which resources serve each worker (for the other-rows tables).
+        worker_res: list[list[int]] = [[] for _ in range(total)]
+        for r, res in enumerate(resources):
+            for w in res.members.tolist():
+                worker_res[w].append(r)
+        for r, res in enumerate(resources):
+            members = res.members.tolist()
+            width = max((len(worker_res[w]) - 1 for w in members), default=0)
+            other = np.full((len(members), max(width, 1)), n_res, dtype=np.intp)
+            for j, w in enumerate(members):
+                others = [x for x in worker_res[w] if x != r]
+                other[j, : len(others)] = others
+            res.members_col = res.members[:, None]
+            res.other_rows = other
+            if res.link is not None:
+                res.n_flows = (
+                    int(res.streams.sum()) if res.streams is not None else res.members.size
+                )
+                res.link_rtt = max(
+                    (s.path.rtt for s in sessions if res.link in s.path.links),
+                    default=0.0,
+                )
+
+        return _Topology(
+            fingerprint=fingerprint,
+            sessions=list(sessions),
+            offsets=offsets,
+            total=total,
+            resources=resources,
+            caps_full=self._caps_full(sessions, offsets, total),
+            has_file=np.zeros(total, dtype=bool),
+            grants=np.full((total, n_res + 1), np.inf),
+            session_link_ids=[[id(link) for link in s.path] for s in sessions],
+        )
 
     # -- demand caps -----------------------------------------------------------
 
-    def _demand_caps(
+    def _caps_full(
         self, sessions: list[TransferSession], offsets: np.ndarray, total: int
     ) -> np.ndarray:
-        """Per-worker unconstrained rate caps (bps)."""
+        """Per-worker unconstrained rate caps assuming a file in hand (bps)."""
         # Process counts per host: each worker is one process on the
         # source and one on the destination.
         procs: dict[int, int] = {}
@@ -128,17 +264,26 @@ class FluidTransferNetwork:
                 s.source.storage.per_process_read_bps * eff,
                 s.destination.storage.per_process_write_bps * eff,
             )
-            sl = slice(offsets[i], offsets[i + 1])
-            # Workers holding a file keep their allocation warm even
-            # while in a short inter-file gap (data-channel caching);
-            # workers with no file left demand nothing.
-            caps[sl] = np.where(s.has_file, per_worker, 0.0)
+            caps[offsets[i] : offsets[i + 1]] = per_worker
         return caps
+
+    def _demand_caps(self, topo: _Topology) -> np.ndarray:
+        """Per-worker rate caps this step (bps).
+
+        Workers holding a file keep their allocation warm even while in
+        a short inter-file gap (data-channel caching); workers with no
+        file left demand nothing.
+        """
+        has_file = topo.has_file
+        offsets = topo.offsets
+        for i, s in enumerate(topo.sessions):
+            has_file[offsets[i] : offsets[i + 1]] = s.has_file
+        return np.where(has_file, topo.caps_full, 0.0)
 
     # -- resource construction ----------------------------------------------------
 
     def _build_resources(
-        self, sessions: list[TransferSession], offsets: np.ndarray, total: int
+        self, sessions: list[TransferSession], offsets: np.ndarray
     ) -> list[_Resource]:
         resources: list[_Resource] = []
 
@@ -211,53 +356,60 @@ class FluidTransferNetwork:
 
     # -- iterative waterfilling -----------------------------------------------------
 
-    def _waterfill(
-        self, demand_cap: np.ndarray, resources: list[_Resource], total: int
-    ) -> np.ndarray:
+    def _waterfill(self, demand_cap: np.ndarray, topo: _Topology) -> np.ndarray:
         """Joint allocation: each round every resource re-allocates with
-        demands clamped by the other resources' last grants."""
-        n_res = len(resources)
-        # grants[r, w] = resource r's last allocation to worker w
-        grants = np.full((n_res, total), np.inf)
+        demands clamped by the other resources' last grants.
+
+        Gauss-Seidel over the cached resource list: within a round each
+        resource sees the grants the earlier resources just wrote.  The
+        grants matrix is preallocated scratch; its sentinel last column
+        stays +inf so the padded other-rows gather is a plain 2-D fancy
+        index with no per-resource ``np.delete`` copies.
+        """
+        # Memo hit: same caps, same topology -> same (pure) allocation.
+        if topo.memo_demand_cap is not None and np.array_equal(
+            demand_cap, topo.memo_demand_cap
+        ):
+            return topo.memo_final.copy()
+
+        grants = topo.grants
+        grants.fill(np.inf)
+        resources = topo.resources
+        for res in resources:
+            res.demand_sub = demand_cap[res.members]
         for _ in range(_WATERFILL_ROUNDS):
             for r, res in enumerate(resources):
-                others = np.delete(grants[:, res.members], r, axis=0)
-                clamp = others.min(axis=0) if others.size else np.full(res.members.size, np.inf)
-                demands = np.minimum(demand_cap[res.members], clamp)
+                clamp = grants[res.members_col, res.other_rows].min(axis=1)
+                demands = np.minimum(res.demand_sub, clamp)
                 alloc = res.allocate(demands)
-                grants[r, res.members] = alloc
+                grants[res.members, r] = alloc
                 res.last_alloc = alloc
-        final = np.minimum(demand_cap, grants.min(axis=0))
-        return np.where(np.isfinite(final), final, demand_cap)
+        final = np.minimum(demand_cap, grants[:, : len(resources)].min(axis=1))
+        final = np.where(np.isfinite(final), final, demand_cap)
+        topo.memo_demand_cap = demand_cap
+        topo.memo_final = final
+        return final.copy()
 
     # -- loss -----------------------------------------------------------------------
 
-    def _session_losses(
-        self,
-        sessions: list[TransferSession],
-        offsets: np.ndarray,
-        resources: list[_Resource],
-        final: np.ndarray,
-    ) -> list[float]:
+    def _session_losses(self, topo: _Topology, final: np.ndarray) -> list[float]:
         """Per-session path loss: independent loss at each traversed link."""
         link_loss: dict[int, float] = {}
-        for res in resources:
+        for res in topo.resources:
             if res.link is None:
                 continue
             carried = float(final[res.members].sum())
-            n_flows = int(res.streams.sum()) if res.streams is not None else res.members.size
             # Use the RTT of the longest path through this link — loss is a
             # property of the shared queue, approximated with one RTT.
-            rtt = max(
-                (s.path.rtt for s in sessions if res.link in s.path.links), default=0.0
+            link_loss[id(res.link)] = res.link.loss_rate(
+                carried, res.n_flows, res.link_rtt
             )
-            link_loss[id(res.link)] = res.link.loss_rate(carried, n_flows, rtt)
 
         losses = []
-        for s in sessions:
+        for link_ids in topo.session_link_ids:
             survive = 1.0
-            for link in s.path:
-                survive *= 1.0 - link_loss.get(id(link), 0.0)
+            for key in link_ids:
+                survive *= 1.0 - link_loss.get(key, 0.0)
             losses.append(1.0 - survive)
         return losses
 
@@ -274,20 +426,24 @@ def _flow_allocator(link: Link, streams: np.ndarray, weights: np.ndarray | None 
     TCP flows weigh 1.0; a BBR-flavoured transport (the paper's future
     work, modelled as less loss-deferential) claims proportionally more
     of a saturated link.
+
+    The flow expansion scaffolding (reduceat boundaries, expanded
+    weights) depends only on ``streams``/``weights``, so it is computed
+    once per topology build rather than per step.
     """
     uniform = weights is None or np.all(weights == weights[0] if weights.size else True)
+    boundaries = np.concatenate([[0], np.cumsum(streams)[:-1]])
+    flow_weights = None if uniform else np.repeat(weights, streams)
 
     def allocate(demands: np.ndarray) -> np.ndarray:
         flow_demands = np.repeat(demands / streams, streams)
         if uniform:
             flow_alloc = link.allocate(flow_demands)
         else:
-            flow_weights = np.repeat(weights, streams)
             flow_alloc = weighted_max_min_fair_share(
                 flow_demands, flow_weights, link.capacity
             )
         # Sum each worker's flows back together.
-        boundaries = np.concatenate([[0], np.cumsum(streams)[:-1]])
         return np.add.reduceat(flow_alloc, boundaries) if flow_alloc.size else flow_alloc
 
     return allocate

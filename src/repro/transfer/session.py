@@ -98,6 +98,12 @@ class TransferSession:
         self.tcp = tcp
         self.params = params
         self.monitor = ThroughputMonitor()
+        # Path is frozen, so its RTT is a constant for the session's
+        # lifetime; cache it out of the per-step hot path.
+        self._path_rtt = path.rtt
+        # Set by the executor; invoked whenever worker count or stream
+        # layout changes so it can invalidate its cached topology.
+        self.on_topology_change: Optional[Callable[[], None]] = None
 
         # Per-worker state (parallel arrays).
         self.rates = np.zeros(0)  # current send rate, bps
@@ -138,6 +144,8 @@ class TransferSession:
         """Apply a new parameter vector (spawning/dropping workers)."""
         if params.concurrency != self.params.concurrency:
             self._resize_workers(params.concurrency)
+        if params.parallelism != self.params.parallelism:
+            self._notify_topology_change()
         self.params = params
 
     def set_concurrency(self, n: int) -> None:
@@ -151,7 +159,7 @@ class TransferSession:
             self.rates = np.concatenate([self.rates, np.full(extra, self.tcp.initial_rate)])
             self.file_size = np.concatenate([self.file_size, np.zeros(extra)])
             self.file_done = np.concatenate([self.file_done, np.zeros(extra)])
-            startup = WORKER_SPAWN_OVERHEAD + CONTROL_RTTS_PER_FILE * self.path.rtt
+            startup = WORKER_SPAWN_OVERHEAD + CONTROL_RTTS_PER_FILE * self._path_rtt
             self.gap_left = np.concatenate([self.gap_left, np.full(extra, startup)])
             self.has_file = np.concatenate([self.has_file, np.zeros(extra, dtype=bool)])
             self.assign_files()
@@ -164,6 +172,12 @@ class TransferSession:
             self.file_done = self.file_done[:target]
             self.gap_left = self.gap_left[:target]
             self.has_file = self.has_file[:target]
+        if target != current:
+            self._notify_topology_change()
+
+    def _notify_topology_change(self) -> None:
+        if self.on_topology_change is not None:
+            self.on_topology_change()
 
     # -- file management -----------------------------------------------------
 
@@ -182,7 +196,7 @@ class TransferSession:
         Control-channel round trips are amortised by pipelining; file
         open/create latency at both file systems is not.
         """
-        control = CONTROL_RTTS_PER_FILE * self.path.rtt / self.params.pipelining
+        control = CONTROL_RTTS_PER_FILE * self._path_rtt / self.params.pipelining
         return control + self.source.storage.open_latency + self.destination.storage.open_latency
 
     # -- status ---------------------------------------------------------------
@@ -216,7 +230,7 @@ class TransferSession:
             Simulation time at the *start* of the step.
         """
         self.current_loss = loss_rate
-        self.rates = self.tcp.advance_rates(self.rates, targets, self.path.rtt, dt)
+        self.rates = self.tcp.advance_rates(self.rates, targets, self._path_rtt, dt)
 
         # Consume gaps; remaining time per worker is what's left of dt.
         time_left = np.maximum(0.0, dt - self.gap_left)
@@ -227,12 +241,39 @@ class TransferSession:
 
         good_total = 0.0
         sent_total = 0.0
-        for w in range(self.rates.size):
-            if not self.has_file[w] or time_left[w] <= 0.0:
-                continue
-            good, sent = self._advance_worker(w, time_left[w], good_rate_Bps[w], goodput_factor)
-            good_total += good
-            sent_total += sent
+        # Workers that will actually move bytes this step (same guards
+        # the per-worker advance applies individually).
+        moving = np.flatnonzero(
+            self.has_file & (time_left > 1e-12) & (good_rate_Bps > 1e-9)
+        )
+        if moving.size:
+            need = self.file_size[moving] - self.file_done[moving]
+            finishes = (need / good_rate_Bps[moving]) <= time_left[moving]
+            if not finishes.any():
+                # Fast path — the common case: no worker completes its
+                # file this step, so every moving worker just streams
+                # for its whole remaining time.  One vectorized update;
+                # totals accumulate in worker order so the floating-
+                # point results match the per-worker loop bit for bit.
+                moved = good_rate_Bps[moving] * time_left[moving]
+                self.file_done[moving] += moved
+                if goodput_factor > 0:
+                    for good in moved.tolist():
+                        good_total += good
+                        sent_total += good / goodput_factor
+                else:
+                    for good in moved.tolist():
+                        good_total += good
+                        sent_total += good
+            else:
+                # Completion cascade (file finishes, inter-file gaps,
+                # possible queue exhaustion): per-worker advance.
+                for w in moving.tolist():
+                    good, sent = self._advance_worker(
+                        w, time_left[w], good_rate_Bps[w], goodput_factor
+                    )
+                    good_total += good
+                    sent_total += sent
 
         lost_total = sent_total - good_total
         self.monitor.record(good_total, sent_total, lost_total, dt)
@@ -241,7 +282,7 @@ class TransferSession:
         # Overhead accounting: every live worker is a process on both
         # end hosts for the duration of the step (the resource-cost
         # side of the paper's "minimal overhead" claim).
-        self.process_seconds += self.rates.size * dt
+        self.process_seconds += 2 * self.rates.size * dt
 
         self.assign_files()
         if self.queue.exhausted and not self.has_file.any() and self.finished_at is None:

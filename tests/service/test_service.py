@@ -108,6 +108,51 @@ class TestCancellation:
         assert waiting.state is JobState.CANCELLED
         assert svc.queued() == []
 
+    def test_cancel_running_returns_in_flight_files(self):
+        """Cancelling a running job must not strand in-progress files:
+        they go back to the queue with progress kept."""
+        svc = make_service()
+        job = svc.submit(hpclab(), uniform_dataset(50, 1 * GB))
+        svc.engine.run_for(10.0)
+        session = job._extras["session"]
+        in_flight = int(session.has_file.sum())
+        assert in_flight > 0  # mid-transfer by construction
+        before = session.queue.remaining_files
+        svc.cancel(job)
+        assert session.rates.size == 0
+        assert session.queue.remaining_files == before + in_flight
+        # Every file is either completed or back in the queue.
+        assert session.files_completed + session.queue.remaining_files == 50
+
+    def test_cancel_running_attaches_partial_report(self):
+        svc = make_service()
+        job = svc.submit(hpclab(), uniform_dataset(50, 1 * GB))
+        svc.engine.run_for(10.0)
+        svc.cancel(job)
+        report = job.report
+        assert report is not None
+        assert report.bytes_moved > 0
+        assert report.duration == pytest.approx(10.0)
+        assert report.bytes_moved == pytest.approx(
+            report.mean_throughput_bps * report.duration / 8.0
+        )
+        assert report.files < 50
+
+    def test_cancel_then_resubmit_same_dataset(self):
+        """A cancelled job's dataset can be resubmitted and completes."""
+        svc = make_service(max_active=1)
+        tb = hpclab()
+        dataset = uniform_dataset(30, 1 * GB)
+        first = svc.submit(tb, dataset, name="first-attempt")
+        svc.engine.run_for(5.0)
+        svc.cancel(first)
+        assert first.state is JobState.CANCELLED
+        retry = svc.submit(tb, dataset, name="retry")
+        svc.engine.run_for(120.0)
+        assert retry.state is JobState.COMPLETED
+        assert retry.report.bytes_moved == pytest.approx(30 * GB, rel=1e-3)
+        assert retry.report.files == 30
+
     def test_cancel_running_frees_slot(self):
         svc = make_service(max_active=1)
         tb = hpclab()

@@ -111,6 +111,39 @@ class TestFluidIntegration:
         eng.run_until(1.0)
         assert marks and marks[0] < 1.0
 
+    def test_fluid_scheduled_event_fires_on_time(self):
+        """An event scheduled *by* the fluid callback inside the current
+        span must fire at its timestamp, not on the old step grid (the
+        pre-clamp behaviour fired it up to one full step late)."""
+        eng = SimulationEngine(dt=0.1)
+        fired = []
+        scheduled = []
+
+        def fluid(now, dt):
+            if not scheduled:
+                scheduled.append(True)
+                eng.schedule_at(0.25, lambda: fired.append(eng.now))
+
+        eng.fluid_step = fluid
+        eng.run_until(1.0)
+        assert fired == [pytest.approx(0.25)]
+
+    def test_fluid_steps_shorten_toward_scheduled_event(self):
+        """Integration lands exactly on a mid-span event boundary."""
+        eng = SimulationEngine(dt=0.1)
+        covered = []
+
+        def fluid(now, dt):
+            covered.append((now, dt))
+            if len(covered) == 1:
+                eng.schedule_at(0.25, lambda: None)
+
+        eng.fluid_step = fluid
+        eng.run_until(1.0)
+        boundaries = [now + dt for now, dt in covered]
+        assert any(b == pytest.approx(0.25, abs=1e-9) for b in boundaries)
+        assert sum(dt for _, dt in covered) == pytest.approx(1.0)
+
     def test_invalid_dt(self):
         with pytest.raises(ValueError):
             SimulationEngine(dt=0.0)

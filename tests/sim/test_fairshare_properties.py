@@ -1,0 +1,119 @@
+"""Property-based tests for the max-min fair-share allocators.
+
+Seeded-random inputs (no hypothesis dependency): hundreds of random
+demand vectors per property, spanning degenerate shapes (empty, single
+flow, all-zero demands, zero capacity, huge spreads) that example-based
+tests tend to miss.  Every property is a line item from the functions'
+documented contracts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.fairshare import (
+    _fair_share_unchecked,
+    max_min_fair_share,
+    weighted_max_min_fair_share,
+)
+
+#: Relative slack for float comparisons across ~1e9-scale rates.
+RTOL = 1e-9
+
+
+def random_cases(seed: int, n_cases: int = 200):
+    """Yield (demands, capacity) pairs over a wide range of regimes."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n_cases):
+        n = int(rng.integers(0, 40))
+        scale = 10.0 ** rng.integers(0, 10)
+        demands = rng.uniform(0.0, scale, size=n)
+        # Sprinkle exact zeros and duplicates — common in practice
+        # (idle workers demand 0; equal workers demand equal rates).
+        if n and rng.random() < 0.5:
+            demands[rng.integers(0, n)] = 0.0
+        if n >= 2 and rng.random() < 0.5:
+            demands[rng.integers(0, n)] = demands[rng.integers(0, n)]
+        # Capacity from starved to abundant.
+        capacity = float(rng.uniform(0.0, 2.0) * scale * max(n, 1) / 4)
+        yield demands, capacity
+
+
+class TestMaxMinProperties:
+    def test_allocation_bounded_by_demand_and_nonnegative(self):
+        for demands, capacity in random_cases(seed=1):
+            alloc = max_min_fair_share(demands, capacity)
+            assert alloc.shape == demands.shape
+            assert np.all(alloc >= 0.0)
+            assert np.all(alloc <= demands * (1 + RTOL) + 1e-12)
+
+    def test_capacity_conserved(self):
+        """Never over-allocates; fills the pipe when demand exceeds it."""
+        for demands, capacity in random_cases(seed=2):
+            alloc = max_min_fair_share(demands, capacity)
+            total = alloc.sum()
+            assert total <= capacity * (1 + RTOL) + 1e-12
+            if demands.sum() >= capacity:
+                assert total == pytest.approx(capacity, rel=1e-9, abs=1e-12)
+
+    def test_max_min_fairness(self):
+        """Every unsatisfied flow gets the common fair level, and no
+        satisfied flow gets more than that level."""
+        for demands, capacity in random_cases(seed=3):
+            alloc = max_min_fair_share(demands, capacity)
+            tol = 1e-9 * max(float(demands.max(initial=0.0)), 1.0)
+            unsatisfied = alloc < demands - tol
+            if not unsatisfied.any():
+                continue
+            levels = alloc[unsatisfied]
+            fair = levels.max()
+            assert levels == pytest.approx(fair, rel=1e-9, abs=tol)
+            assert np.all(alloc[~unsatisfied] <= fair + tol)
+
+    def test_unchecked_variant_matches_checked(self):
+        """The validation-skipping hot-path variant is the same math."""
+        for demands, capacity in random_cases(seed=4):
+            checked = max_min_fair_share(demands, capacity)
+            unchecked = _fair_share_unchecked(demands, capacity)
+            assert np.array_equal(checked, unchecked)
+
+    def test_input_never_mutated(self):
+        for demands, capacity in random_cases(seed=5, n_cases=50):
+            before = demands.copy()
+            max_min_fair_share(demands, capacity)
+            assert np.array_equal(demands, before)
+
+
+class TestWeightedMaxMinProperties:
+    def cases(self, seed: int, n_cases: int = 200):
+        rng = np.random.default_rng(seed)
+        for demands, capacity in random_cases(seed=seed + 100, n_cases=n_cases):
+            weights = rng.uniform(0.1, 10.0, size=demands.size)
+            yield demands, weights, capacity
+
+    def test_bounds_and_conservation(self):
+        for demands, weights, capacity in self.cases(seed=6):
+            alloc = weighted_max_min_fair_share(demands, weights, capacity)
+            assert np.all(alloc >= 0.0)
+            assert np.all(alloc <= demands * (1 + RTOL) + 1e-12)
+            assert alloc.sum() <= capacity * (1 + RTOL) + 1e-12
+
+    def test_unsatisfied_flows_share_proportionally_to_weight(self):
+        """Normalised by weight, every unsatisfied flow sits at the same
+        level — the defining property of weighted max-min."""
+        for demands, weights, capacity in self.cases(seed=7):
+            alloc = weighted_max_min_fair_share(demands, weights, capacity)
+            tol = 1e-6 * max(float(demands.max(initial=0.0)), 1.0)
+            unsatisfied = alloc < demands - tol
+            if unsatisfied.sum() < 2:
+                continue
+            normalised = alloc[unsatisfied] / weights[unsatisfied]
+            assert normalised == pytest.approx(normalised[0], rel=1e-6)
+
+    def test_uniform_weights_reduce_to_plain_max_min(self):
+        for demands, capacity in random_cases(seed=8, n_cases=100):
+            weights = np.ones(demands.size)
+            weighted = weighted_max_min_fair_share(demands, weights, capacity)
+            plain = max_min_fair_share(demands, capacity)
+            assert weighted == pytest.approx(plain, rel=1e-9, abs=1e-9)

@@ -138,6 +138,14 @@ class TestStep:
         sample = s.monitor.take(concurrency=1)
         assert sample.throughput_bps == pytest.approx(8e8, rel=0.01)
 
+    def test_process_seconds_counts_both_hosts(self):
+        """Each live worker is a process on the source *and* the
+        destination, so one step of n workers costs 2*n*dt."""
+        s = make_session(params=TransferParams(concurrency=3))
+        s.step(dt=1.0, targets=np.full(3, 8e6), loss_rate=0.0, now=0.0)
+        s.step(dt=0.5, targets=np.full(3, 8e6), loss_rate=0.0, now=1.0)
+        assert s.process_seconds == pytest.approx(2 * 3 * 1.5)
+
     def test_total_good_bytes_tracks(self):
         s = make_session(sizes=[1 * GB], params=TransferParams(concurrency=1))
         s.gap_left[:] = 0.0
