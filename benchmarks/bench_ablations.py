@@ -8,7 +8,6 @@ model.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments import ablations
 from repro.units import Mbps

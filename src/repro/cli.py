@@ -6,6 +6,7 @@ Usage::
     python -m repro list-experiments
     python -m repro run fig09                # regenerate one figure
     python -m repro tune hpclab --optimizer bo --duration 240
+    python -m repro lint src/repro           # repo-specific invariant checks
 
 The CLI is a thin veneer over the library — everything it does is one
 or two calls into ``repro.experiments`` / ``repro.core``.
@@ -19,7 +20,7 @@ from typing import Callable, Sequence
 
 from repro.analysis.tables import format_table
 from repro.testbeds import presets
-from repro.units import bps_to_gbps, format_rate
+from repro.units import bps_to_gbps, format_rate, seconds_to_ms
 
 #: CLI name -> testbed factory.
 TESTBEDS: dict[str, Callable] = {
@@ -64,7 +65,7 @@ def cmd_list_testbeds(_args: argparse.Namespace) -> int:
             (
                 name,
                 format_rate(tb.path.capacity, 0),
-                f"{tb.path.rtt * 1e3:g}ms",
+                f"{seconds_to_ms(tb.path.rtt):g}ms",
                 tb.bottleneck,
                 tb.optimal_concurrency(),
                 format_rate(tb.max_throughput(), 1),
@@ -179,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-subsystem wall-time counters after the run",
     )
     tune.set_defaults(fn=cmd_tune)
+
+    from repro.devtools.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 

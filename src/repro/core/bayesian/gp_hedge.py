@@ -77,7 +77,9 @@ class GPHedge:
         self.eta = float(eta)
         self.decay = float(decay)
         self._arms = [_Arm(name, fn) for name, fn in acquisitions]
-        self._rng = rng or np.random.default_rng()
+        # Seeded fallback: a bare default_rng() would draw OS entropy
+        # and make unseeded runs irreproducible.
+        self._rng = rng or np.random.default_rng(0)
 
     @property
     def gains(self) -> dict[str, float]:

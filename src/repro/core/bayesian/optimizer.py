@@ -65,7 +65,9 @@ class BayesianOptimizer(ConcurrencyOptimizer):
             raise ValueError("random_samples must be >= 1")
         self.window = int(window)
         self.random_samples = int(random_samples)
-        self._rng = rng or np.random.default_rng()
+        # Seeded fallback: a bare default_rng() would draw OS entropy
+        # and make unseeded runs irreproducible.
+        self._rng = rng or np.random.default_rng(0)
         self._history: deque[tuple[int, float]] = deque(maxlen=self.window)
         self._bootstrap_left = self.random_samples
         self.hedge = GPHedge(rng=self._rng)

@@ -1,0 +1,54 @@
+"""Repo-specific static analysis (``repro lint``).
+
+The simulator's trustworthiness rests on three invariants that no
+generic linter knows about:
+
+* **determinism** — every stochastic draw flows through
+  :class:`repro.sim.rng.RngStreams`; wall clocks and ambient RNGs never
+  touch simulation state;
+* **unit hygiene** — rates and sizes are constructed through
+  :mod:`repro.units`, never via raw magnitude literals;
+* **topology-cache discipline** — the executor's cached
+  :class:`~repro.transfer.executor._Topology` is invalidated whenever a
+  topology-affecting field changes.
+
+This package enforces them with a small AST-based check framework
+(stdlib :mod:`ast` only — no new runtime dependencies).  Checks are
+registered in :mod:`repro.devtools.framework` and live one-per-module
+under :mod:`repro.devtools.checks`; configuration comes from
+``[tool.repro-lint]`` in ``pyproject.toml``; findings can be suppressed
+with ``# repro: lint-ok[CODE]`` comments (see DESIGN.md, "Static
+analysis").
+"""
+
+from __future__ import annotations
+
+from repro.devtools.config import LintConfig, load_config
+from repro.devtools.findings import Finding, render_human, render_json
+from repro.devtools.framework import (
+    REGISTRY,
+    Check,
+    ModuleContext,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+__all__ = [
+    "Check",
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "REGISTRY",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register",
+    "render_human",
+    "render_json",
+]
+
+# Importing the checks package registers every shipped check.
+import repro.devtools.checks  # noqa: E402,F401  (registration side effect)

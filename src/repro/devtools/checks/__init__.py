@@ -1,0 +1,18 @@
+"""Shipped lint checks, one module per check code.
+
+Importing this package registers every check with
+:data:`repro.devtools.framework.REGISTRY`.  Adding a check in a later
+PR means dropping a module here, importing it below, and (optionally)
+giving it configuration in ``[tool.repro-lint]``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.checks import (  # noqa: F401  (imported for registration)
+    callbacks,
+    determinism,
+    floats,
+    ordering,
+    topology,
+    units,
+)

@@ -1,0 +1,101 @@
+"""F006 — event callbacks must not re-enter the engine.
+
+The engine is single-threaded and non-reentrant: a callback fired from
+inside ``run_until`` that itself calls ``engine.run_until`` /
+``run_for`` advances ``now`` underneath the outer loop's feet,
+corrupting the event sequence (events can fire out of order or twice).
+Callbacks must *schedule* follow-up work instead.
+
+Detection: collect everything passed as the action to ``schedule_at``
+/ ``schedule_in`` / ``schedule_every`` — named functions, bound
+methods, lambdas — then flag any ``.run_until(...)`` / ``.run_for(...)``
+call inside those bodies.  (Calling ``engine.stop()`` from a callback
+is the supported way to end a run and is not flagged.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.framework import Check, ModuleContext, register
+
+_SCHEDULERS = frozenset({"schedule_at", "schedule_in", "schedule_every"})
+
+#: Engine entry points a callback must never call.
+_REENTRY = frozenset({"run_until", "run_for"})
+
+
+def _scheduled_actions(tree: ast.Module) -> tuple[set[str], list[ast.Lambda]]:
+    """Names and lambdas registered as event actions anywhere in the module."""
+    names: set[str] = set()
+    lambdas: list[ast.Lambda] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _SCHEDULERS:
+            continue
+        action: ast.expr | None = None
+        if len(node.args) >= 2:
+            action = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "action":
+                    action = kw.value
+        if action is None:
+            continue
+        if isinstance(action, ast.Lambda):
+            lambdas.append(action)
+        elif isinstance(action, ast.Name):
+            names.add(action.id)
+        elif isinstance(action, ast.Attribute):
+            names.add(action.attr)
+    return names, lambdas
+
+
+def _reentry_calls(body: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(body):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _REENTRY
+        ):
+            yield node
+
+
+@register
+class CallbackPurityCheck(Check):
+    """Flags engine re-entry from scheduled event callbacks."""
+
+    code = "F006"
+    name = "callback-purity"
+    description = "event callbacks calling engine.run_until/run_for re-entrantly"
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro/")
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        names, lambdas = _scheduled_actions(ctx.tree)
+        for lam in lambdas:
+            for call in _reentry_calls(lam.body):
+                yield self._finding(ctx, call)
+        if not names:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in names
+            ):
+                for call in _reentry_calls(node):
+                    yield self._finding(ctx, call)
+
+    def _finding(self, ctx: ModuleContext, call: ast.Call) -> Finding:
+        assert isinstance(call.func, ast.Attribute)
+        return ctx.finding(
+            self.code,
+            f"event callback re-enters the engine via .{call.func.attr}(); "
+            "schedule follow-up work instead of running the engine recursively",
+            call,
+        )

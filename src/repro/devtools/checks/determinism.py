@@ -1,0 +1,113 @@
+"""F001 — all randomness and time must come from the simulation itself.
+
+Simulation code that reads a wall clock or an ambient RNG produces
+runs that cannot be reproduced bit-for-bit, which silently voids every
+cross-optimizer comparison the reproduction makes.  Stochastic draws
+must flow through :class:`repro.sim.rng.RngStreams`; simulation time is
+``engine.now``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.framework import Check, ModuleContext, register
+
+#: Wall-clock reads (sim code must use ``engine.now``).
+_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Entropy sources with no seed at all.
+_ENTROPY = frozenset({"uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getrandom"})
+
+#: ``numpy.random`` attributes that are fine unconditionally.
+_NP_ALWAYS_OK = frozenset({"SeedSequence", "BitGenerator"})
+
+#: ``numpy.random`` constructors that are fine *when given a seed* (at
+#: least one argument); called bare they seed from OS entropy.
+_NP_SEEDED_CTORS = frozenset(
+    {"default_rng", "Generator", "RandomState", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+_HINT = "all simulation randomness must come from repro.sim.rng.RngStreams"
+
+
+@register
+class DeterminismCheck(Check):
+    """Flags ambient RNGs, wall clocks, and unseeded numpy generators."""
+
+    code = "F001"
+    name = "nondeterminism"
+    description = (
+        "random.*/secrets.*, wall clocks, uuid, and unseeded numpy.random in sim code"
+    )
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.in_scope(ctx.config.sim_scope)
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_import(
+        self, ctx: ModuleContext, node: ast.Import | ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        else:
+            if node.level:  # relative import — never stdlib random/secrets
+                return
+            modules = [node.module or ""]
+        for module in modules:
+            root = module.split(".", 1)[0]
+            if root in ("random", "secrets"):
+                yield ctx.finding(
+                    self.code,
+                    f"import of nondeterministic module {root!r}; {_HINT}",
+                    node,
+                )
+
+    def _check_call(self, ctx: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        target = ctx.imports.resolve(node.func)
+        if target is None:
+            return
+        if target in _CLOCKS:
+            yield ctx.finding(
+                self.code,
+                f"wall-clock read {target}(); simulation time is engine.now",
+                node,
+            )
+        elif target in _ENTROPY or target.startswith(("random.", "secrets.")):
+            yield ctx.finding(
+                self.code, f"nondeterministic call {target}(); {_HINT}", node
+            )
+        elif target.startswith("numpy.random."):
+            attr = target.rsplit(".", 1)[1]
+            if attr in _NP_ALWAYS_OK:
+                return
+            if attr in _NP_SEEDED_CTORS and (node.args or node.keywords):
+                return
+            yield ctx.finding(
+                self.code,
+                f"unseeded numpy.random call {target}(); {_HINT}",
+                node,
+            )

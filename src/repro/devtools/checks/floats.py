@@ -1,0 +1,65 @@
+"""F003 — no ``==``/``!=`` against float expressions in simulation code.
+
+Exact float equality is brittle under re-ordered arithmetic — exactly
+the kind of refactoring the hot path gets (vectorization, fused
+accumulation).  A comparison that works today can silently flip after
+an optimization, changing simulated behaviour.  Use a tolerance
+(``math.isclose`` / ``numpy.isclose``) or compare against integers.
+
+Detection is syntactic and therefore conservative: a comparison is
+flagged when either side is *manifestly* float-typed — a float
+literal, a ``float(...)`` call, or arithmetic over such expressions.
+Integer-literal comparisons (``n == 0``) are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.framework import Check, ModuleContext, register
+
+
+def _is_float_expr(node: ast.expr) -> bool:
+    """Whether ``node`` is manifestly float-valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):  # true division is always float
+            return True
+        return _is_float_expr(node.left) or _is_float_expr(node.right)
+    return False
+
+
+@register
+class FloatEqualityCheck(Check):
+    """Flags exact equality between float-typed expressions."""
+
+    code = "F003"
+    name = "float-equality"
+    description = "==/!= against manifestly float expressions in sim code"
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.in_scope(ctx.config.sim_scope)
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_expr(operands[i]) or _is_float_expr(operands[i + 1]):
+                    yield ctx.finding(
+                        self.code,
+                        "exact float equality; use math.isclose/numpy.isclose "
+                        "or an explicit epsilon",
+                        node,
+                    )
+                    break

@@ -1,0 +1,159 @@
+"""F002 — no iteration over unordered collections in simulation code.
+
+``set`` iteration order depends on insertion history and (for strings)
+on ``PYTHONHASHSEED``, so a loop over a set can visit sessions or
+resources in a different order between runs — the classic *silent*
+determinism killer: results stay plausible, they just stop being
+reproducible.  Simulation code must iterate lists/arrays, or wrap the
+set in ``sorted(...)``.
+
+The check is scope-limited and conservative: it flags iteration over
+expressions it can *prove* are sets (set calls, set comprehensions,
+set operators, names assigned only from those) and zero-argument
+``.pop()`` on such names.  Aggregations that are order-insensitive
+(``sorted``, ``len``, ``sum``, ``min``, ``max``, ``any``, ``all``,
+``frozenset``) are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.framework import Check, ModuleContext, register
+
+#: Calls whose result does not depend on the argument's iteration order.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all", "frozenset", "set", "bool"}
+)
+
+#: Set methods returning another set.
+_SET_PRODUCING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+_SET_OPERATORS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _set_names(scope: ast.AST) -> set[str]:
+    """Names in ``scope`` provably set-typed (every assignment is a set)."""
+    candidates: set[str] = set()
+    poisoned: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            for target in targets:
+                if _is_set_expr(node.value, candidates - poisoned):
+                    candidates.add(target.id)
+                else:
+                    poisoned.add(target.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            if not isinstance(node.op, _SET_OPERATORS):
+                poisoned.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.target
+            for name in ast.walk(target):
+                if isinstance(name, ast.Name):
+                    poisoned.add(name.id)
+        elif isinstance(node, ast.arg):
+            poisoned.add(node.arg)
+    return candidates - poisoned
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Whether ``node`` provably evaluates to a ``set``."""
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Set):
+        # Literal displays of constants have a fixed (if hash-ordered)
+        # content; per the invariant's definition only *non-literal*
+        # origins are flagged.
+        return not all(isinstance(elt, ast.Constant) for elt in node.elts)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id == "set":
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_PRODUCING_METHODS
+        ):
+            return _is_set_expr(node.func.value, set_names)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPERATORS):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+@register
+class UnorderedIterationCheck(Check):
+    """Flags order-dependent consumption of sets in sim scope."""
+
+    code = "F002"
+    name = "unordered-iteration"
+    description = "iterating or pop()ing a set in deterministic simulation code"
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.in_scope(ctx.config.sim_scope)
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scopes = [ctx.tree] + [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        ]
+        reported: set[int] = set()
+        for scope in scopes:
+            names = _set_names(scope)
+            for node in ast.walk(scope):
+                finding = self._inspect(ctx, node, names)
+                if finding is not None and id(node) not in reported:
+                    reported.add(id(node))
+                    yield finding
+
+    def _inspect(
+        self, ctx: ModuleContext, node: ast.AST, set_names: set[str]
+    ) -> Finding | None:
+        if isinstance(node, ast.For) and _is_set_expr(node.iter, set_names):
+            return ctx.finding(
+                self.code,
+                "iteration over a set is order-nondeterministic; "
+                "iterate a list or wrap in sorted(...)",
+                node,
+            )
+        if isinstance(node, ast.comprehension) and _is_set_expr(node.iter, set_names):
+            return ctx.finding(
+                self.code,
+                "comprehension over a set is order-nondeterministic; "
+                "iterate a list or wrap in sorted(...)",
+                node.iter,
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "pop"
+                and not node.args
+                and not node.keywords
+                and _is_set_expr(func.value, set_names)
+            ):
+                return ctx.finding(
+                    self.code,
+                    "set.pop() removes an arbitrary element; "
+                    "use an explicit order (e.g. sorted list)",
+                    node,
+                )
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("list", "tuple", "enumerate", "iter")
+                and len(node.args) == 1
+                and _is_set_expr(node.args[0], set_names)
+            ):
+                return ctx.finding(
+                    self.code,
+                    f"{func.id}() over a set fixes an arbitrary order; "
+                    "wrap in sorted(...)",
+                    node,
+                )
+        return None

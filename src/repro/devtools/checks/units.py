@@ -1,0 +1,92 @@
+"""F004 — rates and sizes are built through :mod:`repro.units`.
+
+A raw ``10**9`` (or ``x * 1e9``) hides *which* quantity is meant —
+gigabits? gigabytes? decimal or binary? — and unit bugs in a transfer
+simulator are indistinguishable from modelling results.  Configuration
+and reporting code must use the named constructors
+(:func:`repro.units.gbps`, :func:`repro.units.gigabytes`, ``Gbps``,
+``MB``, :func:`repro.units.seconds_to_ms`, ...); only
+``repro/units.py`` itself may define magnitudes.
+
+Flagged:
+
+* power literals ``10**{3,6,9,12,15}`` and ``2**{10,20,30,40}``;
+* magnitude constants ``1e3``/``1e6``/``1e9``/``1e12`` (and their
+  integer spellings from one million up) used in ``*`` / ``/``
+  arithmetic.
+
+Small-magnitude literals like ``1e-9`` (tolerances) and integer
+``1000`` (commonly a count) are deliberately not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.framework import Check, ModuleContext, register
+
+_POW_BASES = {10: frozenset({3, 6, 9, 12, 15}), 2: frozenset({10, 20, 30, 40})}
+
+#: Magnitudes flagged when used in multiplicative arithmetic.
+_MAGNITUDES = frozenset({1e3, 1e6, 1e9, 1e12})
+
+#: Integer spellings small enough to be plausible counts are exempt.
+_MIN_INT_MAGNITUDE = 1_000_000
+
+
+def _literal_int(node: ast.expr) -> int | None:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    return None
+
+
+@register
+class UnitHygieneCheck(Check):
+    """Flags raw magnitude literals outside the units module."""
+
+    code = "F004"
+    name = "unit-hygiene"
+    description = "raw 10**9-style magnitude literals outside repro.units"
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro/") and not ctx.in_scope(
+            ctx.config.unit_modules
+        )
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+                base = _literal_int(node.left)
+                exp = _literal_int(node.right)
+                if base in _POW_BASES and exp in _POW_BASES[base]:
+                    yield ctx.finding(
+                        self.code,
+                        f"raw magnitude literal {base}**{exp}; "
+                        "use the repro.units constructors/constants",
+                        node,
+                    )
+            elif isinstance(node, ast.Constant):
+                yield from self._check_constant(ctx, node)
+
+    def _check_constant(self, ctx: ModuleContext, node: ast.Constant) -> Iterator[Finding]:
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        if float(value) not in _MAGNITUDES:
+            return
+        if type(value) is int and value < _MIN_INT_MAGNITUDE:
+            return
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.UnaryOp):
+            parent = ctx.parent(parent)
+        if isinstance(parent, ast.BinOp) and isinstance(
+            parent.op, (ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)
+        ):
+            yield ctx.finding(
+                self.code,
+                f"magnitude literal {value!r} in rate/size arithmetic; "
+                "use the repro.units constructors/constants",
+                node,
+            )

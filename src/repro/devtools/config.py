@@ -1,0 +1,121 @@
+"""Lint configuration: built-in defaults + ``[tool.repro-lint]`` overrides.
+
+Every knob has a default matching this repository's layout, so the
+linter works with no configuration at all; ``pyproject.toml`` overrides
+exist so later PRs can widen scopes or register new topology fields
+without touching the checks themselves.  TOML keys use dashes
+(``sim-scope``); they map onto the underscored dataclass fields below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback, no tomli in image
+    tomllib = None  # type: ignore[assignment]
+
+#: Packages whose code is part of the deterministic simulation substrate.
+#: F001/F002/F003 apply here (experiments/analysis are presentation-layer
+#: and may e.g. format wall-clock durations).
+SIM_SCOPE = (
+    "repro/sim/",
+    "repro/network/",
+    "repro/transfer/",
+    "repro/storage/",
+    "repro/hosts/",
+    "repro/core/",
+    "repro/baselines/",
+    "repro/service/",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved configuration for one lint run."""
+
+    #: Codes to run (empty = all registered checks).
+    select: tuple[str, ...] = ()
+    #: Codes to skip.
+    ignore: tuple[str, ...] = ()
+    #: Path fragments excluded from linting entirely.
+    exclude: tuple[str, ...] = ()
+    #: Module prefixes forming the deterministic-simulation scope.
+    sim_scope: tuple[str, ...] = SIM_SCOPE
+    #: Modules allowed to define raw magnitude literals (F004).
+    unit_modules: tuple[str, ...] = ("repro/units.py",)
+    #: Modules subject to topology-dirty discipline (F005).
+    topology_modules: tuple[str, ...] = (
+        "repro/transfer/executor.py",
+        "repro/transfer/session.py",
+    )
+    #: Attribute names whose mutation invalidates the cached topology.
+    topology_fields: tuple[str, ...] = (
+        "sessions",
+        "params",
+        "tcp",
+        "path",
+        "source",
+        "destination",
+        "on_topology_change",
+    )
+    #: Call names that count as invalidating the topology cache.
+    invalidators: tuple[str, ...] = (
+        "invalidate_topology",
+        "_notify_topology_change",
+        "_mark_dirty",
+    )
+    #: Attributes whose assignment counts as raising the dirty flag.
+    dirty_attrs: tuple[str, ...] = ("_dirty",)
+
+    def with_(self, **kwargs: Any) -> "LintConfig":
+        """Copy with fields replaced (tuples coerced from lists)."""
+        clean = {k: tuple(v) if isinstance(v, list) else v for k, v in kwargs.items()}
+        return replace(self, **clean)
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Walk upward from ``start`` to the nearest ``pyproject.toml``."""
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(start: Path | None = None) -> LintConfig:
+    """Configuration from the nearest ``pyproject.toml`` (or defaults).
+
+    Missing file, missing table, and a missing TOML parser all fall
+    back to the built-in defaults — the linter must run anywhere.
+    """
+    pyproject = find_pyproject(start or Path.cwd())
+    if pyproject is None or tomllib is None:
+        return LintConfig()
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return LintConfig()
+    table = data.get("tool", {}).get("repro-lint", {})
+    return config_from_table(table)
+
+
+def config_from_table(table: dict[str, Any]) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``[tool.repro-lint]`` table.
+
+    Unknown keys are ignored (forward compatibility with checks added
+    by later PRs).
+    """
+    known = {f.name for f in fields(LintConfig)}
+    overrides = {}
+    for key, value in table.items():
+        name = key.replace("-", "_")
+        if name in known:
+            overrides[name] = value
+    return LintConfig().with_(**overrides)

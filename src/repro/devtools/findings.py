@@ -1,0 +1,65 @@
+"""Finding records and the two output renderings (human / JSON)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a lint check.
+
+    Attributes
+    ----------
+    code:
+        Check code, e.g. ``"F001"`` (``"F000"`` is reserved for files
+        the linter could not parse).
+    message:
+        Human-readable description of the violation.
+    path:
+        File the finding is in, as given to the runner.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    span_start, end_line:
+        Line range of the *enclosing statement* — suppression comments
+        anywhere in ``span_start..end_line`` apply to this finding.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    span_start: int = 0
+    end_line: int = 0
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` (the human output line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def render_human(findings: list[Finding]) -> str:
+    """One line per finding plus a summary tail."""
+    lines = [f.render() for f in findings]
+    n = len(findings)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}" if n else "clean: no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable output for CI annotations and tooling."""
+    payload = {
+        "count": len(findings),
+        "findings": [
+            {
+                "code": f.code,
+                "message": f.message,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,342 @@
+"""The check framework: registry, module context, suppression, runner.
+
+A *check* is a class with a ``code`` (``F001``...), a one-line
+``description``, and a ``run(ctx)`` generator yielding
+:class:`~repro.devtools.findings.Finding` objects.  Checks register
+themselves with the :func:`register` decorator; the runner instantiates
+every selected check per module and filters the combined findings
+against suppression comments:
+
+* ``# repro: lint-ok[F001]`` — suppresses the listed codes on the
+  statement it annotates (same line, any line of a multi-line
+  statement, or the next statement when the comment stands alone);
+* ``# repro: lint-ok`` — suppresses *all* codes there (use sparingly);
+* ``# repro: lint-ok-file[F001]`` — suppresses the listed codes for the
+  whole file (for modules whose purpose is the exception, e.g.
+  wall-clock profiling).
+
+Suppressions should carry a justification after the bracket, e.g.
+``# repro: lint-ok[F001]: wall-clock profiling, never sim state``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding
+
+#: Sentinel meaning "every code" in suppression maps.
+ALL_CODES = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*lint-ok(?P<file>-file)?\s*(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+# ---------------------------------------------------------------------------
+# Import resolution.
+# ---------------------------------------------------------------------------
+
+
+class ImportMap:
+    """Maps local names to the dotted names they were imported as.
+
+    Lets checks reason about canonical targets: with ``import numpy as
+    np``, the call ``np.random.rand()`` resolves to
+    ``"numpy.random.rand"`` regardless of aliasing.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import os.path`` binds the name ``os``.
+                        root = alias.name.split(".", 1)[0]
+                        self.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of an attribute chain, or ``None``.
+
+        Only chains rooted at an *imported* name resolve — a local
+        variable that happens to be called ``random`` is not reported.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name) or node.id not in self.aliases:
+            return None
+        parts.append(self.aliases[node.id])
+        return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# Module context.
+# ---------------------------------------------------------------------------
+
+
+def module_key(path: str) -> str:
+    """Package-relative key for scope matching.
+
+    ``/root/repo/src/repro/sim/engine.py`` -> ``repro/sim/engine.py``.
+    Paths not containing a ``repro`` component are returned as-is (the
+    test suite lints synthetic modules under explicit virtual paths).
+    """
+    parts = path.replace("\\", "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and i < len(parts) - 1:
+            return "/".join(parts[i:])
+    return "/".join(parts)
+
+
+class ModuleContext:
+    """Everything a check needs to know about one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, config: LintConfig):
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.module = module_key(self.path)
+        self.imports = ImportMap(tree)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def in_scope(self, prefixes: Iterable[str]) -> bool:
+        """True when this module matches any scope prefix / exact path."""
+        return any(self.module.startswith(prefix) for prefix in prefixes)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """AST parent of ``node`` (the map is built lazily, once)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents.get(node)
+
+    def finding(self, code: str, message: str, node: ast.AST) -> Finding:
+        """A :class:`Finding` anchored at ``node``.
+
+        The suppression span covers the whole enclosing statement, so a
+        ``# repro: lint-ok[...]`` comment on any line of a multi-line
+        statement applies.
+        """
+        line = getattr(node, "lineno", 1)
+        start, end = line, getattr(node, "end_lineno", None) or line
+        stmt: ast.AST | None = node
+        while stmt is not None and not isinstance(stmt, ast.stmt):
+            stmt = self.parent(stmt)
+        if stmt is not None:
+            start = min(start, stmt.lineno)
+            end = max(end, stmt.end_lineno or end)
+        return Finding(
+            code=code,
+            message=message,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            span_start=start,
+            end_line=end,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Check base + registry.
+# ---------------------------------------------------------------------------
+
+
+class Check:
+    """Base class for lint checks.  Subclass, set metadata, register."""
+
+    code: str = "F000"
+    name: str = "base"
+    description: str = ""
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        """Whether this check applies to the module at all."""
+        return True
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+
+#: code -> check class, populated by :func:`register`.
+REGISTRY: dict[str, type[Check]] = {}
+
+
+def register(cls: type[Check]) -> type[Check]:
+    """Class decorator adding a check to the registry (keyed by code)."""
+    if cls.code in REGISTRY and REGISTRY[cls.code] is not cls:
+        raise ValueError(f"duplicate check code {cls.code!r}")
+    REGISTRY[cls.code] = cls
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments.
+# ---------------------------------------------------------------------------
+
+
+def _parse_codes(match: re.Match) -> set[str]:
+    raw = match.group("codes")
+    if raw is None:
+        return {ALL_CODES}
+    return {code.strip().upper() for code in raw.split(",") if code.strip()}
+
+
+def suppressions(source: str) -> tuple[set[str], dict[int, set[str]]]:
+    """Parse suppression comments out of ``source``.
+
+    Returns ``(file_codes, line_codes)``: codes suppressed file-wide
+    and a map of line -> codes suppressed there.  Standalone comment
+    lines forward their codes to the next code-bearing line.
+    """
+    file_codes: set[str] = set()
+    line_codes: dict[int, set[str]] = {}
+    code_lines: set[int] = set()
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return file_codes, line_codes
+
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = _parse_codes(match)
+            if match.group("file"):
+                file_codes |= codes
+            else:
+                line_codes.setdefault(tok.start[0], set()).update(codes)
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            for line in range(tok.start[0], tok.end[0] + 1):
+                code_lines.add(line)
+
+    # Forward standalone suppressions to the next code-bearing line.
+    max_code = max(code_lines, default=0)
+    for line in [ln for ln in sorted(line_codes) if ln not in code_lines]:
+        nxt = line + 1
+        while nxt <= max_code and nxt not in code_lines:
+            nxt += 1
+        if nxt in code_lines:
+            line_codes.setdefault(nxt, set()).update(line_codes[line])
+    return file_codes, line_codes
+
+
+def apply_suppressions(findings: list[Finding], source: str) -> list[Finding]:
+    """Drop findings covered by suppression comments."""
+    file_codes, line_codes = suppressions(source)
+    if not file_codes and not line_codes:
+        return findings
+
+    def suppressed(f: Finding) -> bool:
+        if ALL_CODES in file_codes or f.code in file_codes:
+            return True
+        for line in range(f.span_start or f.line, max(f.end_line, f.line) + 1):
+            codes = line_codes.get(line)
+            if codes and (ALL_CODES in codes or f.code in codes):
+                return True
+        return False
+
+    return [f for f in findings if not suppressed(f)]
+
+
+# ---------------------------------------------------------------------------
+# Runner.
+# ---------------------------------------------------------------------------
+
+
+def _selected(code: str, config: LintConfig) -> bool:
+    if code in config.ignore:
+        return False
+    return not config.select or code in config.select
+
+
+def lint_source(
+    source: str, path: str = "<memory>", config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint one module given as source text (the unit-test entry point)."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code="F000",
+                message=f"could not parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    ctx = ModuleContext(path, source, tree, config)
+    findings: list[Finding] = []
+    for code in sorted(REGISTRY):
+        if not _selected(code, config):
+            continue
+        check = REGISTRY[code]()
+        if not check.enabled_for(ctx):
+            continue
+        findings.extend(check.run(ctx))
+    findings = apply_suppressions(findings, source)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def iter_python_files(paths: Iterable[str | Path], config: LintConfig) -> Iterator[Path]:
+    """All ``.py`` files under ``paths``, sorted, minus exclusions."""
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for file in files:
+            if file.suffix != ".py" or file in seen:
+                continue
+            key = module_key(str(file))
+            if any(fragment in key for fragment in config.exclude):
+                continue
+            seen.add(file)
+            yield file
+
+
+def lint_paths(
+    paths: Iterable[str | Path], config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint every Python file under ``paths``."""
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    for file in iter_python_files(paths, config):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding("F000", f"could not read: {exc}", str(file), 1, 0)
+            )
+            continue
+        findings.extend(lint_source(source, path=str(file), config=config))
+    return findings

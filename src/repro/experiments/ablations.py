@@ -30,7 +30,7 @@ from repro.core.bayesian.gp_hedge import GPHedge
 from repro.core.utility import NonlinearPenaltyUtility
 from repro.experiments.common import launch_falcon, make_context, window_mean_bps
 from repro.testbeds.presets import emulab_fig4, emulab_high_optimal, hpclab
-from repro.units import Mbps, bps_to_mbps
+from repro.units import bps_to_mbps
 
 
 # ---------------------------------------------------------------------------

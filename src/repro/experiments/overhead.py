@@ -74,7 +74,7 @@ class OverheadResult:
                     f"{bps_to_mbps(r.mean_throughput_bps):.0f}",
                     f"{r.loss_overhead:.2%}",
                     f"{r.process_seconds:.0f}",
-                    f"{r.bytes_per_process_second / 1e6:.2f}",
+                    f"{r.bytes_per_process_second / MB:.2f}",
                 )
                 for r in self.runs.values()
             ],

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
 from repro.testbeds.presets import TABLE1
-from repro.units import bps_to_gbps, format_rate
+from repro.units import bps_to_gbps, format_rate, seconds_to_ms
 
 
 @dataclass(frozen=True)
@@ -42,7 +42,7 @@ class Table1Result:
                     r.name,
                     r.storage,
                     format_rate(r.bandwidth_bps, 0),
-                    f"{r.rtt * 1e3:g}ms",
+                    f"{seconds_to_ms(r.rtt):g}ms",
                     r.bottleneck,
                     r.optimal_concurrency,
                     f"{bps_to_gbps(r.max_throughput_bps):.2f} Gbps",

@@ -20,7 +20,10 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+if TYPE_CHECKING:
+    from repro.sim.profile import PerfCounters
 
 FluidStepFn = Callable[[float, float], None]
 EventFn = Callable[[], None]
@@ -63,17 +66,17 @@ class SimulationEngine:
     the event timestamp is exact.
     """
 
-    def __init__(self, dt: float = 0.1, fluid_step: Optional[FluidStepFn] = None):
+    def __init__(self, dt: float = 0.1, fluid_step: Optional[FluidStepFn] = None) -> None:
         if dt <= 0:
             raise ValueError("dt must be positive")
         self.dt = float(dt)
         self.fluid_step = fluid_step
         #: Optional :class:`~repro.sim.profile.PerfCounters` collecting
         #: per-subsystem wall time and steps/sec.  ``None`` = no profiling.
-        self.profile: Optional["PerfCounters"] = None
+        self.profile: Optional[PerfCounters] = None
         self._now = 0.0
         self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._seq: Iterator[int] = itertools.count()
         self._stopped = False
 
     def enable_profiling(self) -> "PerfCounters":

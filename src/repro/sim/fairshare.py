@@ -57,6 +57,8 @@ def _fair_share_unchecked(demands: np.ndarray, capacity: float) -> np.ndarray:
     if n == 0:
         return np.zeros(0)
     total = demands.sum()
+    # repro: lint-ok[F003]: exact-zero guard — total is a sum of
+    # non-negative demands, which is 0.0 iff every demand is 0.0.
     if total <= capacity or total == 0.0:
         return demands.copy()
 

@@ -17,8 +17,13 @@ scenario costs milliseconds; a timer pair costs ~100 ns).
 
 from __future__ import annotations
 
+# repro: lint-ok-file[F001]: this module's entire purpose is wall-clock
+# measurement; it observes the simulator and never feeds sim state.
+
 import time
 from contextlib import contextmanager
+
+from repro.units import seconds_to_us
 
 
 class PerfCounters:
@@ -83,7 +88,7 @@ class PerfCounters:
         for name in sorted(self.totals, key=self.totals.get, reverse=True):
             total = self.totals[name]
             calls = self.counts[name]
-            per_call = total / calls * 1e6 if calls else 0.0
+            per_call = seconds_to_us(total / calls) if calls else 0.0
             lines.append(
                 f"  {name:<14} {total:8.4f}s  {calls:>7} calls  {per_call:8.1f} us/call"
             )

@@ -131,10 +131,10 @@ class Testbed:
 
     def describe(self) -> str:
         """One-line summary, Table 1 style."""
-        from repro.units import format_rate
+        from repro.units import format_rate, seconds_to_ms
 
         return (
             f"{self.name}: storage={self.source.storage.name}, "
             f"bandwidth={format_rate(self.path.capacity, 0)}, "
-            f"rtt={self.path.rtt * 1e3:g}ms, bottleneck={self.bottleneck}"
+            f"rtt={seconds_to_ms(self.path.rtt):g}ms, bottleneck={self.bottleneck}"
         )

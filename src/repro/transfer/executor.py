@@ -152,13 +152,15 @@ class FluidTransferNetwork:
         if topo.total == 0:
             return
 
-        t0 = perf_counter()
+        # Wall-clock reads below are profiling-only: they feed the
+        # optional PerfCounters report and never influence sim state.
+        t0 = perf_counter()  # repro: lint-ok[F001]
         demand_cap = self._demand_caps(topo)
-        t1 = perf_counter()
+        t1 = perf_counter()  # repro: lint-ok[F001]
         final = self._waterfill(demand_cap, topo)
-        t2 = perf_counter()
+        t2 = perf_counter()  # repro: lint-ok[F001]
         losses = self._session_losses(topo, final)
-        t3 = perf_counter()
+        t3 = perf_counter()  # repro: lint-ok[F001]
 
         offsets = topo.offsets
         for i, s in enumerate(sessions):
@@ -166,7 +168,7 @@ class FluidTransferNetwork:
             s.step(dt, targets, losses[i], now)
             if not s.active and s in self.sessions:
                 self.remove_session(s)
-        t4 = perf_counter()
+        t4 = perf_counter()  # repro: lint-ok[F001]
 
         prof = self.engine.profile
         if prof is not None:

@@ -129,6 +129,16 @@ def hours(x: float) -> float:
     return x * 3600.0
 
 
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds (for reporting)."""
+    return seconds * 1e3
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds (for reporting)."""
+    return seconds * 1e6
+
+
 # ---------------------------------------------------------------------------
 # Formatting helpers for report/bench output.
 # ---------------------------------------------------------------------------

@@ -11,7 +11,7 @@ from repro.testbeds.presets import emulab_fig4, stampede2_comet
 from repro.transfer.dataset import small_dataset, uniform_dataset
 from repro.transfer.executor import FluidTransferNetwork
 from repro.transfer.session import TransferParams
-from repro.units import GiB, Mbps, bps_to_gbps
+from repro.units import GiB
 
 
 class TestSessionTrace:

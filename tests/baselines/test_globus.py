@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.globus import GlobusController, globus_params
 from repro.core.controller import attach_agent

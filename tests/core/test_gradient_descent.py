@@ -69,7 +69,7 @@ class TestProbing:
 class TestConvergence:
     def test_converges_to_distant_optimum_noiseless(self):
         gd = GradientDescent(lo=1, hi=64, start=2)
-        visits = drive(gd, falcon_landscape, steps=60)
+        drive(gd, falcon_landscape, steps=60)
         assert abs(gd.center - 48) <= 6
 
     def test_faster_than_hill_climbing(self):

@@ -1,0 +1,22 @@
+"""Shared fixtures for the devtools (repro lint) test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    """The repository checkout containing this test file."""
+    return Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def package_root(repo_root: Path) -> Path:
+    """``src/repro`` in the checkout (skip if running from an install)."""
+    root = repo_root / "src" / "repro"
+    if not root.is_dir():
+        pytest.skip("source tree not available (installed package?)")
+    return root

@@ -1,0 +1,304 @@
+"""Positive/negative fixtures for each invariant check (F001-F006)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools import LintConfig, lint_source
+
+SIM = "repro/sim/example.py"
+EXECUTOR = "repro/transfer/executor.py"
+
+
+def run(src: str, path: str = SIM, config: LintConfig | None = None):
+    return lint_source(textwrap.dedent(src), path=path, config=config)
+
+
+def codes(src: str, path: str = SIM, config: LintConfig | None = None):
+    return [f.code for f in run(src, path, config)]
+
+
+# ---------------------------------------------------------------------------
+# F001 — nondeterminism.
+# ---------------------------------------------------------------------------
+
+
+def test_f001_flags_random_import():
+    assert codes("import random\n") == ["F001"]
+    assert codes("from random import choice\n") == ["F001"]
+    assert codes("import secrets\n") == ["F001"]
+
+
+def test_f001_flags_wall_clocks():
+    assert codes("import time\nt = time.time()\n") == ["F001"]
+    assert codes("import time\nt = time.perf_counter()\n") == ["F001"]
+    assert codes("import datetime\nd = datetime.datetime.now()\n") == ["F001"]
+
+
+def test_f001_flags_entropy_sources():
+    assert codes("import uuid\nu = uuid.uuid4()\n") == ["F001"]
+    assert codes("import os\nb = os.urandom(8)\n") == ["F001"]
+
+
+def test_f001_flags_unseeded_numpy():
+    assert codes("import numpy as np\nrng = np.random.default_rng()\n") == ["F001"]
+    assert codes("import numpy as np\nx = np.random.rand(3)\n") == ["F001"]
+
+
+def test_f001_allows_seeded_numpy():
+    assert codes("import numpy as np\nrng = np.random.default_rng(42)\n") == []
+    assert codes("import numpy as np\nrng = np.random.default_rng(seed=0)\n") == []
+    assert codes("import numpy as np\nss = np.random.SeedSequence(7)\n") == []
+
+
+def test_f001_ignores_local_names_shadowing_modules():
+    # ``rng.random()`` on a Generator is fine — ``rng`` is not an import.
+    assert codes("def f(rng):\n    return rng.random()\n") == []
+
+
+def test_f001_ignores_os_functions_that_are_not_entropy():
+    assert codes("import os\np = os.getpid()\n") == []
+
+
+# ---------------------------------------------------------------------------
+# F002 — unordered iteration.
+# ---------------------------------------------------------------------------
+
+
+def test_f002_flags_for_over_set_call():
+    src = """
+        def f(items):
+            for x in set(items):
+                print(x)
+    """
+    assert codes(src) == ["F002"]
+
+
+def test_f002_flags_comprehension_over_set_expr():
+    src = """
+        def f(a, b):
+            return [x for x in set(a) | set(b)]
+    """
+    assert codes(src) == ["F002"]
+
+
+def test_f002_flags_set_pop_and_list_of_set():
+    src = """
+        def f(items):
+            live = set(items)
+            first = live.pop()
+            rest = list(live)
+            return first, rest
+    """
+    assert codes(src) == ["F002", "F002"]
+
+
+def test_f002_allows_sorted_and_aggregates():
+    src = """
+        def f(items):
+            live = set(items)
+            for x in sorted(live):
+                print(x)
+            return len(live), sum(live), max(live)
+    """
+    assert codes(src) == []
+
+
+def test_f002_poisoned_names_are_not_flagged():
+    # ``live`` is reassigned to a list, so iteration over it is fine.
+    src = """
+        def f(items):
+            live = set(items)
+            live = sorted(live)
+            for x in live:
+                print(x)
+    """
+    assert codes(src) == []
+
+
+def test_f002_list_pop_is_fine():
+    src = """
+        def f(queue):
+            items = list(queue)
+            return items.pop()
+    """
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# F003 — float equality.
+# ---------------------------------------------------------------------------
+
+
+def test_f003_flags_float_literal_equality():
+    assert codes("def f(x):\n    return x == 1.0\n") == ["F003"]
+    assert codes("def f(x):\n    return x != -0.5\n") == ["F003"]
+
+
+def test_f003_flags_division_results_and_float_casts():
+    assert codes("def f(a, b, c):\n    return a / b == c\n") == ["F003"]
+    assert codes("def f(x, y):\n    return float(x) == y\n") == ["F003"]
+
+
+def test_f003_allows_integer_and_ordering_comparisons():
+    assert codes("def f(n):\n    return n == 0\n") == []
+    assert codes("def f(x):\n    return x >= 1.0\n") == []  # ordering is fine
+
+
+def test_f003_suppressable_with_justification():
+    src = (
+        "def f(total, cap):\n"
+        "    # repro: lint-ok[F003]: exact-zero guard on a sum of non-negatives\n"
+        "    return total == 0.0 or total <= cap\n"
+    )
+    assert lint_source(src, path=SIM) == []
+
+
+# ---------------------------------------------------------------------------
+# F004 — unit hygiene.
+# ---------------------------------------------------------------------------
+
+
+def test_f004_flags_power_literals():
+    assert codes("RATE = 10 * 10**9\n", path="repro/testbeds/x.py") == ["F004"]
+    assert codes("BUF = 4 * 2**20\n", path="repro/testbeds/x.py") == ["F004"]
+
+
+def test_f004_flags_magnitudes_in_arithmetic():
+    assert codes("def f(rtt):\n    return rtt * 1e3\n") == ["F004"]
+    assert codes("def f(b):\n    return b / 1e6\n") == ["F004"]
+
+
+def test_f004_allows_units_module_itself():
+    assert codes("Gbps = 10**9\nMB = 10**6\n", path="repro/units.py") == []
+
+
+def test_f004_allows_tolerances_counts_and_hash_moduli():
+    assert codes("EPS = 1e-9\n") == []
+    assert codes("def f(n):\n    return n % 2**63\n") == []  # hashing modulus
+    assert codes("STEPS = 1000\n") == []
+    assert codes("CAP = 1e6\n") == []  # bare constant, not rate arithmetic
+
+
+def test_f004_does_not_apply_outside_the_package():
+    assert codes("x = 3 * 10**9\n", path="scripts/tool.py") == []
+
+
+# ---------------------------------------------------------------------------
+# F005 — topology-dirty discipline.
+# ---------------------------------------------------------------------------
+
+
+def test_f005_flags_unprotected_topology_write():
+    src = """
+        class Executor:
+            def attach(self, session):
+                self.sessions.append(session)
+    """
+    found = run(src, path=EXECUTOR)
+    assert [f.code for f in found] == ["F005"]
+    assert "sessions" in found[0].message
+
+
+def test_f005_satisfied_by_dirty_flag_or_invalidator():
+    src = """
+        class Executor:
+            def attach(self, session):
+                self.sessions.append(session)
+                self._dirty = True
+
+            def set_tcp(self, tcp):
+                self.tcp = tcp
+                self.invalidate_topology()
+    """
+    assert codes(src, path=EXECUTOR) == []
+
+
+def test_f005_constructors_are_exempt():
+    src = """
+        class Executor:
+            def __init__(self):
+                self.sessions = []
+                self.tcp = None
+    """
+    assert codes(src, path=EXECUTOR) == []
+
+
+def test_f005_nested_callback_is_its_own_accounting_unit():
+    # The invalidation lives in the enclosing function; the *callback*
+    # writes the field when it later fires, unprotected.
+    src = """
+        class Executor:
+            def arm(self, session):
+                def later():
+                    self.sessions.remove(session)
+                self._dirty = True
+                return later
+    """
+    assert codes(src, path=EXECUTOR) == ["F005"]
+
+
+def test_f005_only_in_topology_modules():
+    src = """
+        class Other:
+            def attach(self, session):
+                self.sessions.append(session)
+    """
+    assert codes(src, path=SIM) == []
+
+
+def test_f005_unregistered_fields_are_free():
+    src = """
+        class Executor:
+            def note(self, sample):
+                self.samples.append(sample)
+    """
+    assert codes(src, path=EXECUTOR) == []
+
+
+# ---------------------------------------------------------------------------
+# F006 — engine-callback purity.
+# ---------------------------------------------------------------------------
+
+
+def test_f006_flags_callback_reentering_engine():
+    src = """
+        def cb():
+            engine.run_for(1.0)
+
+        engine.schedule_in(5.0, cb)
+    """
+    found = run(src)
+    assert [f.code for f in found] == ["F006"]
+    assert "run_for" in found[0].message
+
+
+def test_f006_flags_lambda_actions_and_keyword_form():
+    src = "engine.schedule_at(1.0, lambda: engine.run_until(9.0))\n"
+    assert codes(src) == ["F006"]
+    src = """
+        def cb():
+            engine.run_until(2.0)
+
+        engine.schedule_every(1.0, action=cb)
+    """
+    assert codes(src) == ["F006"]
+
+
+def test_f006_allows_stop_and_scheduling_from_callbacks():
+    src = """
+        def cb():
+            engine.stop()
+            engine.schedule_in(1.0, cb)
+
+        engine.schedule_in(5.0, cb)
+    """
+    assert codes(src) == []
+
+
+def test_f006_unscheduled_functions_may_drive_the_engine():
+    src = """
+        def main():
+            engine.run_for(300.0)
+    """
+    assert codes(src) == []

@@ -1,0 +1,177 @@
+"""Framework-level behaviour: registry, scoping, suppression, errors."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.devtools import REGISTRY, Check, LintConfig, lint_source, register
+from repro.devtools.framework import ImportMap, module_key, suppressions
+
+SIM = "repro/sim/example.py"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+
+def test_all_six_checks_registered():
+    assert set(REGISTRY) == {"F001", "F002", "F003", "F004", "F005", "F006"}
+
+
+def test_registry_rejects_duplicate_codes():
+    class Impostor(Check):
+        code = "F001"
+
+    with pytest.raises(ValueError, match="duplicate"):
+        register(Impostor)
+
+
+def test_checks_have_metadata():
+    for code, cls in REGISTRY.items():
+        assert cls.code == code
+        assert cls.name
+        assert cls.description
+
+
+# ---------------------------------------------------------------------------
+# module_key + scoping.
+# ---------------------------------------------------------------------------
+
+
+def test_module_key_strips_leading_directories():
+    assert module_key("/root/repo/src/repro/sim/engine.py") == "repro/sim/engine.py"
+    assert module_key("src/repro/units.py") == "repro/units.py"
+
+
+def test_module_key_passes_through_foreign_paths():
+    assert module_key("somewhere/else.py") == "somewhere/else.py"
+
+
+def test_out_of_scope_module_is_not_checked():
+    # experiments/ is presentation-layer: F001 does not apply there.
+    src = "import random\n"
+    assert lint_source(src, path="repro/experiments/plots.py") == []
+    assert codes(lint_source(src, path=SIM)) == ["F001"]
+
+
+# ---------------------------------------------------------------------------
+# ImportMap.
+# ---------------------------------------------------------------------------
+
+
+def resolve(src: str, expr: str) -> str | None:
+    tree = ast.parse(src + "\n" + expr)
+    node = tree.body[-1].value
+    return ImportMap(tree).resolve(node)
+
+
+def test_importmap_resolves_aliases():
+    assert resolve("import numpy as np", "np.random.rand") == "numpy.random.rand"
+    assert resolve("import time", "time.perf_counter") == "time.perf_counter"
+    assert (
+        resolve("from numpy.random import default_rng", "default_rng")
+        == "numpy.random.default_rng"
+    )
+
+
+def test_importmap_ignores_unimported_names():
+    # A *local* variable called ``random`` is not the stdlib module.
+    assert resolve("x = 1", "random.random") is None
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments.
+# ---------------------------------------------------------------------------
+
+
+def test_same_line_suppression():
+    src = "import time\nt = time.time()  # repro: lint-ok[F001]: test fixture\n"
+    assert lint_source(src, path=SIM) == []
+
+
+def test_suppression_requires_matching_code():
+    src = "import time\nt = time.time()  # repro: lint-ok[F004]\n"
+    assert codes(lint_source(src, path=SIM)) == ["F001"]
+
+
+def test_bare_suppression_covers_all_codes():
+    src = "import time\nt = time.time()  # repro: lint-ok\n"
+    assert lint_source(src, path=SIM) == []
+
+
+def test_standalone_comment_suppresses_next_statement():
+    src = (
+        "import time\n"
+        "# repro: lint-ok[F001]: justification on its own line\n"
+        "t = time.time()\n"
+    )
+    assert lint_source(src, path=SIM) == []
+
+
+def test_suppression_on_any_line_of_multiline_statement():
+    src = (
+        "import time\n"
+        "t = max(\n"
+        "    time.time(),\n"
+        "    0.0,\n"
+        ")  # repro: lint-ok[F001]\n"
+    )
+    assert lint_source(src, path=SIM) == []
+
+
+def test_file_level_suppression():
+    src = (
+        "# repro: lint-ok-file[F001]: whole module is a profiling fixture\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.monotonic()\n"
+    )
+    assert lint_source(src, path=SIM) == []
+
+
+def test_suppressions_parser_output():
+    file_codes, line_codes = suppressions(
+        "# repro: lint-ok-file[F001]\nx = 1  # repro: lint-ok[F003, F004]\n"
+    )
+    assert file_codes == {"F001"}
+    assert line_codes[2] == {"F003", "F004"}
+
+
+# ---------------------------------------------------------------------------
+# select / ignore, syntax errors.
+# ---------------------------------------------------------------------------
+
+
+def test_select_limits_checks():
+    src = "import random\nx = 1 * 10**9\n"
+    config = LintConfig(select=("F004",))
+    assert codes(lint_source(src, path=SIM, config=config)) == ["F004"]
+
+
+def test_ignore_skips_checks():
+    src = "import random\nx = 1 * 10**9\n"
+    config = LintConfig(ignore=("F001",))
+    assert codes(lint_source(src, path=SIM, config=config)) == ["F004"]
+
+
+def test_syntax_error_becomes_f000():
+    findings = lint_source("def broken(:\n", path=SIM)
+    assert codes(findings) == ["F000"]
+    assert findings[0].line == 1
+
+
+def test_findings_are_sorted_and_carry_location():
+    src = "x = 3 * 10**9\nimport random\n"
+    findings = lint_source(src, path=SIM)
+    assert codes(findings) == ["F004", "F001"]  # line order, not code order
+    assert [f.line for f in findings] == [1, 2]
+    rendered = findings[1].render()
+    assert rendered.startswith(f"{SIM}:2:")
+    assert "F001" in rendered

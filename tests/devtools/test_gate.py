@@ -1,0 +1,66 @@
+"""The zero-findings gate over the real tree, plus mutation canaries.
+
+The gate pins the repository invariant: ``repro lint src/repro`` is
+clean.  The mutation tests prove the gate has teeth — deliberately
+planting a violation in real source makes the linter report it at the
+right place.
+"""
+
+from __future__ import annotations
+
+from repro.devtools import lint_paths, lint_source, load_config
+from repro.devtools.framework import iter_python_files
+
+
+def test_src_tree_is_lint_clean(package_root):
+    config = load_config(package_root)
+    findings = lint_paths([package_root], config=config)
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_every_source_file_is_visited(package_root):
+    config = load_config(package_root)
+    visited = set(iter_python_files([package_root], config))
+    on_disk = set(package_root.rglob("*.py"))
+    assert visited == on_disk
+
+
+def test_planted_random_call_in_engine_is_caught(package_root):
+    engine = package_root / "sim" / "engine.py"
+    source = engine.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    baseline = lint_source(source, path=str(engine), config=config)
+    assert baseline == []
+
+    lines = source.splitlines(keepends=True)
+    mutated = "".join(lines) + "\nimport random\n_JITTER = random.random()\n"
+    findings = lint_source(mutated, path=str(engine), config=config)
+    assert [f.code for f in findings] == ["F001", "F001"]
+    # The import lands two lines past the original file, the call three.
+    assert [f.line for f in findings] == [len(lines) + 2, len(lines) + 3]
+
+
+def test_planted_magnitude_literal_in_presets_is_caught(package_root):
+    presets = package_root / "testbeds" / "presets.py"
+    source = presets.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(presets), config=config) == []
+
+    mutated = source + "\n_RAW_RATE = 5 * 10**9\n"
+    findings = lint_source(mutated, path=str(presets), config=config)
+    assert [f.code for f in findings] == ["F004"]
+    assert findings[0].line == source.count("\n") + 2
+
+
+def test_planted_unprotected_topology_write_is_caught(package_root):
+    executor = package_root / "transfer" / "executor.py"
+    source = executor.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(executor), config=config) == []
+
+    mutated = source + (
+        "\n\ndef _sneak(net, session):\n"
+        "    net.sessions.append(session)\n"
+    )
+    findings = lint_source(mutated, path=str(executor), config=config)
+    assert [f.code for f in findings] == ["F005"]

@@ -1,0 +1,79 @@
+"""[tool.repro-lint] configuration loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.config import (
+    LintConfig,
+    config_from_table,
+    find_pyproject,
+    load_config,
+)
+
+try:
+    import tomllib  # noqa: F401
+except ImportError:  # pragma: no cover
+    tomllib = None
+
+
+def test_defaults_cover_repo_layout():
+    config = LintConfig()
+    assert "repro/sim/" in config.sim_scope
+    assert "repro/units.py" in config.unit_modules
+    assert "repro/transfer/executor.py" in config.topology_modules
+    assert "_dirty" in config.dirty_attrs
+
+
+def test_with_coerces_lists_to_tuples():
+    config = LintConfig().with_(select=["F001"], exclude=["vendored/"])
+    assert config.select == ("F001",)
+    assert config.exclude == ("vendored/",)
+
+
+def test_config_from_table_maps_dashes_and_ignores_unknown_keys():
+    config = config_from_table(
+        {
+            "sim-scope": ["repro/sim/"],
+            "topology-fields": ["sessions"],
+            "some-future-knob": True,
+        }
+    )
+    assert config.sim_scope == ("repro/sim/",)
+    assert config.topology_fields == ("sessions",)
+
+
+def test_find_pyproject_walks_upward(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[tool.repro-lint]\n")
+    nested = tmp_path / "src" / "repro" / "sim"
+    nested.mkdir(parents=True)
+    assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+
+
+def test_load_config_defaults_when_no_pyproject(tmp_path):
+    assert load_config(tmp_path) == LintConfig()
+
+
+@pytest.mark.skipif(tomllib is None, reason="no TOML parser available")
+def test_load_config_reads_table(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro-lint]\n"
+        'sim-scope = ["repro/sim/"]\n'
+        'ignore = ["F003"]\n'
+    )
+    config = load_config(tmp_path)
+    assert config.sim_scope == ("repro/sim/",)
+    assert config.ignore == ("F003",)
+
+
+@pytest.mark.skipif(tomllib is None, reason="no TOML parser available")
+def test_load_config_survives_malformed_toml(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[tool.repro-lint\n")
+    assert load_config(tmp_path) == LintConfig()
+
+
+@pytest.mark.skipif(tomllib is None, reason="no TOML parser available")
+def test_repo_pyproject_parses_into_a_config(repo_root):
+    config = load_config(repo_root)
+    assert "repro/sim/" in config.sim_scope
+    assert "repro/transfer/session.py" in config.topology_modules

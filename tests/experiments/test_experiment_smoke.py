@@ -7,7 +7,6 @@ result, and renders; the full-horizon shape assertions live in
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

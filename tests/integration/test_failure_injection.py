@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.experiments.common import launch_falcon, make_context, window_mean_bps
@@ -42,8 +41,6 @@ class TestBottleneckShifts:
         ctx = make_context(seed=31)
         tb = emulab(link_bps=200 * Mbps, per_process_bps=10 * Mbps)
         launched = launch_falcon(ctx, tb, kind="gd", hi=40)
-
-        before_ceiling = 100e6  # 10 workers x 10 Mbps typical early state
 
         def faster():
             for host in (tb.source, tb.destination):

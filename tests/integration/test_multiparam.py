@@ -2,15 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.core.conjugate_gradient import ConjugateGradientOptimizer
 from repro.core.utility import MultiParamUtility
 from repro.experiments.common import launch_falcon, make_context, window_mean_bps
 from repro.testbeds.presets import stampede2_comet
 from repro.transfer.dataset import small_dataset, uniform_dataset
-from repro.transfer.session import TransferParams
 from repro.units import GiB
 
 

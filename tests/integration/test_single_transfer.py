@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.common import launch_falcon, make_context
-from repro.testbeds.presets import TABLE1, campus_cluster, emulab_fig4, hpclab, xsede
+from repro.testbeds.presets import campus_cluster, emulab_fig4, hpclab, xsede
 
 
 @pytest.mark.parametrize("factory", [emulab_fig4, xsede, hpclab, campus_cluster])

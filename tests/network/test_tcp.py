@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.network.tcp import BBR, CUBIC, TcpModel, stream_window_cap
-from repro.units import Gbps, MiB
+from repro.units import MiB
 
 
 class TestWindowCap:

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.transfer.dataset import (
     Dataset,
-    FileQueue,
     large_dataset,
     mixed_dataset,
     small_dataset,

@@ -2,19 +2,18 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.hosts.dtn import DataTransferNode
 from repro.hosts.nic import Nic
 from repro.network.path import build_dumbbell
 from repro.sim.engine import SimulationEngine
-from repro.storage.parallel_fs import ParallelFileSystem, throttled_fs
+from repro.storage.parallel_fs import ParallelFileSystem
 from repro.testbeds.presets import emulab_fig4, hpclab
 from repro.transfer.dataset import uniform_dataset
 from repro.transfer.executor import FluidTransferNetwork
 from repro.transfer.session import TransferParams
-from repro.units import GB, Gbps, MB, Mbps
+from repro.units import Gbps, MB, Mbps
 
 
 def run_session(testbed, n, seconds=20.0, dataset=None):
@@ -50,7 +49,6 @@ class TestSingleBottlenecks:
         assert sample.throughput_bps >= 22 * Gbps
 
     def test_loss_appears_only_past_saturation(self):
-        tb = emulab_fig4()
         below, _, _ = run_session(emulab_fig4(), n=8)
         above, _, _ = run_session(emulab_fig4(), n=24)
         assert below.monitor.take(concurrency=8).loss_rate < 0.005

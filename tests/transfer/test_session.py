@@ -8,9 +8,9 @@ import pytest
 from repro.hosts.dtn import DataTransferNode
 from repro.network.path import build_dumbbell
 from repro.storage.parallel_fs import throttled_fs
-from repro.transfer.dataset import Dataset, uniform_dataset
+from repro.transfer.dataset import Dataset
 from repro.transfer.session import TransferParams, TransferSession
-from repro.units import GB, Gbps, MB, Mbps
+from repro.units import GB, Gbps, Mbps
 
 
 def make_session(sizes=None, params=TransferParams(), repeat=False, rtt=0.03):
