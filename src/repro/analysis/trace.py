@@ -61,7 +61,13 @@ class SessionTrace:
 
 
 class TraceRecorder:
-    """Samples registered sessions periodically on the engine clock."""
+    """Samples registered sessions periodically on the engine clock.
+
+    Besides the periodic series, the recorder keeps an *annotation*
+    channel: timestamped discrete events (fault injections, retries,
+    job restarts) that experiments plot as markers over the continuous
+    traces.
+    """
 
     def __init__(self, engine: SimulationEngine, period: float = 1.0) -> None:
         if period <= 0:
@@ -69,9 +75,19 @@ class TraceRecorder:
         self.engine = engine
         self.period = period
         self.traces: dict[str, SessionTrace] = {}
+        #: Discrete ``(time, kind, label)`` markers, in insertion order.
+        self.events: list[tuple[float, str, str]] = []
         self._sessions: list[TransferSession] = []
         self._last_bytes: dict[str, tuple[float, float]] = {}
         engine.schedule_every(period, self._sample, name="trace-recorder")
+
+    def annotate(self, time: float, kind: str, label: str = "") -> None:
+        """Add one discrete event marker to the trace."""
+        self.events.append((time, kind, label))
+
+    def events_of(self, kind: str) -> list[tuple[float, str, str]]:
+        """Annotation markers of one kind, in time order."""
+        return sorted((e for e in self.events if e[1] == kind), key=lambda e: e[0])
 
     def watch(self, session: TransferSession) -> SessionTrace:
         """Start recording a session; returns its (live) trace."""

@@ -53,6 +53,7 @@ EXPERIMENTS: dict[str, str] = {
     "bbr": "repro.experiments.bbr_extension",
     "robustness": "repro.experiments.robustness",
     "overhead": "repro.experiments.overhead",
+    "fault-tolerance": "repro.experiments.fault_tolerance",
 }
 
 
@@ -125,6 +126,14 @@ def cmd_tune(args: argparse.Namespace) -> int:
         ctx.engine.enable_profiling()
     tb = factory()
     launched = launch_falcon(ctx, tb, kind=args.optimizer)
+    injector = None
+    if args.faults:
+        from repro.faults import ChaosRng, FaultInjector, chaos_plan
+
+        plan = chaos_plan(args.faults, horizon=args.duration, rng=ChaosRng(ctx.streams))
+        injector = FaultInjector(
+            ctx.engine, ctx.network, plan, streams=ctx.streams, recorder=ctx.recorder
+        ).arm()
     ctx.engine.run_for(args.duration)
     agent = launched.controller
     tail = slice(max(0, len(agent.history) - 10), None)
@@ -140,6 +149,16 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
     print(f"throughput  {sparkline(launched.trace.throughput_bps)}")
     print(f"concurrency {sparkline(launched.trace.concurrency)}")
+    if injector is not None:
+        session = launched.session
+        print(
+            f"faults: {len(injector.records())} events, "
+            f"{session.worker_crashes} worker crashes, "
+            f"{session.files_requeued} files requeued, "
+            f"{session.stalled_seconds:.1f}s stalled"
+        )
+        for rec in injector.log:
+            print(f"  {rec}")
     if args.profile:
         print()
         print(ctx.engine.profile.report())
@@ -178,6 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print per-subsystem wall-time counters after the run",
+    )
+    from repro.faults.presets import CHAOS_PRESETS
+
+    tune.add_argument(
+        "--faults",
+        choices=sorted(CHAOS_PRESETS),
+        default=None,
+        help="inject a seeded chaos preset during the run",
     )
     tune.set_defaults(fn=cmd_tune)
 

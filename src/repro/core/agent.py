@@ -89,6 +89,12 @@ class FalconAgent:
         )
         if sample.duration <= 0:
             return
+        if not sample.valid:
+            # The interval overlapped an infrastructure outage: the
+            # reading reflects the fault, not the setting.  Feeding it
+            # to GD/BO would send the search chasing a zero-throughput
+            # cliff, so the tick is dropped (params stay, no history).
+            return
         u = self.utility(sample)
         obs = Observation(params=params, utility=u, sample=sample)
         proposal = self.optimizer.update(obs)

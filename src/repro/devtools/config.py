@@ -30,6 +30,7 @@ SIM_SCOPE = (
     "repro/core/",
     "repro/baselines/",
     "repro/service/",
+    "repro/faults/",
 )
 
 

@@ -1,0 +1,146 @@
+"""Fault tolerance: retries on vs off under a hostile chaos schedule.
+
+The paper's evaluation assumes a healthy substrate; this experiment
+(beyond the paper) measures what the service layer adds when the
+substrate misbehaves.  One job moves the same dataset through the same
+seeded chaos plan — link outages, loss bursts, storage brownouts,
+worker crashes, stalls, and one whole-job crash — twice:
+
+* **retries-on** — the default :class:`~repro.service.RetryPolicy`:
+  capped-exponential backoff per file, a no-progress watchdog, and
+  job restarts that resume from the undelivered files;
+* **retries-off** — ``fault_policy=None``, the legacy service: worker
+  crashes still requeue files (session-level restartability) but the
+  job crash is fatal.
+
+Expected shape: retries-on delivers every file exactly once and
+completes; retries-off strands the job in FAILED with a partial
+report.  Both runs share one seed, so the comparison is paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import make_context
+from repro.faults import ChaosRng, FaultInjector, chaos_plan
+from repro.service import FalconService, RetryPolicy, TransferJob
+from repro.testbeds.presets import hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.units import GB, bps_to_gbps, format_size
+
+
+@dataclass(frozen=True)
+class FaultToleranceRun:
+    """Outcome of one service configuration under the chaos plan."""
+
+    name: str
+    state: str
+    files_delivered: int
+    files_expected: int
+    bytes_moved: float
+    mean_throughput_bps: float
+    retries: int
+    restarts: int
+    worker_crashes: int
+    stalled_seconds: float
+    faults_injected: int
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Files delivered over files submitted."""
+        return self.files_delivered / self.files_expected
+
+
+@dataclass(frozen=True)
+class FaultToleranceResult:
+    """Paired comparison of the two policies."""
+
+    runs: dict[str, FaultToleranceRun]
+
+    def render(self) -> str:
+        """Comparison table."""
+        return format_table(
+            ["Policy", "Outcome", "Files", "Moved", "Mean tput", "Crashes", "Retries", "Restarts"],
+            [
+                (
+                    r.name,
+                    r.state,
+                    f"{r.files_delivered}/{r.files_expected}",
+                    format_size(r.bytes_moved),
+                    f"{bps_to_gbps(r.mean_throughput_bps):.2f} Gbps",
+                    r.worker_crashes,
+                    r.retries,
+                    r.restarts,
+                )
+                for r in self.runs.values()
+            ],
+        )
+
+
+def run(
+    seed: int = 0,
+    files: int = 300,
+    horizon: float = 400.0,
+    preset: str = "hostile",
+) -> FaultToleranceResult:
+    """Run the same chaos plan against retries-on and retries-off."""
+    runs: dict[str, FaultToleranceRun] = {}
+    for label, policy in (
+        ("retries-on", RetryPolicy()),
+        ("retries-off", None),
+    ):
+        ctx = make_context(seed)
+        tb = hpclab()
+        service = FalconService(
+            engine=ctx.engine,
+            network=ctx.network,
+            seed=seed,
+            fault_policy=policy,
+        )
+        dataset = uniform_dataset(files, 1 * GB)
+        job = service.submit(tb, dataset, name="payload")
+        # Faults land inside the first ~60% of the horizon so the
+        # retries-on arm has room to recover and finish.
+        plan = chaos_plan(preset, horizon=0.6 * horizon, rng=ChaosRng(ctx.streams))
+        injector = FaultInjector(
+            ctx.engine,
+            ctx.network,
+            plan,
+            streams=ctx.streams,
+            service=service,
+            recorder=ctx.recorder,
+        ).arm()
+        ctx.engine.run_until(horizon)
+        runs[label] = _summarize(label, job, dataset.file_count, injector)
+    return FaultToleranceResult(runs=runs)
+
+
+def _summarize(
+    label: str, job: TransferJob, expected: int, injector: FaultInjector
+) -> FaultToleranceRun:
+    report = job.report
+    return FaultToleranceRun(
+        name=label,
+        state=job.state.value,
+        files_delivered=report.files if report else 0,
+        files_expected=expected,
+        bytes_moved=report.bytes_moved if report else 0.0,
+        mean_throughput_bps=report.mean_throughput_bps if report else 0.0,
+        retries=report.retries if report else 0,
+        restarts=report.restarts if report else 0,
+        worker_crashes=report.worker_crashes if report else 0,
+        stalled_seconds=report.stalled_seconds if report else 0.0,
+        faults_injected=len(injector.records()),
+    )
+
+
+def main() -> None:
+    """Print the comparison."""
+    result = run()
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

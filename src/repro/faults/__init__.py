@@ -1,0 +1,51 @@
+"""Deterministic fault injection (beyond the paper).
+
+The paper's evaluation assumes a healthy substrate; production transfer
+services spend much of their code on the opposite case.  This package
+adds a *seeded, declarative* fault layer over the simulator:
+
+* :mod:`repro.faults.plan` — frozen fault-event dataclasses and the
+  :class:`FaultPlan` that groups them;
+* :mod:`repro.faults.presets` — named chaos profiles that expand into
+  plans deterministically from a :class:`ChaosRng`;
+* :mod:`repro.faults.injector` — compiles a plan into engine callbacks
+  that flip link/storage/worker state at the scheduled times;
+* :mod:`repro.faults.rng` — the dedicated random stream faults draw
+  from, so injecting a fault never perturbs measurement jitter or
+  optimizer sampling sequences.
+
+Everything here is deterministic: the same seed, plan, and workload
+produce bit-identical traces, which is what makes chaos testing usable
+in CI.
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    JobCrash,
+    LinkOutage,
+    LossBurst,
+    StorageBrownout,
+    TransferStall,
+    WorkerCrash,
+)
+from repro.faults.presets import CHAOS_PRESETS, ChaosProfile, chaos_plan
+from repro.faults.rng import ChaosRng
+
+__all__ = [
+    "CHAOS_PRESETS",
+    "ChaosProfile",
+    "ChaosRng",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "JobCrash",
+    "LinkOutage",
+    "LossBurst",
+    "StorageBrownout",
+    "TransferStall",
+    "WorkerCrash",
+    "chaos_plan",
+]

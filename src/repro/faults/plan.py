@@ -1,0 +1,186 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a frozen list of *what goes wrong and when* —
+the input the :class:`~repro.faults.injector.FaultInjector` compiles
+into engine callbacks.  Plans are plain data on purpose: they can be
+written literally in a test, expanded from a chaos profile, printed in
+an experiment header, and compared across runs.
+
+All times are absolute simulation seconds.  Targets are optional —
+``None`` means "the injector picks deterministically at fire time"
+(bottleneck link, random file-holding worker via the chaos stream) so a
+plan does not need to know session names in advance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something that goes wrong at time :attr:`at`."""
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("fault time must be non-negative")
+
+    @property
+    def kind(self) -> str:
+        """Short lowercase label used in logs and traces."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class LinkOutage(FaultEvent):
+    """A network link goes hard down for ``duration`` seconds.
+
+    While down the link allocates nothing and drops every packet;
+    sessions crossing it see their samples tainted (``valid=False``)
+    for the outage window plus the straddling interval.
+    ``link=None`` targets the bottleneck (lowest-capacity) link among
+    the active sessions' paths.
+    """
+
+    duration: float = 10.0
+    link: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError("outage duration must be positive")
+
+
+@dataclass(frozen=True)
+class LossBurst(FaultEvent):
+    """Additive packet loss on a link for ``duration`` seconds.
+
+    Models a fiber flap or microwave fade: the link stays up but every
+    flow crossing it sees ``loss`` extra loss on top of congestion
+    loss.  Unlike an outage this does not taint samples — degraded
+    readings during a burst are real signal the tuner should react to.
+    """
+
+    duration: float = 10.0
+    loss: float = 0.05
+    link: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError("burst duration must be positive")
+        if not 0.0 < self.loss <= 1.0:
+            raise ValueError("burst loss must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class StorageBrownout(FaultEvent):
+    """A host's file system degrades to ``factor`` of its rates.
+
+    Models an OST rebuild or a co-tenant batch job hammering the
+    array.  ``host`` is ``"source"``, ``"destination"``, or a DTN name.
+    """
+
+    duration: float = 30.0
+    factor: float = 0.3
+    host: str = "source"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError("brownout duration must be positive")
+        if not 0.0 < self.factor < 1.0:
+            raise ValueError("brownout factor must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class WorkerCrash(FaultEvent):
+    """One worker process dies mid-file.
+
+    The file's progress survives (restartable transfers) but its
+    attempt count rises — the event the service's retry/backoff policy
+    exists to absorb.  ``session=None`` picks a random active session;
+    ``worker=None`` picks a random file-holding worker.
+    """
+
+    session: str | None = None
+    worker: int | None = None
+
+
+@dataclass(frozen=True)
+class TransferStall(FaultEvent):
+    """A worker hangs for ``duration`` seconds without dying.
+
+    The worker keeps its file and data channel but moves no bytes —
+    invisible to completion accounting, which is why the service needs
+    a no-progress watchdog rather than just an exit-code check.
+    """
+
+    duration: float = 20.0
+    session: str | None = None
+    worker: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError("stall duration must be positive")
+
+
+@dataclass(frozen=True)
+class JobCrash(FaultEvent):
+    """A whole transfer job's process tree dies.
+
+    The service either restarts the job — resuming from the files not
+    yet delivered — or, with restarts exhausted/disabled, marks it
+    FAILED with a partial report.  ``job=None`` targets the
+    longest-running job.
+    """
+
+    job: int | None = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events.
+
+    Events may be listed in any order; the injector schedules each at
+    its own timestamp.  An empty plan is valid (chaos profile drew no
+    events) and injects nothing.
+    """
+
+    events: tuple[FaultEvent, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {ev!r}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def last_time(self) -> float:
+        """When the final fault (including recoveries) has played out."""
+        end = 0.0
+        for ev in self.events:
+            end = max(end, ev.at + getattr(ev, "duration", 0.0))
+        return end
+
+    def describe(self) -> str:
+        """One line per event, in time order (experiment headers, logs)."""
+        lines = []
+        for ev in sorted(self.events, key=lambda e: e.at):
+            fields = {
+                k: v
+                for k, v in vars(ev).items()
+                if k != "at" and v is not None
+            }
+            detail = ", ".join(f"{k}={v}" for k, v in fields.items())
+            lines.append(f"t={ev.at:g}s {ev.kind}({detail})")
+        return "\n".join(lines) if lines else "(no faults)"

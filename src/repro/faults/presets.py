@@ -1,0 +1,147 @@
+"""Named chaos profiles and their deterministic expansion into plans.
+
+A :class:`ChaosProfile` describes fault *pressure* (expected events per
+minute, duration/intensity ranges); :func:`chaos_plan` expands it into a
+concrete :class:`~repro.faults.plan.FaultPlan` for a given horizon using
+a :class:`~repro.faults.rng.ChaosRng` — same seed, same plan, always.
+
+Presets
+-------
+``calm``
+    A couple of worker stalls and one crash: the background noise any
+    long-lived transfer service sees.
+``flaky-network``
+    Loss bursts plus short link outages; no end-host trouble.
+``storage-degraded``
+    Storage brownouts at the source array plus stalls.
+``hostile``
+    Everything at once, including a whole-job crash — the preset CI's
+    chaos smoke test runs, and the one the fault-tolerance experiment
+    uses to separate retries-on from retries-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    JobCrash,
+    LinkOutage,
+    LossBurst,
+    StorageBrownout,
+    TransferStall,
+    WorkerCrash,
+)
+from repro.faults.rng import ChaosRng
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Fault pressure per class; rates are expected events per minute."""
+
+    name: str
+    outage_per_min: float = 0.0
+    outage_duration: tuple[float, float] = (5.0, 15.0)
+    burst_per_min: float = 0.0
+    burst_loss: tuple[float, float] = (0.02, 0.10)
+    burst_duration: tuple[float, float] = (5.0, 20.0)
+    brownout_per_min: float = 0.0
+    brownout_factor: tuple[float, float] = (0.2, 0.5)
+    brownout_duration: tuple[float, float] = (15.0, 45.0)
+    crash_per_min: float = 0.0
+    stall_per_min: float = 0.0
+    stall_duration: tuple[float, float] = (10.0, 30.0)
+    #: Fractions of the horizon at which the whole job crashes.
+    job_crash_at: tuple[float, ...] = ()
+
+
+CHAOS_PRESETS: dict[str, ChaosProfile] = {
+    "calm": ChaosProfile(
+        name="calm",
+        crash_per_min=0.3,
+        stall_per_min=0.5,
+        stall_duration=(5.0, 15.0),
+    ),
+    "flaky-network": ChaosProfile(
+        name="flaky-network",
+        outage_per_min=0.4,
+        outage_duration=(3.0, 10.0),
+        burst_per_min=0.8,
+    ),
+    "storage-degraded": ChaosProfile(
+        name="storage-degraded",
+        brownout_per_min=0.5,
+        stall_per_min=0.4,
+    ),
+    "hostile": ChaosProfile(
+        name="hostile",
+        outage_per_min=0.3,
+        outage_duration=(3.0, 8.0),
+        burst_per_min=0.5,
+        brownout_per_min=0.3,
+        brownout_duration=(10.0, 25.0),
+        crash_per_min=0.8,
+        stall_per_min=0.6,
+        stall_duration=(8.0, 20.0),
+        job_crash_at=(0.45,),
+    ),
+}
+
+
+def chaos_plan(
+    profile: ChaosProfile | str, horizon: float, rng: ChaosRng
+) -> FaultPlan:
+    """Expand a profile into a concrete plan over ``[0, horizon]``.
+
+    Event counts are Poisson draws from the per-minute rates; times are
+    uniform inside the middle 90% of the horizon so a fault never fires
+    before the workload exists or after it is already winding down.
+    Durations are clipped so every fault recovers inside the horizon.
+    """
+    if isinstance(profile, str):
+        try:
+            profile = CHAOS_PRESETS[profile]
+        except KeyError:
+            known = ", ".join(sorted(CHAOS_PRESETS))
+            raise ValueError(f"unknown chaos preset {profile!r}; known: {known}") from None
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+
+    minutes = horizon / 60.0
+    lo_t, hi_t = 0.05 * horizon, 0.95 * horizon
+    events: list[FaultEvent] = []
+
+    def times(per_min: float) -> list[float]:
+        return [rng.uniform(lo_t, hi_t) for _ in range(rng.poisson(per_min * minutes))]
+
+    def span(at: float, bounds: tuple[float, float]) -> float:
+        return min(rng.uniform(*bounds), max(horizon - at, 1e-3))
+
+    for at in times(profile.outage_per_min):
+        events.append(LinkOutage(at=at, duration=span(at, profile.outage_duration)))
+    for at in times(profile.burst_per_min):
+        events.append(
+            LossBurst(
+                at=at,
+                duration=span(at, profile.burst_duration),
+                loss=rng.uniform(*profile.burst_loss),
+            )
+        )
+    for at in times(profile.brownout_per_min):
+        events.append(
+            StorageBrownout(
+                at=at,
+                duration=span(at, profile.brownout_duration),
+                factor=rng.uniform(*profile.brownout_factor),
+            )
+        )
+    for at in times(profile.crash_per_min):
+        events.append(WorkerCrash(at=at))
+    for at in times(profile.stall_per_min):
+        events.append(TransferStall(at=at, duration=span(at, profile.stall_duration)))
+    for frac in profile.job_crash_at:
+        events.append(JobCrash(at=frac * horizon))
+
+    return FaultPlan(events=tuple(sorted(events, key=lambda e: (e.at, e.kind))))

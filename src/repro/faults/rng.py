@@ -1,0 +1,52 @@
+"""The random stream fault injection draws from.
+
+Faults need randomness twice: expanding a chaos *profile* into concrete
+event times, and picking targets (which worker crashes?) at fire time.
+Both draws come from a dedicated ``chaos/<name>`` stream carved out of
+the experiment's :class:`~repro.sim.rng.RngStreams` family, so enabling
+fault injection never shifts the sequences other components (jitter,
+Bayesian sampling, dataset generation) observe — an injected outage
+changes *what happens*, not *what would have been measured*.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngStreams
+
+
+class ChaosRng:
+    """Deterministic draws for fault scheduling and target selection.
+
+    Parameters
+    ----------
+    streams:
+        The experiment's stream family (or any seeded family).
+    name:
+        Sub-stream label; two injectors with different names in the
+        same experiment draw independently.
+    """
+
+    def __init__(self, streams: RngStreams, name: str = "injector") -> None:
+        self._gen = streams.get(f"chaos/{name}")
+
+    def uniform(self, lo: float, hi: float) -> float:
+        """One uniform draw in ``[lo, hi)``."""
+        return float(self._gen.uniform(lo, hi))
+
+    def integers(self, n: int) -> int:
+        """One uniform integer in ``[0, n)``."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return int(self._gen.integers(n))
+
+    def pick(self, items):
+        """Uniformly pick one element of a non-empty sequence."""
+        if not len(items):
+            raise ValueError("cannot pick from an empty sequence")
+        return items[self.integers(len(items))]
+
+    def poisson(self, lam: float) -> int:
+        """One Poisson draw (event counts for chaos profiles)."""
+        if lam < 0:
+            raise ValueError("lam must be non-negative")
+        return int(self._gen.poisson(lam))

@@ -25,27 +25,57 @@ class Link:
         sum of its link delays).
     loss_model:
         Maps load on this link to a packet-loss fraction.
+    available:
+        Fault state: False while the link is in an injected outage.  A
+        down link allocates nothing and drops every packet.  Toggled by
+        :class:`repro.faults.FaultInjector`, which also invalidates the
+        executor's cached topology so the change takes effect on the
+        next fluid step.
+    extra_loss:
+        Fault state: additive packet-loss fraction from an injected
+        loss burst (fiber flap, microwave fade), on top of the
+        congestion loss the model computes.
     """
 
     name: str
     capacity: float
     delay: float = 0.0
     loss_model: LossModel = field(default_factory=DropTailLossModel)
+    available: bool = True
+    extra_loss: float = 0.0
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ValueError(f"link {self.name!r}: capacity must be positive")
         if self.delay < 0:
             raise ValueError(f"link {self.name!r}: delay must be non-negative")
+        if not 0.0 <= self.extra_loss <= 1.0:
+            raise ValueError(f"link {self.name!r}: extra_loss must be in [0, 1]")
+
+    @property
+    def effective_capacity(self) -> float:
+        """Capacity honoring fault state (0 while the link is down)."""
+        return self.capacity if self.available else 0.0
 
     def allocate(self, demands: np.ndarray) -> np.ndarray:
-        """Max-min fair allocation of this link's capacity."""
-        return _fair_share_unchecked(np.asarray(demands, dtype=float), self.capacity)
+        """Max-min fair allocation of this link's effective capacity."""
+        return _fair_share_unchecked(
+            np.asarray(demands, dtype=float), self.effective_capacity
+        )
 
     def loss_rate(self, offered_bps: float, n_flows: int, rtt: float) -> float:
-        """Packet-loss fraction for the given load (see :class:`LossModel`)."""
-        return self.loss_model.loss_rate(offered_bps, self.capacity, n_flows, rtt)
+        """Packet-loss fraction for the given load (see :class:`LossModel`).
+
+        Injected fault state stacks on top of the congestion model: a
+        loss burst adds :attr:`extra_loss`; an outage loses everything.
+        """
+        if not self.available:
+            return 1.0
+        base = self.loss_model.loss_rate(offered_bps, self.capacity, n_flows, rtt)
+        if self.extra_loss > 0.0:
+            return float(min(1.0, base + self.extra_loss))
+        return base
 
     def utilization(self, carried_bps: float) -> float:
-        """Fraction of capacity in use."""
+        """Fraction of (nominal) capacity in use."""
         return carried_bps / self.capacity

@@ -9,6 +9,7 @@ a completion report per job.
 """
 
 from repro.service.jobs import JobState, TransferJob, TransferReport
+from repro.service.policy import RetryPolicy
 from repro.service.service import FalconService
 
-__all__ = ["FalconService", "JobState", "TransferJob", "TransferReport"]
+__all__ = ["FalconService", "JobState", "RetryPolicy", "TransferJob", "TransferReport"]

@@ -18,6 +18,9 @@ class JobState(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     CANCELLED = "cancelled"
+    #: Terminal: retries/restarts exhausted; ``report`` covers the
+    #: partial progress made before the service gave up.
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,23 @@ class TransferReport:
         Worker-process lifetime consumed across both end hosts (the
         overhead metric; each worker is a process at the source *and*
         the destination).
+    completed:
+        True only for jobs that delivered their whole dataset; False
+        for cancelled/failed partial reports.
+    retries:
+        File re-queues scheduled by the retry policy (worker crashes
+        and watchdog kills that got a backoff timer).
+    restarts:
+        Whole-job restarts after job crashes.
+    worker_crashes:
+        Worker processes lost (injected or watchdog-killed), summed
+        across restarts.
+    stalled_seconds:
+        Worker-seconds spent inside injected stalls, summed across
+        restarts.
+    failed_files:
+        Files that exhausted their attempt budget (nonzero only on
+        FAILED jobs).
     """
 
     bytes_moved: float
@@ -54,15 +74,29 @@ class TransferReport:
     final_concurrency: int
     loss_fraction: float
     process_seconds: float
+    completed: bool = True
+    retries: int = 0
+    restarts: int = 0
+    worker_crashes: int = 0
+    stalled_seconds: float = 0.0
+    failed_files: int = 0
 
     def summary(self) -> str:
         """One-line human-readable report."""
-        return (
+        line = (
             f"{format_size(self.bytes_moved)} in {format_duration(self.duration)} "
             f"({format_rate(self.mean_throughput_bps)}), {self.files} files, "
             f"loss {self.loss_fraction:.2%}, {self.decisions} decisions, "
             f"final n={self.final_concurrency}"
         )
+        if self.retries or self.restarts or self.worker_crashes:
+            line += (
+                f", {self.worker_crashes} crashes/"
+                f"{self.retries} retries/{self.restarts} restarts"
+            )
+        if not self.completed:
+            line += " [partial]"
+        return line
 
 
 @dataclass
@@ -78,6 +112,13 @@ class TransferJob:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     report: Optional[TransferReport] = None
+    #: Fault-tolerance counters, accumulated across restarts.
+    retries: int = 0
+    restarts: int = 0
+    failed_files: int = 0
+    #: Timestamped lifecycle events: ``(time, kind, detail)`` for
+    #: retries, watchdog kills, restarts, and the final failure reason.
+    events: list = field(default_factory=list, repr=False)
     _extras: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -86,6 +127,10 @@ class TransferJob:
         if self.started_at is None:
             return 0.0
         return self.started_at - self.submitted_at
+
+    def note(self, time: float, kind: str, detail: str = "") -> None:
+        """Append one lifecycle event."""
+        self.events.append((time, kind, detail))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"Job#{self.job_id}({self.name}, {self.state.value})"

@@ -1,0 +1,85 @@
+"""Retry/backoff/watchdog policy for the transfer service.
+
+One frozen object holds every fault-tolerance knob, so experiments can
+flip the whole behaviour with ``fault_policy=None`` (legacy: no
+retries, no watchdog, job crashes are fatal) versus
+``fault_policy=RetryPolicy()`` (production defaults).
+
+Backoff is capped exponential with deterministic jitter: attempt ``k``
+(1-based) of a file waits ::
+
+    min(backoff_cap, backoff_base * backoff_multiplier**(k-1))
+        * (1 + backoff_jitter * u),   u ~ U[0, 1)
+
+with ``u`` drawn from the job's dedicated fault stream — retries
+de-phase across files without perturbing any other random sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the service responds to worker/job failures.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; a disabled policy behaves like ``None`` (no
+        retries, no watchdog, no restarts) while keeping the object
+        around for reporting.
+    max_attempts:
+        Total transfer attempts allowed per file (first try included).
+        A file failing this many times fails the whole job — by then
+        the fault is systemic, not transient.
+    backoff_base / backoff_multiplier / backoff_cap:
+        Capped exponential backoff schedule, seconds.
+    backoff_jitter:
+        Fractional jitter on each backoff (0.25 = up to +25%).
+    stall_timeout:
+        Seconds a worker may hold a file without moving a byte before
+        the watchdog kills it.
+    watchdog_interval:
+        How often the no-progress watchdog inspects workers.
+    max_restarts:
+        Whole-job restarts allowed after a job crash; each restart
+        resumes from the files not yet delivered.
+    """
+
+    enabled: bool = True
+    max_attempts: int = 4
+    backoff_base: float = 2.0
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 30.0
+    backoff_jitter: float = 0.25
+    stall_timeout: float = 15.0
+    watchdog_interval: float = 5.0
+    max_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base <= 0 or self.backoff_cap <= 0:
+            raise ValueError("backoff_base and backoff_cap must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be non-negative")
+        if self.stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive")
+        if self.watchdog_interval <= 0:
+            raise ValueError("watchdog_interval must be positive")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+
+    def backoff(self, attempt: int, u: float = 0.0) -> float:
+        """Delay before re-queueing a file that has failed ``attempt`` times.
+
+        ``u`` is the jitter draw in ``[0, 1)``.
+        """
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        raw = self.backoff_base * self.backoff_multiplier ** (attempt - 1)
+        return min(self.backoff_cap, raw) * (1.0 + self.backoff_jitter * u)

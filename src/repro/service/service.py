@@ -5,10 +5,26 @@ submissions wait in FIFO order.  Each running job gets its own Falcon
 agent (all sharing the same utility, as the equilibrium argument
 requires), so concurrent jobs on the same testbed converge to fair
 shares automatically — the service needs no bandwidth broker.
+
+Fault tolerance is opt-in via ``fault_policy``:
+
+* a crashed worker's file re-enters the queue after a capped
+  exponential backoff with deterministic jitter; a file exhausting its
+  attempt budget fails the whole job;
+* a no-progress watchdog kills workers that hold a file without moving
+  a byte for ``stall_timeout`` seconds (hung process, not dead — exit
+  codes never fire);
+* a crashed *job* is restarted up to ``max_restarts`` times, resuming
+  from the files its previous incarnation had not delivered (same
+  :class:`~repro.transfer.dataset.FileQueue` object, so progress and
+  pending retry timers survive the restart);
+* with retries exhausted (or ``fault_policy=None``) the job lands in
+  ``FAILED`` with a partial report instead of hanging forever.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -20,13 +36,25 @@ from repro.core.gradient_descent import GradientDescent
 from repro.core.optimizer import ConcurrencyOptimizer
 from repro.core.utility import NonlinearPenaltyUtility, UtilityFunction
 from repro.service.jobs import JobState, TransferJob, TransferReport
+from repro.service.policy import RetryPolicy
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RngStreams
 from repro.testbeds.base import Testbed
-from repro.transfer.dataset import Dataset
+from repro.transfer.dataset import Dataset, FileQueue
 from repro.transfer.executor import FluidTransferNetwork
 
 OptimizerFactory = Callable[[np.random.Generator], ConcurrencyOptimizer]
+
+#: Zero carry-over stats for a job's first incarnation.
+_ZERO_CARRY = {
+    "good": 0.0,
+    "lost": 0.0,
+    "files": 0,
+    "decisions": 0,
+    "process_seconds": 0.0,
+    "crashes": 0,
+    "stalled": 0.0,
+}
 
 
 def _default_optimizer(rng: np.random.Generator) -> ConcurrencyOptimizer:
@@ -50,6 +78,9 @@ class FalconService:
         for the fair-equilibrium guarantee).
     seed:
         Root seed for per-job measurement-jitter streams.
+    fault_policy:
+        Retry/watchdog/restart behaviour; ``None`` reproduces the
+        legacy service exactly (no retries, crashes are fatal).
     """
 
     engine: SimulationEngine
@@ -58,9 +89,10 @@ class FalconService:
     optimizer_factory: OptimizerFactory = _default_optimizer
     utility: UtilityFunction = field(default_factory=NonlinearPenaltyUtility)
     seed: int = 0
+    fault_policy: RetryPolicy | None = None
 
     _jobs: list[TransferJob] = field(default_factory=list)
-    _queue: list[TransferJob] = field(default_factory=list)
+    _queue: deque = field(default_factory=deque)
     _active: list[TransferJob] = field(default_factory=list)
     _streams: RngStreams = field(init=False)
     _next_id: int = 1
@@ -69,6 +101,10 @@ class FalconService:
         if self.max_active < 1:
             raise ValueError("max_active must be >= 1")
         self._streams = RngStreams(self.seed)
+
+    @property
+    def _policy_active(self) -> bool:
+        return self.fault_policy is not None and self.fault_policy.enabled
 
     # -- submission ------------------------------------------------------------
 
@@ -102,18 +138,35 @@ class FalconService:
         elif job.state is JobState.RUNNING:
             session = job._extras["session"]
             agent: FalconAgent = job._extras["agent"]
-            # Tear down the worker pool: in-progress files go back to
-            # the session's queue via push_back with progress intact
-            # (restartable-transfer semantics), not silently stranded.
-            session._resize_workers(0)
-            session.finished_at = self.engine.now
-            if session in self.network.sessions:
-                self.network.remove_session(session)
+            self._teardown_session(session)
             job.state = JobState.CANCELLED
             job.finished_at = self.engine.now
-            job.report = self._partial_report(job, session, agent)
+            job.report = self._partial_report(job, session, agent, completed=False)
             self._active.remove(job)
             self._dispatch()
+
+    def crash_job(self, job: TransferJob) -> None:
+        """Kill a running job's whole process tree (fault injection).
+
+        With a retry policy and restarts left, the job relaunches and
+        *resumes*: the replacement session consumes the crashed one's
+        file queue, so already-delivered files are not moved again.
+        Otherwise the job fails with a partial report.
+        """
+        if job.state is not JobState.RUNNING:
+            return
+        now = self.engine.now
+        session = job._extras["session"]
+        agent: FalconAgent = job._extras["agent"]
+        self._teardown_session(session)
+        policy = self.fault_policy
+        if self._policy_active and job.restarts < policy.max_restarts:
+            job.restarts += 1
+            job.note(now, "restart", f"{job.restarts}/{policy.max_restarts}")
+            self._accumulate_carry(job, session, agent)
+            self._launch(job, queue=session.queue)
+        else:
+            self._fail(job, reason="job crashed (no restarts left)")
 
     # -- introspection ----------------------------------------------------------
 
@@ -134,11 +187,25 @@ class FalconService:
 
     def _dispatch(self) -> None:
         while self._queue and len(self._active) < self.max_active:
-            job = self._queue.pop(0)
+            job = self._queue.popleft()
             self._start(job)
 
     def _start(self, job: TransferJob) -> None:
-        session = job.testbed.new_session(job.dataset, name=job.name)
+        job.state = JobState.RUNNING
+        job.started_at = self.engine.now
+        self._active.append(job)
+        self._launch(job)
+
+    def _launch(self, job: TransferJob, queue: FileQueue | None = None) -> None:
+        """(Re)create the session+agent pair for a running job.
+
+        ``queue`` carries the remaining files of a crashed incarnation
+        into the replacement session (job resume).
+        """
+        suffix = f"+r{job.restarts}" if job.restarts else ""
+        session = job.testbed.new_session(
+            job.dataset, name=f"{job.name}{suffix}", queue=queue
+        )
         rng = self._streams.get(f"job/{job.job_id}")
         agent = FalconAgent(
             session=session,
@@ -146,38 +213,193 @@ class FalconService:
             utility=self.utility,
             rng=rng,
         )
-        job.state = JobState.RUNNING
-        job.started_at = self.engine.now
         job._extras["session"] = session
         job._extras["agent"] = agent
-        self._active.append(job)
         session.on_complete = lambda s, j=job: self._finish(j)
+        if self._policy_active:
+            session.on_file_failure = (
+                lambda size, done, attempts, j=job: self._file_failed(
+                    j, size, done, attempts
+                )
+            )
+            if "watchdog" not in job._extras:
+                job._extras["watchdog"] = self._schedule_watchdog(job)
         self.network.add_session(session)
         # De-phase decision clocks across jobs (see experiments.common).
         interval = job.testbed.sample_interval * (1.0 + float(rng.uniform(-0.08, 0.08)))
         attach_agent(self.engine, agent, interval=interval)
+
+    def _teardown_session(self, session) -> None:
+        """Detach and silence a session whose job is ending or restarting.
+
+        Worker teardown pushes in-flight files back into the queue with
+        progress kept (restartable-transfer semantics) — which is
+        exactly what makes the queue resumable by a successor session.
+        """
+        session.on_complete = None
+        session.on_file_failure = None
+        session._resize_workers(0)
+        session.finished_at = self.engine.now
+        if session in self.network.sessions:
+            self.network.remove_session(session)
+
+    # -- retry path -----------------------------------------------------------
+
+    def _file_failed(self, job: TransferJob, size: float, done: float, attempts: int) -> None:
+        """A worker died holding a file: back off and requeue, or give up.
+
+        ``attempts`` counts failures *before* this one.
+        """
+        if job.state is not JobState.RUNNING:
+            return
+        now = self.engine.now
+        policy = self.fault_policy
+        failed = attempts + 1
+        if failed >= policy.max_attempts:
+            job.failed_files += 1
+            job.note(now, "file-failed", f"{failed} attempts on {size:.0f}B file")
+            self._fail(job, reason=f"file exhausted {failed} attempts")
+            return
+        u = float(self._streams.get(f"job/{job.job_id}/faults").random())
+        delay = policy.backoff(failed, u)
+        job.retries += 1
+        job.note(now, "retry", f"attempt {failed + 1} in {delay:.1f}s")
+        queue = job._extras["session"].queue
+        # The hold keeps the file counted as remaining work so the
+        # session cannot declare completion while the timer runs.  The
+        # queue object survives restarts, so the requeue lands in the
+        # live incarnation even if the job crashes meanwhile.
+        queue.hold()
+
+        def requeue() -> None:
+            queue.release()
+            queue.push_back(size, done, failed)
+
+        self.engine.schedule_in(delay, requeue, name=f"retry:{job.name}")
+
+    # -- watchdog ---------------------------------------------------------------
+
+    def _schedule_watchdog(self, job: TransferJob):
+        """Periodic no-progress check; kills workers stuck past the timeout.
+
+        The tick re-reads the session from the job's extras each time,
+        so one watchdog follows the job across restarts; it retires
+        itself when the job reaches a terminal state.
+        """
+        policy = self.fault_policy
+
+        def tick() -> None:
+            if job.state is not JobState.RUNNING:
+                raise StopIteration
+            session = job._extras["session"]
+            watch = job._extras.get("watch")
+            if watch is None or watch["session"] is not session:
+                # New incarnation: re-baseline.
+                job._extras["watch"] = {
+                    "session": session,
+                    "done": session.file_done.copy(),
+                    "size": session.file_size.copy(),
+                    "streak": np.zeros(session.file_done.size),
+                }
+                return
+            # Progress = any change to the (file, bytes-done) pair —
+            # completions swap the file, so they count as progress even
+            # though bytes-done can shrink.  Pool resizes are
+            # prefix-stable, so surviving workers carry their streaks;
+            # new slots start fresh (counted as "moved").
+            n = session.file_done.size
+            m = min(n, watch["streak"].size)
+            moved = np.ones(n, dtype=bool)
+            moved[:m] = (session.file_done[:m] != watch["done"][:m]) | (
+                session.file_size[:m] != watch["size"][:m]
+            )
+            carried = np.zeros(n)
+            carried[:m] = watch["streak"][:m]
+            streak = np.where(
+                session.has_file & ~moved,
+                carried + policy.watchdog_interval,
+                0.0,
+            )
+            watch["done"] = session.file_done.copy()
+            watch["size"] = session.file_size.copy()
+            watch["streak"] = streak
+            for w in np.flatnonzero(streak >= policy.stall_timeout).tolist():
+                # A kill can cascade into job failure mid-loop.
+                if job.state is not JobState.RUNNING:
+                    break
+                if w >= session.rates.size or not session.has_file[w]:
+                    continue
+                job.note(self.engine.now, "watchdog-kill", f"worker {w}")
+                streak[w] = 0.0
+                session.crash_worker(w)
+
+        return self.engine.schedule_every(
+            policy.watchdog_interval, tick, name=f"watchdog:{job.name}"
+        )
+
+    # -- completion / failure ----------------------------------------------------
 
     def _finish(self, job: TransferJob) -> None:
         session = job._extras["session"]
         agent: FalconAgent = job._extras["agent"]
         job.state = JobState.COMPLETED
         job.finished_at = self.engine.now
-        job.report = self._partial_report(job, session, agent)
+        job.report = self._partial_report(job, session, agent, completed=True)
         if job in self._active:
             self._active.remove(job)
         self._dispatch()
 
-    def _partial_report(self, job: TransferJob, session, agent: FalconAgent) -> TransferReport:
-        """Report covering whatever the session moved up to now."""
+    def _fail(self, job: TransferJob, reason: str = "") -> None:
+        """Terminal failure: partial report, slot freed, no hang."""
+        if job.state is not JobState.RUNNING:
+            return
+        session = job._extras["session"]
+        agent: FalconAgent = job._extras["agent"]
+        if session.finished_at is None:
+            self._teardown_session(session)
+        job.state = JobState.FAILED
+        job.finished_at = self.engine.now
+        job.note(self.engine.now, "failed", reason)
+        job.report = self._partial_report(job, session, agent, completed=False)
+        if job in self._active:
+            self._active.remove(job)
+        self._dispatch()
+
+    # -- reporting ----------------------------------------------------------------
+
+    def _accumulate_carry(self, job: TransferJob, session, agent: FalconAgent) -> None:
+        """Bank a dead incarnation's stats so reports span restarts."""
+        carry = job._extras.setdefault("carry", dict(_ZERO_CARRY))
+        carry["good"] += session.total_good_bytes
+        carry["lost"] += session.total_lost_bytes
+        carry["files"] += session.files_completed
+        carry["decisions"] += len(agent.history)
+        carry["process_seconds"] += session.process_seconds
+        carry["crashes"] += session.worker_crashes
+        carry["stalled"] += session.stalled_seconds
+
+    def _partial_report(
+        self, job: TransferJob, session, agent: FalconAgent, completed: bool
+    ) -> TransferReport:
+        """Report covering whatever the job moved up to now (all incarnations)."""
+        carry = job._extras.get("carry", _ZERO_CARRY)
         duration = max((job.finished_at or 0.0) - (job.started_at or 0.0), 1e-9)
-        sent = session.total_good_bytes + session.total_lost_bytes
+        good = carry["good"] + session.total_good_bytes
+        lost = carry["lost"] + session.total_lost_bytes
+        sent = good + lost
         return TransferReport(
-            bytes_moved=session.total_good_bytes,
+            bytes_moved=good,
             duration=duration,
-            mean_throughput_bps=session.total_good_bytes * 8.0 / duration,
-            files=session.files_completed,
-            decisions=len(agent.history),
+            mean_throughput_bps=good * 8.0 / duration,
+            files=carry["files"] + session.files_completed,
+            decisions=carry["decisions"] + len(agent.history),
             final_concurrency=session.params.concurrency,
-            loss_fraction=session.total_lost_bytes / sent if sent > 0 else 0.0,
-            process_seconds=session.process_seconds,
+            loss_fraction=lost / sent if sent > 0 else 0.0,
+            process_seconds=carry["process_seconds"] + session.process_seconds,
+            completed=completed,
+            retries=job.retries,
+            restarts=job.restarts,
+            worker_crashes=carry["crashes"] + session.worker_crashes,
+            stalled_seconds=carry["stalled"] + session.stalled_seconds,
+            failed_files=job.failed_files,
         )

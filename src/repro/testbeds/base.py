@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from repro.hosts.dtn import DataTransferNode
 from repro.network.path import Path
 from repro.network.tcp import CUBIC, TcpModel
-from repro.transfer.dataset import Dataset
+from repro.transfer.dataset import Dataset, FileQueue
 from repro.transfer.session import TransferParams, TransferSession
 
 
@@ -65,11 +65,15 @@ class Testbed:
         params: TransferParams = TransferParams(),
         repeat: bool = False,
         tcp: TcpModel | None = None,
+        queue: FileQueue | None = None,
     ) -> TransferSession:
         """Create a transfer session on this testbed's shared resources.
 
         ``tcp`` overrides the testbed's default transport for this one
         session (used by the BBR-vs-Cubic extension experiments).
+        ``queue`` substitutes an existing file queue for a fresh one
+        built from ``dataset`` — how a restarted job resumes from the
+        files its crashed predecessor had not yet delivered.
         """
         self._session_counter += 1
         label = name or f"{self.name.lower()}-xfer-{self._session_counter}"
@@ -78,7 +82,7 @@ class Testbed:
             source=self.source,
             destination=self.destination,
             path=self.path,
-            queue=dataset.queue(repeat=repeat),
+            queue=queue if queue is not None else dataset.queue(repeat=repeat),
             tcp=tcp or self.tcp,
             params=params,
         )

@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import Event, SimulationEngine
 from repro.testbeds.base import Testbed
 from repro.transfer.dataset import uniform_dataset
 from repro.transfer.executor import FluidTransferNetwork
@@ -56,16 +56,27 @@ class OnOffTraffic:
 
     _session: Optional[TransferSession] = None
     _stopped: bool = False
+    _pending: Optional[Event] = None
 
     def start(self, initial_delay: float = 0.0) -> None:
         """Schedule the first ON phase."""
-        self.engine.schedule_in(initial_delay, self._switch_on, name="bg-on")
+        self._pending = self.engine.schedule_in(
+            initial_delay, self._switch_on, name="bg-on"
+        )
 
     def stop(self) -> None:
-        """Cease after the current phase."""
+        """Cease after the current phase.
+
+        An ON generator finishes its phase (the already-scheduled
+        switch-off fires at its normal time and simply does not
+        reschedule); an OFF generator never switches on again, and its
+        pending wake-up event is cancelled rather than left to fire as
+        a no-op.
+        """
         self._stopped = True
-        if self._session is not None:
-            self._switch_off()
+        if self._session is None and self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     @property
     def active(self) -> bool:
@@ -88,7 +99,9 @@ class OnOffTraffic:
         )
         self.network.add_session(self._session)
         self.transitions.append((self.engine.now, "on"))
-        self.engine.schedule_in(self._phase(self.on_time), self._switch_off, name="bg-off")
+        self._pending = self.engine.schedule_in(
+            self._phase(self.on_time), self._switch_off, name="bg-off"
+        )
 
     def _switch_off(self) -> None:
         if self._session is None:
@@ -98,5 +111,8 @@ class OnOffTraffic:
             self.network.remove_session(self._session)
         self._session = None
         self.transitions.append((self.engine.now, "off"))
+        self._pending = None
         if not self._stopped:
-            self.engine.schedule_in(self._phase(self.off_time), self._switch_on, name="bg-on")
+            self._pending = self.engine.schedule_in(
+                self._phase(self.off_time), self._switch_on, name="bg-on"
+            )

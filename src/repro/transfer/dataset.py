@@ -77,20 +77,38 @@ class FileQueue:
     worker is torn down mid-file (Falcon lowered concurrency), the file
     goes back via ``push_back`` *keeping its progress* — modelling
     restartable transfers so parameter changes don't forfeit work.
+
+    Fault tolerance rides on two extensions:
+
+    * every returned file carries a *transfer-attempt count* (how many
+      times a worker failed while moving it), surfaced through
+      :attr:`last_attempts` right after a ``pop`` so the session can
+      track per-file retry budgets;
+    * :meth:`hold` / :meth:`release` account for files temporarily
+      *out* of the queue while a retry backoff timer runs — a held file
+      still counts as remaining work, so the session cannot complete
+      (and silently drop it) before the requeue fires.
     """
 
     sizes: np.ndarray
     repeat: bool = False
     _cursor: int = 0
-    _returned: list[tuple[float, float]] = field(default_factory=list)
+    _returned: list[tuple[float, float, int]] = field(default_factory=list)
+    _held: int = 0
+    #: Attempt count of the most recently popped file (0 = fresh file).
+    last_attempts: int = 0
 
     def __post_init__(self) -> None:
         self.sizes = np.asarray(self.sizes, dtype=float)
 
     @property
     def remaining_files(self) -> int:
-        """Files not yet handed out (infinite queues report the cycle's rest)."""
-        return len(self._returned) + (self.sizes.size - self._cursor)
+        """Files not yet handed out (infinite queues report the cycle's rest).
+
+        Held files (awaiting a retry-backoff requeue) are included: they
+        are pending work even though they are not poppable right now.
+        """
+        return len(self._returned) + self._held + (self.sizes.size - self._cursor)
 
     @property
     def exhausted(self) -> bool:
@@ -100,7 +118,10 @@ class FileQueue:
     def pop(self) -> tuple[float, float] | None:
         """Next ``(file_size, bytes_done)`` or ``None`` when exhausted."""
         if self._returned:
-            return self._returned.pop()
+            size, done, attempts = self._returned.pop()
+            self.last_attempts = attempts
+            return size, done
+        self.last_attempts = 0
         if self._cursor >= self.sizes.size:
             if not self.repeat:
                 return None
@@ -109,11 +130,30 @@ class FileQueue:
         self._cursor += 1
         return size, 0.0
 
-    def push_back(self, size: float, done: float) -> None:
-        """Return a partially transferred file to the queue."""
+    def push_back(self, size: float, done: float, attempts: int = 0) -> None:
+        """Return a partially transferred file to the queue.
+
+        ``attempts`` is the number of failed transfer attempts the file
+        has accumulated; it travels with the file and is surfaced via
+        :attr:`last_attempts` when the file is popped again.
+        """
         if not 0 <= done <= size:
             raise ValueError("done must be within [0, size]")
-        self._returned.append((size, done))
+        if attempts < 0:
+            raise ValueError("attempts must be non-negative")
+        self._returned.append((size, done, attempts))
+
+    # -- backoff holds -------------------------------------------------------
+
+    def hold(self) -> None:
+        """Mark one file as held outside the queue (retry backoff)."""
+        self._held += 1
+
+    def release(self) -> None:
+        """Mark one held file as returned (pair with :meth:`hold`)."""
+        if self._held <= 0:
+            raise ValueError("release() without a matching hold()")
+        self._held -= 1
 
 
 # ---------------------------------------------------------------------------

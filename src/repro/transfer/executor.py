@@ -443,7 +443,7 @@ def _flow_allocator(link: Link, streams: np.ndarray, weights: np.ndarray | None 
             flow_alloc = link.allocate(flow_demands)
         else:
             flow_alloc = weighted_max_min_fair_share(
-                flow_demands, flow_weights, link.capacity
+                flow_demands, flow_weights, link.effective_capacity
             )
         # Sum each worker's flows back together.
         return np.add.reduceat(flow_alloc, boundaries) if flow_alloc.size else flow_alloc

@@ -32,6 +32,11 @@ class IntervalSample:
         Fraction of sent bytes lost (retransmitted).
     concurrency / parallelism / pipelining:
         Parameter values in force during the interval.
+    valid:
+        False when the interval overlapped an infrastructure outage
+        (see :meth:`ThroughputMonitor.begin_taint`); the reading says
+        nothing about the setting's quality and optimizers must not
+        learn from it.
     """
 
     duration: float
@@ -40,6 +45,7 @@ class IntervalSample:
     concurrency: int
     parallelism: int = 1
     pipelining: int = 1
+    valid: bool = True
 
     @property
     def per_worker_bps(self) -> float:
@@ -67,11 +73,35 @@ class ThroughputMonitor:
         self.tail_fraction = tail_fraction
         self._steps: list[tuple[float, float, float, float]] = []
         self._elapsed = 0.0
+        self._taint_depth = 0
+        self._tainted = False
 
     def record(self, good_bytes: float, sent_bytes: float, lost_bytes: float, dt: float) -> None:
         """Add one fluid step's contribution."""
         self._steps.append((good_bytes, sent_bytes, lost_bytes, dt))
         self._elapsed += dt
+
+    # -- outage tainting -----------------------------------------------------
+
+    def begin_taint(self) -> None:
+        """Mark readings as outage-contaminated until :meth:`end_taint`.
+
+        Called by the fault injector when an outage starts on this
+        session's path.  Every sample taken while a taint is active —
+        and the first sample after it clears, whose interval straddles
+        the outage boundary — comes back with ``valid=False`` so the
+        optimizer does not chase a zero-throughput artefact.  Taints
+        nest (overlapping outages on different links).
+        """
+        self._taint_depth += 1
+        self._tainted = True
+
+    def end_taint(self) -> None:
+        """Close one outage window opened by :meth:`begin_taint`."""
+        if self._taint_depth <= 0:
+            raise ValueError("end_taint() without a matching begin_taint()")
+        self._taint_depth -= 1
+        self._tainted = True
 
     @property
     def elapsed(self) -> float:
@@ -113,6 +143,8 @@ class ThroughputMonitor:
         if rng is not None and jitter > 0:
             throughput *= max(0.0, 1.0 + rng.normal(0.0, jitter))
             loss *= max(0.0, 1.0 + rng.normal(0.0, jitter * 0.5))
+        valid = self._taint_depth == 0 and not self._tainted
+        self._tainted = False
         self._steps.clear()
         self._elapsed = 0.0
         return IntervalSample(
@@ -122,4 +154,5 @@ class ThroughputMonitor:
             concurrency=concurrency,
             parallelism=parallelism,
             pipelining=pipelining,
+            valid=valid,
         )

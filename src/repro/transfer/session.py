@@ -110,6 +110,8 @@ class TransferSession:
         self.file_size = np.zeros(0)  # bytes of current file (0 = no file)
         self.file_done = np.zeros(0)  # bytes completed of current file
         self.gap_left = np.zeros(0)  # seconds of pause before sending resumes
+        self.stall_left = np.zeros(0)  # seconds of injected stall (hung worker)
+        self.attempts = np.zeros(0, dtype=np.intp)  # failed attempts of current file
         self.has_file = np.zeros(0, dtype=bool)
 
         self.total_good_bytes = 0.0
@@ -117,9 +119,20 @@ class TransferSession:
         self.files_completed = 0
         self.process_seconds = 0.0
         self.current_loss = 0.0
+        # Fault accounting (see repro.faults): crashes injected or forced
+        # by the watchdog, stall seconds actually consumed, and files
+        # sent back to the queue by a failure (not a parameter change).
+        self.worker_crashes = 0
+        self.files_requeued = 0
+        self.stalled_seconds = 0.0
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.on_complete: Optional[Callable[["TransferSession"], None]] = None
+        #: When set, a crashed worker's in-progress file is handed to
+        #: this callback ``(size, done, attempts)`` instead of being
+        #: requeued immediately — the hook the service's retry/backoff
+        #: policy attaches to.
+        self.on_file_failure: Optional[Callable[[float, float, int], None]] = None
 
         self._resize_workers(params.concurrency)
 
@@ -161,19 +174,77 @@ class TransferSession:
             self.file_done = np.concatenate([self.file_done, np.zeros(extra)])
             startup = WORKER_SPAWN_OVERHEAD + CONTROL_RTTS_PER_FILE * self._path_rtt
             self.gap_left = np.concatenate([self.gap_left, np.full(extra, startup)])
+            self.stall_left = np.concatenate([self.stall_left, np.zeros(extra)])
+            self.attempts = np.concatenate([self.attempts, np.zeros(extra, dtype=np.intp)])
             self.has_file = np.concatenate([self.has_file, np.zeros(extra, dtype=bool)])
             self.assign_files()
         elif target < current:
             for w in range(target, current):
                 if self.has_file[w] and self.file_done[w] < self.file_size[w]:
-                    self.queue.push_back(float(self.file_size[w]), float(self.file_done[w]))
+                    # Teardown is not a failure: the attempt count rides
+                    # along unchanged (restartable-transfer semantics).
+                    self.queue.push_back(
+                        float(self.file_size[w]),
+                        float(self.file_done[w]),
+                        int(self.attempts[w]),
+                    )
             self.rates = self.rates[:target]
             self.file_size = self.file_size[:target]
             self.file_done = self.file_done[:target]
             self.gap_left = self.gap_left[:target]
+            self.stall_left = self.stall_left[:target]
+            self.attempts = self.attempts[:target]
             self.has_file = self.has_file[:target]
         if target != current:
             self._notify_topology_change()
+
+    # -- fault handling ------------------------------------------------------
+
+    def crash_worker(self, w: int) -> None:
+        """Kill worker ``w`` (process crash) and replace it.
+
+        The in-progress file either goes to :attr:`on_file_failure`
+        (service retry policy decides when/whether it re-enters the
+        queue) or is requeued immediately with its progress kept and
+        its attempt count bumped.  The replacement worker pays the full
+        spawn overhead, exactly like a concurrency increase.
+        """
+        if w < 0 or w >= self.rates.size:
+            return
+        size, done = float(self.file_size[w]), float(self.file_done[w])
+        attempts = int(self.attempts[w])
+        had_file = bool(self.has_file[w]) and done < size
+        self.worker_crashes += 1
+        self.rates[w] = self.tcp.initial_rate
+        self.file_size[w] = 0.0
+        self.file_done[w] = 0.0
+        self.gap_left[w] = WORKER_SPAWN_OVERHEAD + CONTROL_RTTS_PER_FILE * self._path_rtt
+        self.stall_left[w] = 0.0
+        self.attempts[w] = 0
+        self.has_file[w] = False
+        if had_file:
+            self.files_requeued += 1
+            if self.on_file_failure is not None:
+                self.on_file_failure(size, done, attempts)
+            else:
+                self.queue.push_back(size, done, attempts + 1)
+
+    def stall_worker(self, w: int, duration: float) -> None:
+        """Freeze worker ``w`` for ``duration`` seconds (hung process).
+
+        A stalled worker keeps its file and its warm data channel but
+        moves no bytes until the stall drains — the failure mode the
+        service's no-progress watchdog exists to catch.
+        """
+        if w < 0 or w >= self.rates.size:
+            return
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.stall_left[w] += duration
+
+    def stalled_workers(self) -> np.ndarray:
+        """Indices of workers currently inside an injected stall."""
+        return np.flatnonzero(self.stall_left > 0.0)
 
     def _notify_topology_change(self) -> None:
         if self.on_topology_change is not None:
@@ -188,6 +259,7 @@ class TransferSession:
             if item is None:
                 break
             self.file_size[w], self.file_done[w] = item
+            self.attempts[w] = self.queue.last_attempts
             self.has_file[w] = True
 
     def per_file_gap(self) -> float:
@@ -212,8 +284,8 @@ class TransferSession:
         return float(self.rates.sum())
 
     def sending_mask(self) -> np.ndarray:
-        """Workers currently transferring (have a file and no gap)."""
-        return self.has_file & (self.gap_left <= 0.0)
+        """Workers currently transferring (have a file, no gap, no stall)."""
+        return self.has_file & (self.gap_left <= 0.0) & (self.stall_left <= 0.0)
 
     # -- fluid step ------------------------------------------------------------
 
@@ -232,9 +304,20 @@ class TransferSession:
         self.current_loss = loss_rate
         self.rates = self.tcp.advance_rates(self.rates, targets, self._path_rtt, dt)
 
-        # Consume gaps; remaining time per worker is what's left of dt.
-        time_left = np.maximum(0.0, dt - self.gap_left)
-        self.gap_left = np.maximum(0.0, self.gap_left - dt)
+        # Consume injected stalls first (hung workers move nothing), then
+        # gaps; remaining time per worker is what's left of dt.  The
+        # stall branch is skipped entirely when no stall is outstanding
+        # so the fault-free hot path stays bit-identical.
+        if self.stall_left.any():
+            stall_used = np.minimum(self.stall_left, dt)
+            self.stall_left -= stall_used
+            self.stalled_seconds += float(stall_used.sum())
+            budget = dt - stall_used
+            time_left = np.maximum(0.0, budget - self.gap_left)
+            self.gap_left = np.maximum(0.0, self.gap_left - budget)
+        else:
+            time_left = np.maximum(0.0, dt - self.gap_left)
+            self.gap_left = np.maximum(0.0, self.gap_left - dt)
 
         goodput_factor = 1.0 - loss_rate
         good_rate_Bps = self.rates * goodput_factor / 8.0
@@ -314,8 +397,10 @@ class TransferSession:
                     self.has_file[w] = False
                     self.file_size[w] = 0.0
                     self.file_done[w] = 0.0
+                    self.attempts[w] = 0
                     break
                 self.file_size[w], self.file_done[w] = item
+                self.attempts[w] = self.queue.last_attempts
                 # The inter-file pause: spend it from this step's budget,
                 # carry any remainder into gap_left for future steps.
                 if gap >= time_left:

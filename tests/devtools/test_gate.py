@@ -64,3 +64,32 @@ def test_planted_unprotected_topology_write_is_caught(package_root):
     )
     findings = lint_source(mutated, path=str(executor), config=config)
     assert [f.code for f in findings] == ["F005"]
+
+
+def test_planted_random_call_in_fault_injector_is_caught(package_root):
+    # faults/ is part of the deterministic sim scope: chaos draws must
+    # come from named RNG streams, never the stdlib.
+    injector = package_root / "faults" / "injector.py"
+    source = injector.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(injector), config=config) == []
+
+    mutated = source + "\nimport random\n_JITTER = random.random()\n"
+    findings = lint_source(mutated, path=str(injector), config=config)
+    assert [f.code for f in findings] == ["F001", "F001"]
+
+
+def test_planted_reentrant_callback_in_fault_injector_is_caught(package_root):
+    # A fault handler that re-enters the engine run loop would deadlock
+    # the simulation; F006 must cover the faults package.
+    injector = package_root / "faults" / "injector.py"
+    source = injector.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(injector), config=config) == []
+
+    mutated = source + (
+        "\n\ndef _bad_arm(engine):\n"
+        "    engine.schedule_in(1.0, lambda: engine.run_for(5.0))\n"
+    )
+    findings = lint_source(mutated, path=str(injector), config=config)
+    assert [f.code for f in findings] == ["F006"]

@@ -1,0 +1,201 @@
+"""Fault injector behaviour against a live simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkOutage,
+    LossBurst,
+    StorageBrownout,
+    TransferStall,
+    WorkerCrash,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngStreams
+from repro.testbeds.presets import emulab_fig4, hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams
+from repro.units import MB
+
+
+def make_rig(testbed_factory=emulab_fig4, concurrency=4, files=400, file_bytes=50 * MB):
+    tb = testbed_factory()
+    engine = SimulationEngine(dt=0.1)
+    net = FluidTransferNetwork(engine)
+    session = tb.new_session(
+        uniform_dataset(files, file_bytes),
+        params=TransferParams(concurrency=concurrency),
+        repeat=True,
+    )
+    net.add_session(session)
+    return tb, engine, net, session
+
+
+def goodput_over(session, engine, span):
+    before = session.total_good_bytes
+    engine.run_for(span)
+    return (session.total_good_bytes - before) * 8.0 / span
+
+
+class TestLinkOutage:
+    def test_outage_zeroes_throughput_then_recovers(self):
+        tb, engine, net, session = make_rig()
+        plan = FaultPlan(events=(LinkOutage(at=20.0, duration=10.0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0)).arm()
+
+        healthy = goodput_over(session, engine, 19.0)
+        engine.run_for(3.0)  # inside the outage (t in [22, 25))
+        down = goodput_over(session, engine, 5.0)
+        engine.run_for(3.0)  # past recovery at t=30
+        recovered = goodput_over(session, engine, 10.0)
+
+        assert healthy > 0
+        assert down < 0.01 * healthy
+        assert recovered > 0.5 * healthy
+
+    def test_outage_drops_all_packets(self):
+        tb, engine, net, session = make_rig()
+        plan = FaultPlan(events=(LinkOutage(at=5.0, duration=5.0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0)).arm()
+        engine.run_for(8.0)
+        assert session.current_loss == pytest.approx(1.0)
+        engine.run_for(5.0)
+        assert session.current_loss < 0.5
+
+    def test_outage_taints_samples(self):
+        tb, engine, net, session = make_rig()
+        plan = FaultPlan(events=(LinkOutage(at=5.0, duration=5.0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0)).arm()
+
+        engine.run_for(4.0)
+        assert session.monitor.take(concurrency=4).valid
+
+        engine.run_for(3.0)  # straddles the outage start
+        assert not session.monitor.take(concurrency=4).valid
+
+        engine.run_for(4.0)  # straddles the recovery at t=10
+        assert not session.monitor.take(concurrency=4).valid
+
+        engine.run_for(5.0)  # entirely after recovery
+        assert session.monitor.take(concurrency=4).valid
+
+    def test_log_records_outage_and_recovery(self):
+        tb, engine, net, session = make_rig()
+        plan = FaultPlan(events=(LinkOutage(at=5.0, duration=5.0),))
+        inj = FaultInjector(engine, net, plan, streams=RngStreams(0)).arm()
+        engine.run_for(15.0)
+        kinds = [r.kind for r in inj.log]
+        assert kinds == ["outage", "outage-end"]
+        assert inj.records("outage")[0].time == pytest.approx(5.0)
+        assert inj.records("outage-end")[0].time == pytest.approx(10.0)
+
+    def test_outage_without_sessions_is_skipped(self):
+        tb = emulab_fig4()
+        engine = SimulationEngine(dt=0.1)
+        net = FluidTransferNetwork(engine)
+        plan = FaultPlan(events=(LinkOutage(at=1.0, duration=5.0),))
+        inj = FaultInjector(engine, net, plan, streams=RngStreams(0)).arm()
+        engine.run_for(10.0)
+        assert [r.kind for r in inj.log] == ["outage-skip"]
+
+
+class TestLossBurst:
+    def test_burst_raises_loss_then_clears(self):
+        tb, engine, net, session = make_rig()
+        plan = FaultPlan(events=(LossBurst(at=10.0, duration=10.0, loss=0.2),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0)).arm()
+        engine.run_for(9.0)
+        base_loss = session.current_loss
+        engine.run_for(6.0)  # inside the burst
+        burst_loss = session.current_loss
+        engine.run_for(10.0)  # after it clears at t=20
+        after_loss = session.current_loss
+        assert burst_loss >= base_loss + 0.15
+        assert after_loss < base_loss + 0.05
+
+
+class TestStorageBrownout:
+    def test_brownout_degrades_and_restores(self):
+        # hpclab is disk-bound, so a write-side brownout must bite.
+        tb, engine, net, session = make_rig(hpclab, concurrency=9, file_bytes=200 * MB)
+        plan = FaultPlan(
+            events=(StorageBrownout(at=20.0, duration=15.0, factor=0.25, host="destination"),)
+        )
+        FaultInjector(engine, net, plan, streams=RngStreams(0)).arm()
+
+        healthy = goodput_over(session, engine, 19.0)
+        engine.run_for(4.0)
+        browned = goodput_over(session, engine, 10.0)
+        engine.run_for(3.0)  # past restore at t=35
+        restored = goodput_over(session, engine, 15.0)
+
+        assert browned < 0.5 * healthy
+        assert restored > 0.8 * healthy
+        # The original storage object is restored, not a copy.
+        assert tb.destination.storage.aggregate_write_bps == hpclab().destination.storage.aggregate_write_bps
+
+
+class TestWorkerFaults:
+    def test_worker_crash_requeues_file_with_progress(self):
+        tb, engine, net, session = make_rig()
+        plan = FaultPlan(events=(WorkerCrash(at=10.0, worker=0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0)).arm()
+        engine.run_for(9.9)
+        assert session.has_file[0]
+        engine.run_for(0.2)
+        assert session.worker_crashes == 1
+        assert session.files_requeued == 1
+        # The crashed worker pays the spawn overhead again.
+        assert session.gap_left[0] > 0
+
+    def test_stall_freezes_one_worker(self):
+        tb, engine, net, session = make_rig()
+        plan = FaultPlan(events=(TransferStall(at=10.0, duration=8.0, worker=1),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0)).arm()
+        engine.run_for(10.05)
+        frozen_done = float(session.file_done[1])
+        frozen_size = float(session.file_size[1])
+        engine.run_for(4.0)  # mid-stall
+        assert session.stalled_workers().tolist() == [1]
+        assert float(session.file_done[1]) == frozen_done
+        assert float(session.file_size[1]) == frozen_size
+        # Other workers keep moving.
+        assert session.total_good_bytes > 0
+        engine.run_for(6.0)  # stall drains at t=18
+        assert session.stalled_workers().size == 0
+        assert session.stalled_seconds == pytest.approx(8.0, abs=0.2)
+        assert float(session.file_done[1]) > frozen_done or float(session.file_size[1]) != frozen_size
+
+    def test_random_target_pick_is_deterministic(self):
+        picks = []
+        for _ in range(2):
+            tb, engine, net, session = make_rig()
+            plan = FaultPlan(events=(WorkerCrash(at=5.0),))
+            inj = FaultInjector(engine, net, plan, streams=RngStreams(42)).arm()
+            engine.run_for(6.0)
+            picks.append(inj.log[0].target)
+        assert picks[0] == picks[1]
+
+
+class TestArming:
+    def test_double_arm_rejected(self):
+        tb, engine, net, session = make_rig()
+        inj = FaultInjector(engine, net, FaultPlan(), streams=RngStreams(0)).arm()
+        with pytest.raises(RuntimeError):
+            inj.arm()
+
+    def test_fault_free_plan_is_bit_identical_to_no_injector(self):
+        # Arming an empty plan must not perturb the simulation at all.
+        results = []
+        for with_injector in (False, True):
+            tb, engine, net, session = make_rig()
+            if with_injector:
+                FaultInjector(engine, net, FaultPlan(), streams=RngStreams(0)).arm()
+            engine.run_for(30.0)
+            results.append((session.total_good_bytes, session.total_lost_bytes))
+        assert results[0] == results[1]

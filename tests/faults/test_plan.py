@@ -1,0 +1,112 @@
+"""Fault plan and chaos preset tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CHAOS_PRESETS,
+    ChaosRng,
+    FaultPlan,
+    JobCrash,
+    LinkOutage,
+    LossBurst,
+    StorageBrownout,
+    TransferStall,
+    WorkerCrash,
+    chaos_plan,
+)
+from repro.sim.rng import RngStreams
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            LinkOutage(at=-1.0)
+
+    def test_zero_duration_outage_rejected(self):
+        with pytest.raises(ValueError):
+            LinkOutage(at=0.0, duration=0.0)
+
+    def test_burst_loss_bounds(self):
+        with pytest.raises(ValueError):
+            LossBurst(at=0.0, loss=0.0)
+        with pytest.raises(ValueError):
+            LossBurst(at=0.0, loss=1.5)
+
+    def test_brownout_factor_bounds(self):
+        with pytest.raises(ValueError):
+            StorageBrownout(at=0.0, factor=1.0)
+        with pytest.raises(ValueError):
+            StorageBrownout(at=0.0, factor=0.0)
+
+    def test_stall_duration_positive(self):
+        with pytest.raises(ValueError):
+            TransferStall(at=0.0, duration=-1.0)
+
+    def test_events_are_frozen(self):
+        ev = WorkerCrash(at=5.0)
+        with pytest.raises(AttributeError):
+            ev.at = 10.0
+
+
+class TestFaultPlan:
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultPlan(events=("not a fault",))
+
+    def test_empty_plan_is_valid(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        assert plan.last_time == 0.0
+        assert plan.describe() == "(no faults)"
+
+    def test_last_time_includes_recovery(self):
+        plan = FaultPlan(events=(LinkOutage(at=10.0, duration=5.0), JobCrash(at=12.0)))
+        assert plan.last_time == 15.0
+
+    def test_describe_is_time_ordered(self):
+        plan = FaultPlan(
+            events=(WorkerCrash(at=30.0), LinkOutage(at=10.0, duration=2.0))
+        )
+        lines = plan.describe().splitlines()
+        assert lines[0].startswith("t=10")
+        assert lines[1].startswith("t=30")
+
+
+class TestChaosPresets:
+    def test_known_presets_expand(self):
+        for name in CHAOS_PRESETS:
+            rng = ChaosRng(RngStreams(7), name="presets-test")
+            plan = chaos_plan(name, horizon=300.0, rng=rng)
+            assert isinstance(plan, FaultPlan)
+            for ev in plan:
+                assert 0.0 <= ev.at <= 300.0
+                assert ev.at + getattr(ev, "duration", 0.0) <= 300.0 + 1e-9
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos preset"):
+            chaos_plan("nonsense", horizon=100.0, rng=ChaosRng(RngStreams(0)))
+
+    def test_same_seed_same_plan(self):
+        a = chaos_plan("hostile", horizon=240.0, rng=ChaosRng(RngStreams(3)))
+        b = chaos_plan("hostile", horizon=240.0, rng=ChaosRng(RngStreams(3)))
+        assert a == b
+
+    def test_different_seed_different_plan(self):
+        a = chaos_plan("hostile", horizon=240.0, rng=ChaosRng(RngStreams(3)))
+        b = chaos_plan("hostile", horizon=240.0, rng=ChaosRng(RngStreams(4)))
+        assert a != b
+
+    def test_hostile_includes_job_crash(self):
+        plan = chaos_plan("hostile", horizon=240.0, rng=ChaosRng(RngStreams(0)))
+        assert any(isinstance(ev, JobCrash) for ev in plan)
+
+    def test_chaos_stream_does_not_perturb_others(self):
+        # Drawing the chaos plan must not shift any other named stream.
+        streams = RngStreams(11)
+        before = streams.get("measurement").random()
+        streams2 = RngStreams(11)
+        chaos_plan("hostile", horizon=240.0, rng=ChaosRng(streams2))
+        after = streams2.get("measurement").random()
+        assert before == after

@@ -1,0 +1,170 @@
+"""Retry, watchdog, restart, and FAILED-path behaviour of the service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, JobCrash, TransferStall, WorkerCrash
+from repro.service import FalconService, JobState, RetryPolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngStreams
+from repro.testbeds.presets import hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import GB
+
+
+def make_rig(policy=None, seed=0):
+    engine = SimulationEngine(dt=0.1)
+    net = FluidTransferNetwork(engine)
+    service = FalconService(engine=engine, network=net, seed=seed, fault_policy=policy)
+    return engine, net, service
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        p = RetryPolicy(backoff_base=2.0, backoff_multiplier=2.0, backoff_cap=30.0, backoff_jitter=0.0)
+        assert p.backoff(1) == 2.0
+        assert p.backoff(2) == 4.0
+        assert p.backoff(5) == 30.0  # 2 * 2**4 = 32 -> cap
+
+    def test_jitter_scales_up_only(self):
+        p = RetryPolicy(backoff_base=10.0, backoff_jitter=0.5)
+        assert p.backoff(1, u=0.0) == 10.0
+        assert p.backoff(1, u=1.0) == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_restarts=-1)
+
+
+class TestWorkerRetry:
+    def test_crashed_file_retries_and_job_completes(self):
+        engine, net, service = make_rig(policy=RetryPolicy())
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB))
+        plan = FaultPlan(events=(WorkerCrash(at=5.0, session=job.name, worker=0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+        engine.run_until(120.0)
+        assert job.state is JobState.COMPLETED
+        assert job.report.completed
+        assert job.report.files == 40
+        assert job.report.retries == 1
+        assert job.report.worker_crashes == 1
+        assert any(kind == "retry" for _, kind, _ in job.events)
+
+    def test_held_file_blocks_premature_completion(self):
+        # Tiny dataset: the crashed file is the only remaining work, so
+        # the session must wait out the backoff instead of completing
+        # without it.
+        engine, net, service = make_rig(policy=RetryPolicy())
+        job = service.submit(hpclab(), uniform_dataset(3, 1 * GB))
+        plan = FaultPlan(events=(WorkerCrash(at=1.0, session=job.name, worker=0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+        engine.run_until(60.0)
+        assert job.state is JobState.COMPLETED
+        assert job.report.files == 3
+
+    def test_attempts_exhausted_fails_job_without_hanging(self):
+        engine, net, service = make_rig(policy=RetryPolicy(max_attempts=1))
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB), name="doomed")
+        later = service.submit(hpclab(), uniform_dataset(2, 1 * GB), name="waiting")
+        service.max_active = 1
+        # Force FIFO: only the first job runs until it fails.
+        assert job.state is JobState.RUNNING
+        plan = FaultPlan(events=(WorkerCrash(at=5.0, session="doomed", worker=0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+        engine.run_until(60.0)
+        assert job.state is JobState.FAILED
+        assert not job.report.completed
+        assert 0 < job.report.files < 40  # partial progress reported
+        assert job.report.failed_files == 1
+        assert any(kind == "failed" for _, kind, _ in job.events)
+        # The slot was freed: the queued job ran to completion.
+        assert later.state is JobState.COMPLETED
+
+
+class TestWatchdog:
+    def test_watchdog_kills_stalled_worker_and_job_completes(self):
+        policy = RetryPolicy(stall_timeout=10.0, watchdog_interval=2.0)
+        engine, net, service = make_rig(policy=policy)
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB))
+        # Stall one worker far longer than the timeout; without the
+        # watchdog its file would sit frozen for 500 s.
+        plan = FaultPlan(events=(TransferStall(at=5.0, duration=500.0, session=job.name, worker=0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+        engine.run_until(120.0)
+        assert job.state is JobState.COMPLETED
+        assert job.report.files == 40
+        assert any(kind == "watchdog-kill" for _, kind, _ in job.events)
+        assert job.report.worker_crashes >= 1
+
+    def test_no_watchdog_without_policy(self):
+        engine, net, service = make_rig(policy=None)
+        job = service.submit(hpclab(), uniform_dataset(10, 1 * GB))
+        assert "watchdog" not in job._extras
+
+
+class TestJobRestart:
+    def test_job_crash_restarts_and_resumes(self):
+        engine, net, service = make_rig(policy=RetryPolicy(max_restarts=2))
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB))
+        plan = FaultPlan(events=(JobCrash(at=6.0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+        engine.run_until(150.0)
+        assert job.state is JobState.COMPLETED
+        assert job.report.restarts == 1
+        # Exactly-once: completions across incarnations sum to the
+        # dataset, nothing double-delivered from the resumed queue.
+        assert job.report.files == 40
+        assert any(kind == "restart" for _, kind, _ in job.events)
+
+    def test_job_crash_without_policy_is_fatal(self):
+        engine, net, service = make_rig(policy=None)
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB))
+        plan = FaultPlan(events=(JobCrash(at=6.0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+        engine.run_until(120.0)
+        assert job.state is JobState.FAILED
+        assert not job.report.completed
+        assert 0 < job.report.files < 40
+
+    def test_restarts_exhausted_fails(self):
+        engine, net, service = make_rig(policy=RetryPolicy(max_restarts=1))
+        job = service.submit(hpclab(), uniform_dataset(60, 1 * GB))
+        plan = FaultPlan(events=(JobCrash(at=4.0), JobCrash(at=8.0)))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+        engine.run_until(200.0)
+        assert job.state is JobState.FAILED
+        assert job.report.restarts == 1
+
+    def test_report_spans_incarnations(self):
+        engine, net, service = make_rig(policy=RetryPolicy())
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB))
+        plan = FaultPlan(events=(JobCrash(at=6.0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+        engine.run_until(150.0)
+        report = job.report
+        assert report.bytes_moved == pytest.approx(40 * 1 * GB)
+        # Duration covers the whole job, not just the last incarnation.
+        assert report.duration == pytest.approx(job.finished_at - job.started_at)
+
+
+class TestQueueDiscipline:
+    def test_fifo_dispatch_uses_deque(self):
+        engine, net, service = make_rig()
+        service.max_active = 1
+        tb = hpclab()
+        first = service.submit(tb, uniform_dataset(2, 1 * GB), name="a")
+        second = service.submit(tb, uniform_dataset(2, 1 * GB), name="b")
+        third = service.submit(tb, uniform_dataset(2, 1 * GB), name="c")
+        assert first.state is JobState.RUNNING
+        assert [j.name for j in service.queued()] == ["b", "c"]
+        engine.run_until(60.0)
+        order = sorted(
+            (j.started_at, j.name) for j in (first, second, third)
+        )
+        assert [name for _, name in order] == ["a", "b", "c"]

@@ -48,16 +48,37 @@ class TestOnOffCycle:
         engine.run_for(15.0)
         assert bg.active
 
-    def test_stop_removes_load(self):
+    def test_stop_finishes_current_phase(self):
+        # stop() during ON is graceful: the load persists until the
+        # phase's scheduled end, then never comes back.
         tb, engine, net = make_rig()
-        bg = OnOffTraffic(engine=engine, network=net, testbed=tb, on_time=100.0)
+        bg = OnOffTraffic(engine=engine, network=net, testbed=tb, on_time=20.0)
         bg.start()
         engine.run_for(5.0)
         assert bg.active
         bg.stop()
+        assert bg.active  # current phase keeps running
+        engine.run_for(20.0)  # past the phase boundary at t=20
         assert not bg.active
         engine.run_for(200.0)
         assert not bg.active  # never comes back
+        assert [k for _, k in bg.transitions] == ["on", "off"]
+
+    def test_stop_during_off_cancels_pending_event(self):
+        tb, engine, net = make_rig()
+        bg = OnOffTraffic(engine=engine, network=net, testbed=tb, on_time=10.0, off_time=10.0)
+        bg.start()
+        engine.run_for(15.0)  # mid first OFF phase
+        assert not bg.active
+        bg.stop()
+        # The queued bg-on wake-up is cancelled outright, not left to
+        # fire as a no-op.
+        assert bg._pending is None
+        live = [e for e in engine._queue if e.name == "bg-on" and not e.cancelled]
+        assert not live
+        engine.run_for(100.0)
+        assert not bg.active
+        assert [k for _, k in bg.transitions] == ["on", "off"]
 
     def test_jittered_phases_vary(self):
         tb, engine, net = make_rig()
