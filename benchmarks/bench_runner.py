@@ -1,0 +1,129 @@
+"""Evaluation-harness benchmark: serial vs fan-out vs cache replay.
+
+Times one fixed batch of independent simulation tasks (the fig. 7
+convergence runs at two seeds — real experiment workloads, not toys)
+through the three execution modes of ``repro.runner``:
+
+* **serial cold** — in-process, writing a fresh result cache;
+* **parallel cold** — ``--jobs N`` process fan-out, cache disabled;
+* **warm replay** — serial again over the now-populated cache, which
+  must execute nothing.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py             # full run
+    PYTHONPATH=src python benchmarks/bench_runner.py --smoke     # CI-sized
+    PYTHONPATH=src python benchmarks/bench_runner.py --jobs 4
+
+Writes ``BENCH_runner.json``.  Fan-out speedup is bounded by physical
+cores — ``host.cpus`` is recorded alongside so the number can be read
+honestly; cache replay skips the simulations entirely and its speedup
+is core-count independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.fig07_convergence import KINDS, algorithm_run
+from repro.runner import ResultCache, run_tasks, task
+
+#: Two independent seeds per algorithm: 6 tasks, enough to keep an
+#: 8-wide pool busy without making the serial leg take minutes.
+SEEDS = (0, 1)
+
+
+def build_tasks(duration: float):
+    return [
+        task(algorithm_run, kind=kind, seed=seed, duration=duration,
+             label=f"fig07 {kind} seed={seed}")
+        for kind in KINDS
+        for seed in SEEDS
+    ]
+
+
+def timed(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - t0, value
+
+
+def run_bench(duration: float, jobs: int) -> dict:
+    """Measure the three modes over an identical task batch."""
+    tasks = build_tasks(duration)
+    cache_dir = Path(tempfile.mkdtemp(prefix="bench-runner-cache-"))
+    try:
+        cache = ResultCache(cache_dir)
+        serial_wall, serial_results = timed(
+            lambda: run_tasks(tasks, jobs=1, cache=cache)
+        )
+        parallel_wall, parallel_results = timed(
+            lambda: run_tasks(tasks, jobs=jobs, cache=None)
+        )
+        warm_wall, warm_results = timed(
+            lambda: run_tasks(tasks, jobs=1, cache=cache)
+        )
+        assert parallel_results == serial_results, "fan-out changed results"
+        assert warm_results == serial_results, "cache replay changed results"
+        hits = cache.stats.hits
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "tasks": len(tasks),
+        "duration": duration,
+        "serial": {"wall_seconds": round(serial_wall, 3)},
+        "parallel": {"wall_seconds": round(parallel_wall, 3), "jobs": jobs},
+        "warm_cache": {"wall_seconds": round(warm_wall, 3), "hits": hits},
+        "parallel_speedup": round(serial_wall / parallel_wall, 2),
+        "cache_speedup": round(serial_wall / warm_wall, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="short CI run, no JSON output")
+    parser.add_argument("--jobs", type=int, default=8, help="fan-out width for the parallel leg")
+    parser.add_argument("--duration", type=float, default=120.0, help="simulated seconds per task")
+    parser.add_argument(
+        "--baseline", action="store_true", help="print measurements without writing JSON"
+    )
+    parser.add_argument("--out", default="BENCH_runner.json", help="output path")
+    args = parser.parse_args(argv)
+
+    duration = 20.0 if args.smoke else args.duration
+    result = run_bench(duration, jobs=args.jobs)
+    print(
+        f"{result['tasks']} tasks x {duration:g}s sim: "
+        f"serial {result['serial']['wall_seconds']:.2f}s, "
+        f"--jobs {args.jobs} {result['parallel']['wall_seconds']:.2f}s "
+        f"({result['parallel_speedup']:.2f}x), "
+        f"warm cache {result['warm_cache']['wall_seconds']:.3f}s "
+        f"({result['cache_speedup']:.0f}x)"
+    )
+
+    if args.smoke or args.baseline:
+        return 0
+
+    payload = {
+        "scenario": {
+            "experiment": "fig07 algorithm_run",
+            "kinds": list(KINDS),
+            "seeds": list(SEEDS),
+            "duration": duration,
+        },
+        "host": {"cpus": os.cpu_count(), "jobs": args.jobs},
+        "measured": result,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import sys
 from typing import Callable, Sequence
 
 from repro.analysis.tables import format_table
+from repro.experiments import REGISTRY
 from repro.testbeds import presets
 from repro.units import bps_to_gbps, format_rate, seconds_to_ms
 
@@ -32,29 +34,9 @@ TESTBEDS: dict[str, Callable] = {
     "stampede2-comet": presets.stampede2_comet,
 }
 
-#: CLI name -> experiment module (must expose main()).
-EXPERIMENTS: dict[str, str] = {
-    "table1": "repro.experiments.table1_testbeds",
-    "fig01": "repro.experiments.fig01_concurrency",
-    "fig02": "repro.experiments.fig02_state_of_art",
-    "fig04": "repro.experiments.fig04_overhead",
-    "fig06": "repro.experiments.fig06_utility_forms",
-    "fig07": "repro.experiments.fig07_convergence",
-    "fig08": "repro.experiments.fig08_hc_competition",
-    "fig09": "repro.experiments.fig09_gd_networks",
-    "fig10": "repro.experiments.fig10_bo_networks",
-    "fig11": "repro.experiments.fig11_gd_competition",
-    "fig12": "repro.experiments.fig12_bo_competition",
-    "fig13": "repro.experiments.fig13_concurrency_traces",
-    "fig14": "repro.experiments.fig14_comparison",
-    "fig15": "repro.experiments.fig15_multiparam",
-    "fig16": "repro.experiments.fig16_friendliness",
-    "related-work": "repro.experiments.related_work",
-    "bbr": "repro.experiments.bbr_extension",
-    "robustness": "repro.experiments.robustness",
-    "overhead": "repro.experiments.overhead",
-    "fault-tolerance": "repro.experiments.fault_tolerance",
-}
+#: CLI name -> experiment module (must expose main()).  Alias of the
+#: library-level registry; kept under the historical CLI name.
+EXPERIMENTS = REGISTRY
 
 
 def cmd_list_testbeds(_args: argparse.Namespace) -> int:
@@ -87,13 +69,66 @@ def cmd_list_experiments(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _runner_pieces(args: argparse.Namespace):
+    """(cache, progress) from the run subcommand's flags."""
+    from repro.runner import ResultCache, TaskReport, default_cache_dir
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+
+    def progress(report: TaskReport) -> None:
+        how = "cache" if report.cached else f"{report.elapsed:.1f}s"
+        print(
+            f"[{report.index + 1}/{report.total}] {report.label} ({how})",
+            file=sys.stderr,
+        )
+
+    return cache, progress
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    """Run one experiment's main() (prints its table)."""
+    """Run one experiment (or --all) and print the rendered tables."""
+    if args.all:
+        return _run_all(args)
+    if args.experiment is None:
+        print("pass an experiment name or --all; try `list-experiments`")
+        return 2
     module_path = EXPERIMENTS.get(args.experiment)
     if module_path is None:
         print(f"unknown experiment {args.experiment!r}; try `list-experiments`")
         return 2
-    importlib.import_module(module_path).main()
+    from repro.runner import use_runner
+
+    cache, progress = _runner_pieces(args)
+    with use_runner(jobs=args.jobs, cache=cache, progress=progress):
+        importlib.import_module(module_path).main()
+    return 0
+
+
+def _run_all(args: argparse.Namespace) -> int:
+    """Regenerate every registered experiment through the suite runner."""
+    import time
+
+    from repro.runner.suite import run_suite
+
+    cache, progress = _runner_pieces(args)
+    names = list(EXPERIMENTS)
+    start = time.perf_counter()
+    outcomes = run_suite(
+        names, quick=args.quick, jobs=args.jobs, cache=cache, progress=progress
+    )
+    for outcome in outcomes:
+        print(f"== {outcome.name} ==")
+        print(outcome.output)
+        print()
+    wall = time.perf_counter() - start
+    replayed = sum(1 for o in outcomes if o.cached)
+    print(
+        f"{len(outcomes)} experiments in {wall:.1f}s "
+        f"(jobs={args.jobs}, {replayed} from cache)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -179,8 +214,23 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_list_experiments
     )
 
-    run = sub.add_parser("run", help="regenerate one paper figure/table")
-    run.add_argument("experiment", help="experiment name (see list-experiments)")
+    run = sub.add_parser("run", help="regenerate paper figures/tables")
+    run.add_argument(
+        "experiment", nargs="?", default=None, help="experiment name (see list-experiments)"
+    )
+    run.add_argument("--all", action="store_true", help="run every registered experiment")
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="process fan-out width (default 1)"
+    )
+    run.add_argument(
+        "--no-cache", action="store_true", help="skip the content-addressed result cache"
+    )
+    run.add_argument(
+        "--cache-dir", default=None, help="cache directory (default .repro-cache or $REPRO_CACHE_DIR)"
+    )
+    run.add_argument(
+        "--quick", action="store_true", help="reduced-duration profile (CI-sized horizons)"
+    )
     run.set_defaults(fn=cmd_run)
 
     export = sub.add_parser("export", help="run an experiment and write JSON")

@@ -1,0 +1,115 @@
+"""F007 — experiment modules must stay declarative and fan-out safe.
+
+The evaluation harness executes experiments through picklable
+:class:`~repro.runner.task.SimTask` specs, possibly in pool workers
+that import the experiment module fresh.  Two things silently break
+that contract:
+
+* **mutable module-level state** — a lowercase module-level name bound
+  to a mutable container accumulates across runs in one process but
+  resets in every worker, so serial and parallel executions diverge
+  (``ALL_CAPS`` constants are exempt: the convention marks them
+  read-only, and the gate test keeps experiment modules honest);
+* **non-importable task callables** — a lambda handed to a task
+  factory cannot be reconstructed in a worker from its path.  The
+  runner also rejects these at runtime; the lint catches them where
+  they are written.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.framework import Check, ModuleContext, register
+
+#: Module-level constructor calls that build mutable containers.
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "collections.defaultdict", "collections.deque"})
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)
+
+
+def _is_constant_name(name: str) -> bool:
+    """Names the constant convention marks read-only (or private sentinels)."""
+    return name == name.upper() or name.startswith("__")
+
+
+def _is_mutable_value(node: ast.expr, ctx: ModuleContext) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        target = ctx.imports.resolve(node.func)
+        if target in _MUTABLE_CTORS:
+            return True
+        if isinstance(node.func, ast.Name) and node.func.id in _MUTABLE_CTORS:
+            return True
+    return False
+
+
+@register
+class ExperimentStateCheck(Check):
+    """Flags mutable module state and unpicklable task callables."""
+
+    code = "F007"
+    name = "experiment-state"
+    description = (
+        "mutable module-level state, global statements, and lambda task "
+        "callables in experiment modules"
+    )
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.in_scope(ctx.config.experiment_scope)
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_module_state(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Global):
+                yield ctx.finding(
+                    self.code,
+                    "global statement in an experiment module; experiment "
+                    "results must depend only on task payloads, not on "
+                    "process-local accumulation",
+                    node,
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_task_call(ctx, node)
+
+    def _check_module_state(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not _is_mutable_value(value, ctx):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and not _is_constant_name(target.id):
+                    yield ctx.finding(
+                        self.code,
+                        f"module-level mutable binding {target.id!r}; pool "
+                        "workers import experiment modules fresh, so mutable "
+                        "module state diverges between serial and parallel "
+                        "runs (make it a function local or an ALL_CAPS "
+                        "constant treated as read-only)",
+                        stmt,
+                    )
+
+    def _check_task_call(self, ctx: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        target = ctx.imports.resolve(node.func)
+        if target not in ctx.config.task_factories:
+            return
+        candidates: list[ast.expr] = []
+        if node.args:
+            candidates.append(node.args[0])
+        candidates.extend(kw.value for kw in node.keywords if kw.arg == "fn")
+        for fn_arg in candidates:
+            if isinstance(fn_arg, ast.Lambda):
+                yield ctx.finding(
+                    self.code,
+                    "lambda passed as a task callable; process fan-out needs "
+                    "top-level importable functions (module:qualname)",
+                    fn_arg,
+                )

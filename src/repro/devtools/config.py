@@ -71,6 +71,15 @@ class LintConfig:
     )
     #: Attributes whose assignment counts as raising the dirty flag.
     dirty_attrs: tuple[str, ...] = ("_dirty",)
+    #: Module prefixes holding runner-executed experiment code (F007).
+    experiment_scope: tuple[str, ...] = ("repro/experiments/",)
+    #: Canonical names of task-building callables (F007 lambda check).
+    task_factories: tuple[str, ...] = (
+        "repro.runner.task",
+        "repro.runner.task.task",
+        "repro.runner.SimTask",
+        "repro.runner.task.SimTask",
+    )
 
     def with_(self, **kwargs: Any) -> "LintConfig":
         """Copy with fields replaced (tuples coerced from lists)."""

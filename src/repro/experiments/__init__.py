@@ -5,8 +5,37 @@ data the paper's figure plots, plus a ``main()`` that prints the
 paper-vs-measured comparison.  The benchmark harness under
 ``benchmarks/`` wraps these and asserts the *shape* expectations from
 DESIGN.md §4.
+
+``REGISTRY`` maps the public experiment names (what ``repro run``
+accepts) to their modules.  It lives here — not in the CLI — so the
+evaluation harness (``repro.runner.suite``) can enumerate experiments
+without importing argparse plumbing.
 """
 
-from repro.experiments import common
+#: Experiment name -> module path (modules expose run() and main()).
+REGISTRY: dict[str, str] = {
+    "table1": "repro.experiments.table1_testbeds",
+    "fig01": "repro.experiments.fig01_concurrency",
+    "fig02": "repro.experiments.fig02_state_of_art",
+    "fig04": "repro.experiments.fig04_overhead",
+    "fig06": "repro.experiments.fig06_utility_forms",
+    "fig07": "repro.experiments.fig07_convergence",
+    "fig08": "repro.experiments.fig08_hc_competition",
+    "fig09": "repro.experiments.fig09_gd_networks",
+    "fig10": "repro.experiments.fig10_bo_networks",
+    "fig11": "repro.experiments.fig11_gd_competition",
+    "fig12": "repro.experiments.fig12_bo_competition",
+    "fig13": "repro.experiments.fig13_concurrency_traces",
+    "fig14": "repro.experiments.fig14_comparison",
+    "fig15": "repro.experiments.fig15_multiparam",
+    "fig16": "repro.experiments.fig16_friendliness",
+    "related-work": "repro.experiments.related_work",
+    "bbr": "repro.experiments.bbr_extension",
+    "robustness": "repro.experiments.robustness",
+    "overhead": "repro.experiments.overhead",
+    "fault-tolerance": "repro.experiments.fault_tolerance",
+}
 
-__all__ = ["common"]
+from repro.experiments import common  # noqa: E402  (registry first: suite imports it)
+
+__all__ = ["REGISTRY", "common"]

@@ -29,6 +29,7 @@ from repro.core.bayesian.acquisition import (
 from repro.core.bayesian.gp_hedge import GPHedge
 from repro.core.utility import NonlinearPenaltyUtility
 from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import emulab_fig4, emulab_high_optimal, hpclab
 from repro.units import bps_to_mbps
 
@@ -49,6 +50,45 @@ class KPoint:
     pair_total_concurrency: float
 
 
+def k_point(k: float, seed: int, duration: float) -> KPoint:
+    """Task unit: one K value, alone and in competition."""
+    utility = NonlinearPenaltyUtility(K=k)
+
+    ctx = make_context(seed)
+    single = launch_falcon(
+        ctx, emulab_high_optimal(), kind="gd", hi=64, utility=utility, name=f"k{k}-solo"
+    )
+    ctx.engine.run_for(duration)
+    cc = single.controller.concurrencies()
+    tp = single.controller.throughputs()
+    tail = slice(int(len(cc) * 0.7), None)
+
+    ctx2 = make_context(seed + 1)
+    tb = emulab_high_optimal()
+    a = launch_falcon(ctx2, tb, kind="gd", hi=64, utility=utility, name=f"k{k}-a")
+    b = launch_falcon(
+        ctx2, tb, kind="gd", hi=64, utility=utility, name=f"k{k}-b", start_time=60.0
+    )
+    ctx2.engine.run_for(duration)
+    shares = np.array(
+        [
+            window_mean_bps(a.trace, duration - 60, duration),
+            window_mean_bps(b.trace, duration - 60, duration),
+        ]
+    )
+    cc_a = a.controller.concurrencies()
+    cc_b = b.controller.concurrencies()
+    return KPoint(
+        K=k,
+        single_concurrency=float(np.mean(cc[tail])),
+        single_throughput_bps=float(np.mean(tp[tail])),
+        pair_jain=jain_index(shares),
+        pair_total_concurrency=float(
+            np.mean(cc_a[int(len(cc_a) * 0.7) :]) + np.mean(cc_b[int(len(cc_b) * 0.7) :])
+        ),
+    )
+
+
 def sweep_k(
     ks: tuple[float, ...] = (1.005, 1.01, 1.02, 1.05, 1.10),
     seed: int = 0,
@@ -60,46 +100,12 @@ def sweep_k(
     jitter-fragile with competition; large K is stable but parks far
     below high optima (the concave region shrinks to ``2/ln K``).
     """
-    points = []
-    for k in ks:
-        utility = NonlinearPenaltyUtility(K=k)
-
-        ctx = make_context(seed)
-        single = launch_falcon(
-            ctx, emulab_high_optimal(), kind="gd", hi=64, utility=utility, name=f"k{k}-solo"
-        )
-        ctx.engine.run_for(duration)
-        cc = single.controller.concurrencies()
-        tp = single.controller.throughputs()
-        tail = slice(int(len(cc) * 0.7), None)
-
-        ctx2 = make_context(seed + 1)
-        tb = emulab_high_optimal()
-        a = launch_falcon(ctx2, tb, kind="gd", hi=64, utility=utility, name=f"k{k}-a")
-        b = launch_falcon(
-            ctx2, tb, kind="gd", hi=64, utility=utility, name=f"k{k}-b", start_time=60.0
-        )
-        ctx2.engine.run_for(duration)
-        shares = np.array(
-            [
-                window_mean_bps(a.trace, duration - 60, duration),
-                window_mean_bps(b.trace, duration - 60, duration),
-            ]
-        )
-        cc_a = a.controller.concurrencies()
-        cc_b = b.controller.concurrencies()
-        points.append(
-            KPoint(
-                K=k,
-                single_concurrency=float(np.mean(cc[tail])),
-                single_throughput_bps=float(np.mean(tp[tail])),
-                pair_jain=jain_index(shares),
-                pair_total_concurrency=float(
-                    np.mean(cc_a[int(len(cc_a) * 0.7) :]) + np.mean(cc_b[int(len(cc_b) * 0.7) :])
-                ),
-            )
-        )
-    return points
+    return run_tasks(
+        [
+            task(k_point, k=float(k), seed=seed, duration=duration, label=f"K={k}")
+            for k in ks
+        ]
+    )
 
 
 def render_k(points: list[KPoint]) -> str:
@@ -143,31 +149,36 @@ def sweep_b(
     B=10 keeps loss ~1% at near-full utilisation; very large B
     sacrifices utilisation to dodge residual loss.
     """
-    points = []
-    for b in bs:
-        ctx = make_context(seed)
-        launched = launch_falcon(
-            ctx,
-            emulab_fig4(),
-            kind="gd",
-            hi=40,
-            utility=NonlinearPenaltyUtility(B=b),
-            name=f"b{b}",
-        )
-        ctx.engine.run_for(duration)
-        agent = launched.controller
-        cc = agent.concurrencies()
-        tail = slice(int(len(cc) * 0.7), None)
-        losses = np.array([r.loss_rate for r in agent.history])
-        points.append(
-            BPoint(
-                B=b,
-                steady_concurrency=float(np.mean(cc[tail])),
-                steady_loss=float(np.mean(losses[tail])),
-                steady_throughput_bps=float(np.mean(agent.throughputs()[tail])),
-            )
-        )
-    return points
+    return run_tasks(
+        [
+            task(b_point, b=float(b), seed=seed, duration=duration, label=f"B={b}")
+            for b in bs
+        ]
+    )
+
+
+def b_point(b: float, seed: int, duration: float) -> BPoint:
+    """Task unit: one loss-penalty coefficient on the lossy bottleneck."""
+    ctx = make_context(seed)
+    launched = launch_falcon(
+        ctx,
+        emulab_fig4(),
+        kind="gd",
+        hi=40,
+        utility=NonlinearPenaltyUtility(B=b),
+        name=f"b{b}",
+    )
+    ctx.engine.run_for(duration)
+    agent = launched.controller
+    cc = agent.concurrencies()
+    tail = slice(int(len(cc) * 0.7), None)
+    losses = np.array([r.loss_rate for r in agent.history])
+    return BPoint(
+        B=b,
+        steady_concurrency=float(np.mean(cc[tail])),
+        steady_loss=float(np.mean(losses[tail])),
+        steady_throughput_bps=float(np.mean(agent.throughputs()[tail])),
+    )
 
 
 def render_b(points: list[BPoint]) -> str:
@@ -214,34 +225,40 @@ def bo_window(
     forgets the stale optimum and re-converges; full history anchors the
     surrogate to the old regime.
     """
-    points = []
-    for window in windows:
-        ctx = make_context(seed)
-        tb = hpclab()
-        rng = ctx.rng("bo-window")
-        opt = BayesianOptimizer(hi=32, window=window, rng=rng)
-        launched = launch_falcon(ctx, tb, optimizer=opt, name=f"bo-w{window}")
+    return run_tasks(
+        [
+            task(window_point, window=int(window), seed=seed, shift_at=shift_at,
+                 duration=duration, label=f"bo window={window}")
+            for window in windows
+        ]
+    )
 
-        def shift(tb=tb):
-            from dataclasses import replace
 
-            storage = tb.destination.storage
-            tb.destination.storage = replace(
-                storage,
-                per_process_write_bps=storage.per_process_write_bps / 2,
-                aggregate_write_bps=storage.aggregate_write_bps / 2,
-            )
+def window_point(window: int, seed: int, shift_at: float, duration: float) -> WindowPoint:
+    """Task unit: one BO history-window size through the storage shift."""
+    ctx = make_context(seed)
+    tb = hpclab()
+    rng = ctx.rng("bo-window")
+    opt = BayesianOptimizer(hi=32, window=window, rng=rng)
+    launched = launch_falcon(ctx, tb, optimizer=opt, name=f"bo-w{window}")
 
-        ctx.engine.schedule_at(shift_at, shift)
-        ctx.engine.run_for(duration)
-        points.append(
-            WindowPoint(
-                window=window,
-                before_bps=window_mean_bps(launched.trace, shift_at - 60, shift_at),
-                after_bps=window_mean_bps(launched.trace, duration - 60, duration),
-            )
+    def shift(tb=tb):
+        from dataclasses import replace
+
+        storage = tb.destination.storage
+        tb.destination.storage = replace(
+            storage,
+            per_process_write_bps=storage.per_process_write_bps / 2,
+            aggregate_write_bps=storage.aggregate_write_bps / 2,
         )
-    return points
+
+    ctx.engine.schedule_at(shift_at, shift)
+    ctx.engine.run_for(duration)
+    return WindowPoint(
+        window=window,
+        before_bps=window_mean_bps(launched.trace, shift_at - 60, shift_at),
+        after_bps=window_mean_bps(launched.trace, duration - 60, duration),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -258,34 +275,44 @@ class AcquisitionPoint:
     exploration_std: float  # std of evaluated concurrency at steady state
 
 
-def acquisition_portfolio(seed: int = 0, duration: float = 360.0) -> list[AcquisitionPoint]:
-    """GP-Hedge vs each single acquisition on HPCLab."""
-    configs = {
+def _acquisitions(name: str):
+    """Acquisition list for one named configuration (None = GP-Hedge)."""
+    return {
         "gp-hedge": None,
         "ei-only": [("ei", expected_improvement)],
         "pi-only": [("pi", probability_of_improvement)],
         "ucb-only": [("ucb", upper_confidence_bound)],
-    }
-    points = []
-    for name, acqs in configs.items():
-        ctx = make_context(seed)
-        rng = ctx.rng(f"acq/{name}")
-        opt = BayesianOptimizer(hi=32, rng=rng)
-        if acqs is not None:
-            opt.hedge = GPHedge(acquisitions=acqs, rng=rng)
-        launched = launch_falcon(ctx, hpclab(), optimizer=opt, name=f"bo-{name}")
-        ctx.engine.run_for(duration)
-        agent = launched.controller
-        cc = agent.concurrencies()
-        tail = slice(int(len(cc) * 0.6), None)
-        points.append(
-            AcquisitionPoint(
-                name=name,
-                steady_throughput_bps=float(np.mean(agent.throughputs()[tail])),
-                exploration_std=float(np.std(cc[tail])),
-            )
-        )
-    return points
+    }[name]
+
+
+def acquisition_point(name: str, seed: int, duration: float) -> AcquisitionPoint:
+    """Task unit: one acquisition configuration on HPCLab."""
+    acqs = _acquisitions(name)
+    ctx = make_context(seed)
+    rng = ctx.rng(f"acq/{name}")
+    opt = BayesianOptimizer(hi=32, rng=rng)
+    if acqs is not None:
+        opt.hedge = GPHedge(acquisitions=acqs, rng=rng)
+    launched = launch_falcon(ctx, hpclab(), optimizer=opt, name=f"bo-{name}")
+    ctx.engine.run_for(duration)
+    agent = launched.controller
+    cc = agent.concurrencies()
+    tail = slice(int(len(cc) * 0.6), None)
+    return AcquisitionPoint(
+        name=name,
+        steady_throughput_bps=float(np.mean(agent.throughputs()[tail])),
+        exploration_std=float(np.std(cc[tail])),
+    )
+
+
+def acquisition_portfolio(seed: int = 0, duration: float = 360.0) -> list[AcquisitionPoint]:
+    """GP-Hedge vs each single acquisition on HPCLab."""
+    return run_tasks(
+        [
+            task(acquisition_point, name=name, seed=seed, duration=duration, label=f"acq {name}")
+            for name in ("gp-hedge", "ei-only", "pi-only", "ucb-only")
+        ]
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -311,23 +338,29 @@ def sample_interval(
     samples (ramping dominates); long intervals are accurate but spend
     longer per probe.
     """
+    return run_tasks(
+        [
+            task(interval_point, interval=float(interval), seed=seed, duration=duration,
+                 label=f"interval={interval}")
+            for interval in intervals
+        ]
+    )
+
+
+def interval_point(interval: float, seed: int, duration: float) -> IntervalPoint:
+    """Task unit: one sample-transfer duration on the 48-optimum Emulab."""
     from repro.analysis.convergence import time_to_fraction_of_max
 
-    points = []
-    for interval in intervals:
-        ctx = make_context(seed)
-        launched = launch_falcon(
-            ctx, emulab_high_optimal(), kind="gd", hi=64, interval=interval, name=f"iv{interval}"
-        )
-        ctx.engine.run_for(duration)
-        agent = launched.controller
-        tp = agent.throughputs()
-        tail = slice(int(len(tp) * 0.7), None)
-        points.append(
-            IntervalPoint(
-                interval=interval,
-                time_to_85pct=time_to_fraction_of_max(agent.times(), tp, 0.85),
-                steady_throughput_bps=float(np.mean(tp[tail])),
-            )
-        )
-    return points
+    ctx = make_context(seed)
+    launched = launch_falcon(
+        ctx, emulab_high_optimal(), kind="gd", hi=64, interval=interval, name=f"iv{interval}"
+    )
+    ctx.engine.run_for(duration)
+    agent = launched.controller
+    tp = agent.throughputs()
+    tail = slice(int(len(tp) * 0.7), None)
+    return IntervalPoint(
+        interval=interval,
+        time_to_85pct=time_to_fraction_of_max(agent.times(), tp, 0.85),
+        steady_throughput_bps=float(np.mean(tp[tail])),
+    )

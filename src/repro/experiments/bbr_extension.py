@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.analysis.tables import format_table
 from repro.experiments.common import launch_falcon, make_context, window_mean_bps
 from repro.network.tcp import BBR, CUBIC
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import emulab_high_optimal
 from repro.transfer.dataset import uniform_dataset
 from repro.units import bps_to_mbps
@@ -66,19 +67,19 @@ class BbrResult:
         )
 
 
-def run(seed: int = 0, duration: float = 420.0) -> BbrResult:
-    """Run both scenarios on the 48-optimum Emulab."""
-    singles = {}
-    for label, tcp in (("cubic", CUBIC), ("bbr", BBR)):
-        ctx = make_context(seed)
-        tb = emulab_high_optimal()
-        tb.tcp = tcp
-        launched = launch_falcon(ctx, tb, kind="gd", hi=64, name=f"single-{label}")
-        ctx.engine.run_for(duration)
-        tail = launched.controller.throughputs()[-12:]
-        singles[label] = float(tail.mean())
+def single_transport_run(transport: str, seed: int, duration: float) -> float:
+    """Task unit: Falcon-GD alone over one named transport."""
+    ctx = make_context(seed)
+    tb = emulab_high_optimal()
+    tb.tcp = BBR if transport == "bbr" else CUBIC
+    launched = launch_falcon(ctx, tb, kind="gd", hi=64, name=f"single-{transport}")
+    ctx.engine.run_for(duration)
+    return float(launched.controller.throughputs()[-12:].mean())
 
-    ctx = make_context(seed + 1)
+
+def mixed_pair_run(seed: int, duration: float) -> dict[str, float]:
+    """Task unit: BBR-backed Falcon vs Cubic-backed Falcon, one bottleneck."""
+    ctx = make_context(seed)
     tb = emulab_high_optimal()
     cubic_session = tb.new_session(uniform_dataset(500), name="mixed-cubic", repeat=True, tcp=CUBIC)
     bbr_session = tb.new_session(uniform_dataset(500), name="mixed-bbr", repeat=True, tcp=BBR)
@@ -106,13 +107,32 @@ def run(seed: int = 0, duration: float = 420.0) -> BbrResult:
 
     t1 = duration
     t0 = duration - 90
+    return {
+        "cubic_bps": window_mean_bps(launches[0][1], t0, t1),
+        "bbr_bps": window_mean_bps(launches[1][1], t0, t1),
+        "cubic_concurrency": float(launches[0][0].concurrencies()[-10:].mean()),
+        "bbr_concurrency": float(launches[1][0].concurrencies()[-10:].mean()),
+    }
+
+
+def run(seed: int = 0, duration: float = 420.0) -> BbrResult:
+    """Run both scenarios on the 48-optimum Emulab."""
+    single_cubic, single_bbr, mixed = run_tasks(
+        [
+            task(single_transport_run, transport="cubic", seed=seed, duration=duration,
+                 label="bbr single cubic"),
+            task(single_transport_run, transport="bbr", seed=seed, duration=duration,
+                 label="bbr single bbr"),
+            task(mixed_pair_run, seed=seed + 1, duration=duration, label="bbr mixed pair"),
+        ]
+    )
     return BbrResult(
-        single_cubic_bps=singles["cubic"],
-        single_bbr_bps=singles["bbr"],
-        mixed_cubic_bps=window_mean_bps(launches[0][1], t0, t1),
-        mixed_bbr_bps=window_mean_bps(launches[1][1], t0, t1),
-        mixed_cubic_concurrency=float(launches[0][0].concurrencies()[-10:].mean()),
-        mixed_bbr_concurrency=float(launches[1][0].concurrencies()[-10:].mean()),
+        single_cubic_bps=single_cubic,
+        single_bbr_bps=single_bbr,
+        mixed_cubic_bps=mixed["cubic_bps"],
+        mixed_bbr_bps=mixed["bbr_bps"],
+        mixed_cubic_concurrency=mixed["cubic_concurrency"],
+        mixed_bbr_concurrency=mixed["bbr_concurrency"],
     )
 
 

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.analysis.trace import SessionTrace, TraceRecorder
 from repro.config import DEFAULT_CONFIG, SimConfig
+from repro.runner import SimTask, callable_path, resolve_callable, run_tasks
+from repro.runner import task as sim_task
 from repro.core.agent import FalconAgent
 from repro.core.bayesian import BayesianOptimizer
 from repro.core.controller import SessionController, attach_agent
@@ -70,38 +72,97 @@ class SweepPoint:
     loss_rate: float
 
 
-def sweep_concurrency(
-    testbed_factory: Callable[[], Testbed],
+def sweep_point(
+    testbed_factory: str,
+    concurrency: int,
+    measure_time: float,
+    warmup: float,
+    config: SimConfig,
+    dataset: Dataset | None = None,
+) -> SweepPoint:
+    """One steady-state measurement at a fixed concurrency (task unit).
+
+    A fresh testbed per point keeps measurements independent (the paper
+    runs each configuration as its own transfer); building everything
+    from the declarative spec is what lets the point run in any process.
+    """
+    tb = resolve_callable(testbed_factory)()
+    engine = SimulationEngine(dt=config.dt)
+    network = FluidTransferNetwork(engine, config)
+    ds = dataset or uniform_dataset(100)
+    n = int(concurrency)
+    session = tb.new_session(ds, params=TransferParams(concurrency=n), repeat=True)
+    network.add_session(session)
+    engine.run_for(warmup)
+    session.monitor.take(concurrency=n)  # discard warm-up window
+    engine.run_for(measure_time)
+    sample = session.monitor.take(concurrency=n)
+    return SweepPoint(
+        concurrency=n,
+        throughput_bps=sample.throughput_bps,
+        loss_rate=sample.loss_rate,
+    )
+
+
+def sweep_tasks(
+    testbed_factory: Callable[[], Testbed] | str,
     concurrencies: Sequence[int],
     dataset: Dataset | None = None,
     measure_time: float = 25.0,
     warmup: float = 10.0,
+    config: SimConfig | None = None,
+    label: str = "",
+) -> list[SimTask]:
+    """One :class:`SimTask` per concurrency point.
+
+    Experiments that sweep several (network, dataset) pairs concatenate
+    the task lists and hand them to ``run_tasks`` in one call, so the
+    pool sees the whole sweep at once.
+    """
+    factory = callable_path(testbed_factory)
+    cfg = config or DEFAULT_CONFIG
+    prefix = label or factory.partition(":")[2]
+    return [
+        sim_task(
+            sweep_point,
+            testbed_factory=factory,
+            concurrency=int(n),
+            measure_time=measure_time,
+            warmup=warmup,
+            config=cfg,
+            dataset=dataset,
+            label=f"{prefix} n={int(n)}",
+        )
+        for n in concurrencies
+    ]
+
+
+def sweep_concurrency(
+    testbed_factory: Callable[[], Testbed] | str,
+    concurrencies: Sequence[int],
+    dataset: Dataset | None = None,
+    measure_time: float = 25.0,
+    warmup: float = 10.0,
+    config: SimConfig | None = None,
 ) -> list[SweepPoint]:
     """Measure steady throughput/loss at each fixed concurrency.
 
-    A fresh testbed per point keeps measurements independent (the paper
-    runs each configuration as its own transfer).
+    ``config`` (not just ``DEFAULT_CONFIG``) now reaches the engine and
+    the fluid network, so an experiment declaring a non-default time
+    step or jitter cannot silently diverge from it.  Points execute
+    through the runner: serially by default, fanned out under
+    ``use_runner(jobs=N)``, replayed from cache when fronted by one.
     """
-    points = []
-    for n in concurrencies:
-        tb = testbed_factory()
-        engine = SimulationEngine(dt=DEFAULT_CONFIG.dt)
-        network = FluidTransferNetwork(engine)
-        ds = dataset or uniform_dataset(100)
-        session = tb.new_session(ds, params=TransferParams(concurrency=int(n)), repeat=True)
-        network.add_session(session)
-        engine.run_for(warmup)
-        session.monitor.take(concurrency=int(n))  # discard warm-up window
-        engine.run_for(measure_time)
-        sample = session.monitor.take(concurrency=int(n))
-        points.append(
-            SweepPoint(
-                concurrency=int(n),
-                throughput_bps=sample.throughput_bps,
-                loss_rate=sample.loss_rate,
-            )
+    return run_tasks(
+        sweep_tasks(
+            testbed_factory,
+            concurrencies,
+            dataset=dataset,
+            measure_time=measure_time,
+            warmup=warmup,
+            config=config,
         )
-    return points
+    )
 
 
 # ---------------------------------------------------------------------------

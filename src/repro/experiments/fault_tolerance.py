@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.analysis.tables import format_table
 from repro.experiments.common import make_context
 from repro.faults import ChaosRng, FaultInjector, chaos_plan
+from repro.runner import run_tasks, task
 from repro.service import FalconService, RetryPolicy, TransferJob
 from repro.testbeds.presets import hpclab
 from repro.transfer.dataset import uniform_dataset
@@ -79,6 +80,38 @@ class FaultToleranceResult:
         )
 
 
+def policy_run(
+    policy: str, seed: int, files: int, horizon: float, preset: str
+) -> FaultToleranceRun:
+    """Task unit: one service configuration under the chaos plan."""
+    ctx = make_context(seed)
+    tb = hpclab()
+    service = FalconService(
+        engine=ctx.engine,
+        network=ctx.network,
+        seed=seed,
+        fault_policy=RetryPolicy() if policy == "retries-on" else None,
+    )
+    dataset = uniform_dataset(files, 1 * GB)
+    job = service.submit(tb, dataset, name="payload")
+    # Faults land inside the first ~60% of the horizon so the
+    # retries-on arm has room to recover and finish.
+    plan = chaos_plan(preset, horizon=0.6 * horizon, rng=ChaosRng(ctx.streams))
+    injector = FaultInjector(
+        ctx.engine,
+        ctx.network,
+        plan,
+        streams=ctx.streams,
+        service=service,
+        recorder=ctx.recorder,
+    ).arm()
+    ctx.engine.run_until(horizon)
+    return _summarize(policy, job, dataset.file_count, injector)
+
+
+POLICIES = ("retries-on", "retries-off")
+
+
 def run(
     seed: int = 0,
     files: int = 300,
@@ -86,35 +119,14 @@ def run(
     preset: str = "hostile",
 ) -> FaultToleranceResult:
     """Run the same chaos plan against retries-on and retries-off."""
-    runs: dict[str, FaultToleranceRun] = {}
-    for label, policy in (
-        ("retries-on", RetryPolicy()),
-        ("retries-off", None),
-    ):
-        ctx = make_context(seed)
-        tb = hpclab()
-        service = FalconService(
-            engine=ctx.engine,
-            network=ctx.network,
-            seed=seed,
-            fault_policy=policy,
-        )
-        dataset = uniform_dataset(files, 1 * GB)
-        job = service.submit(tb, dataset, name="payload")
-        # Faults land inside the first ~60% of the horizon so the
-        # retries-on arm has room to recover and finish.
-        plan = chaos_plan(preset, horizon=0.6 * horizon, rng=ChaosRng(ctx.streams))
-        injector = FaultInjector(
-            ctx.engine,
-            ctx.network,
-            plan,
-            streams=ctx.streams,
-            service=service,
-            recorder=ctx.recorder,
-        ).arm()
-        ctx.engine.run_until(horizon)
-        runs[label] = _summarize(label, job, dataset.file_count, injector)
-    return FaultToleranceResult(runs=runs)
+    results = run_tasks(
+        [
+            task(policy_run, policy=policy, seed=seed, files=files, horizon=horizon,
+                 preset=preset, label=policy)
+            for policy in POLICIES
+        ]
+    )
+    return FaultToleranceResult(runs=dict(zip(POLICIES, results)))
 
 
 def _summarize(

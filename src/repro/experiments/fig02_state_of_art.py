@@ -16,6 +16,7 @@ from repro.analysis.tables import format_table
 from repro.baselines.globus import GlobusController
 from repro.baselines.harp import HarpController
 from repro.experiments.common import launch_controller, make_context, window_mean_bps
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import hpclab, stampede2_comet
 from repro.transfer.dataset import uniform_dataset
 from repro.units import bps_to_gbps
@@ -65,43 +66,64 @@ class Fig2Result:
         )
 
 
-def run(seed: int = 0, settle: float = 200.0) -> Fig2Result:
-    """Run both panels on the Stampede2–Comet testbed."""
-    # Panel (a): each baseline alone.
-    singles = {}
-    for label, factory in (
-        ("globus", lambda s: GlobusController(session=s, dataset=uniform_dataset(1000))),
-        ("harp", lambda s: HarpController(session=s)),
-    ):
-        ctx = make_context(seed)
-        tb = stampede2_comet()
-        launched = launch_controller(ctx, tb, factory, name=label)
-        ctx.engine.run_for(settle)
-        singles[label] = window_mean_bps(launched.trace, settle - 60, settle)
-    achievable = stampede2_comet().max_throughput()
+def _controller_factory(solution: str):
+    if solution == "globus":
+        return lambda s: GlobusController(session=s, dataset=uniform_dataset(1000))
+    return lambda s: HarpController(session=s)
 
-    # Panel (b): staggered HARP pair on a shared testbed.  HPCLab's
-    # saturated storage array is where the late-comer's contended
-    # probes mislead its regression hardest (the figure's regime).
-    ctx = make_context(seed + 1)
+
+def single_run(solution: str, seed: int, settle: float) -> float:
+    """Panel (a) task unit: one baseline alone on the 40G WAN."""
+    ctx = make_context(seed)
+    tb = stampede2_comet()
+    launched = launch_controller(ctx, tb, _controller_factory(solution), name=solution)
+    ctx.engine.run_for(settle)
+    return window_mean_bps(launched.trace, settle - 60, settle)
+
+
+def harp_pair(seed: int, settle: float) -> dict[str, float]:
+    """Panel (b) task unit: staggered HARP pair on a shared testbed.
+
+    HPCLab's saturated storage array is where the late-comer's
+    contended probes mislead its regression hardest (the figure's
+    regime).
+    """
+    ctx = make_context(seed)
     tb = hpclab()
     first = launch_controller(
-        ctx, tb, lambda s: HarpController(session=s), name="harp-first", start_time=0.0
+        ctx, tb, _controller_factory("harp"), name="harp-first", start_time=0.0
     )
     second = launch_controller(
-        ctx, tb, lambda s: HarpController(session=s), name="harp-second", start_time=100.0
+        ctx, tb, _controller_factory("harp"), name="harp-second", start_time=100.0
     )
     ctx.engine.run_for(100.0 + settle)
     t1 = 100.0 + settle
     t0 = t1 - 60
+    return {
+        "first_bps": window_mean_bps(first.trace, t0, t1),
+        "second_bps": window_mean_bps(second.trace, t0, t1),
+        "first_cc": float(first.controller.chosen_concurrency or 0),
+        "second_cc": float(second.controller.chosen_concurrency or 0),
+    }
+
+
+def run(seed: int = 0, settle: float = 200.0) -> Fig2Result:
+    """Run both panels on the Stampede2–Comet testbed."""
+    globus_bps, harp_bps, pair = run_tasks(
+        [
+            task(single_run, solution="globus", seed=seed, settle=settle, label="fig02 globus"),
+            task(single_run, solution="harp", seed=seed, settle=settle, label="fig02 harp"),
+            task(harp_pair, seed=seed + 1, settle=settle, label="fig02 harp-pair"),
+        ]
+    )
     return Fig2Result(
-        globus_bps=singles["globus"],
-        harp_bps=singles["harp"],
-        achievable_bps=achievable,
-        harp_first_bps=window_mean_bps(first.trace, t0, t1),
-        harp_second_bps=window_mean_bps(second.trace, t0, t1),
-        harp_first_cc=first.controller.chosen_concurrency or 0,
-        harp_second_cc=second.controller.chosen_concurrency or 0,
+        globus_bps=globus_bps,
+        harp_bps=harp_bps,
+        achievable_bps=stampede2_comet().max_throughput(),
+        harp_first_bps=pair["first_bps"],
+        harp_second_bps=pair["second_bps"],
+        harp_first_cc=int(pair["first_cc"]),
+        harp_second_cc=int(pair["second_cc"]),
     )
 
 

@@ -26,6 +26,7 @@ from repro.core.utility import (
     utility_curve,
 )
 from repro.experiments.common import launch_falcon, make_context
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import emulab_io_bound
 from repro.units import Mbps
 
@@ -109,36 +110,54 @@ def _steady_concurrency(launched, fraction: float = 0.5) -> float:
     return float(tail.mean()) if tail.size else 0.0
 
 
+def _utility(label: str):
+    """Utility form by declarative label (tasks carry strings, not objects)."""
+    return {
+        "linear01": lambda: LinearPenaltyUtility(C=0.01),
+        "linear02": lambda: LinearPenaltyUtility(C=0.02),
+        "nonlinear": lambda: NonlinearPenaltyUtility(),
+    }[label]()
+
+
+def single_utility_run(utility: str, seed: int, duration: float) -> float:
+    """Panel (b) task unit: one GD agent under the named utility form."""
+    ctx = make_context(seed)
+    tb = emulab_io_bound()
+    launched = launch_falcon(ctx, tb, kind="gd", hi=80, utility=_utility(utility), name=utility)
+    ctx.engine.run_for(duration)
+    return _steady_concurrency(launched)
+
+
+def competing_pair_run(utility: str, seed: int, duration: float) -> float:
+    """Panel (c) task unit: two competing agents; returns their total n."""
+    ctx = make_context(seed)
+    tb = emulab_io_bound()
+    a = launch_falcon(ctx, tb, kind="gd", hi=80, utility=_utility(utility), name=f"{utility}-a")
+    b = launch_falcon(
+        ctx, tb, kind="gd", hi=80, utility=_utility(utility), name=f"{utility}-b", start_time=60.0
+    )
+    ctx.engine.run_for(duration)
+    return _steady_concurrency(a) + _steady_concurrency(b)
+
+
 def run(seed: int = 0, duration: float = 500.0) -> Fig6Result:
     """All three panels."""
     p001, p002, pnl = estimated_peaks()
 
-    # Panel (b): single transfer, linear C=0.02 vs nonlinear.
-    empirical = {}
-    for label, utility in (
-        ("linear02", LinearPenaltyUtility(C=0.02)),
-        ("nonlinear", NonlinearPenaltyUtility()),
-    ):
-        ctx = make_context(seed)
-        tb = emulab_io_bound()
-        launched = launch_falcon(ctx, tb, kind="gd", hi=80, utility=utility, name=label)
-        ctx.engine.run_for(duration)
-        empirical[label] = _steady_concurrency(launched)
-
-    # Panel (c): two competing agents per utility form.
-    competing = {}
-    for label, utility in (
-        ("linear01", LinearPenaltyUtility(C=0.01)),
-        ("nonlinear", NonlinearPenaltyUtility()),
-    ):
-        ctx = make_context(seed + 1)
-        tb = emulab_io_bound()
-        a = launch_falcon(ctx, tb, kind="gd", hi=80, utility=utility, name=f"{label}-a")
-        b = launch_falcon(
-            ctx, tb, kind="gd", hi=80, utility=utility, name=f"{label}-b", start_time=60.0
-        )
-        ctx.engine.run_for(duration)
-        competing[label] = _steady_concurrency(a) + _steady_concurrency(b)
+    single02, single_nl, comp01, comp_nl = run_tasks(
+        [
+            task(single_utility_run, utility="linear02", seed=seed, duration=duration,
+                 label="fig06 single linear02"),
+            task(single_utility_run, utility="nonlinear", seed=seed, duration=duration,
+                 label="fig06 single nonlinear"),
+            task(competing_pair_run, utility="linear01", seed=seed + 1, duration=duration,
+                 label="fig06 pair linear01"),
+            task(competing_pair_run, utility="nonlinear", seed=seed + 1, duration=duration,
+                 label="fig06 pair nonlinear"),
+        ]
+    )
+    empirical = {"linear02": single02, "nonlinear": single_nl}
+    competing = {"linear01": comp01, "nonlinear": comp_nl}
 
     return Fig6Result(
         peak_linear_c001=p001,

@@ -15,6 +15,7 @@ import numpy as np
 from repro.analysis.convergence import time_to_fraction_of_max
 from repro.analysis.tables import format_table
 from repro.experiments.common import launch_falcon, make_context
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import emulab_high_optimal
 from repro.units import bps_to_mbps
 
@@ -53,26 +54,37 @@ class Fig7Result:
         )
 
 
+def algorithm_run(kind: str, seed: int, duration: float) -> AlgorithmRun:
+    """One algorithm's independent run (task unit)."""
+    ctx = make_context(seed)
+    tb = emulab_high_optimal()
+    launched = launch_falcon(ctx, tb, kind=kind, hi=64, name=f"falcon-{kind}")
+    ctx.engine.run_for(duration)
+    agent = launched.controller
+    times = agent.times()
+    tputs = agent.throughputs()
+    cc = agent.concurrencies()
+    tail = slice(int(len(cc) * 0.75), None)
+    return AlgorithmRun(
+        name=kind.upper(),
+        time_to_85pct=time_to_fraction_of_max(times, tputs, 0.85),
+        steady_throughput_bps=float(np.mean(tputs[tail])),
+        steady_concurrency=float(np.mean(cc[tail])),
+    )
+
+
+KINDS = ("hc", "gd", "bo")
+
+
 def run(seed: int = 0, duration: float = 500.0) -> Fig7Result:
     """One independent run per algorithm on the 48-optimum Emulab."""
-    runs = {}
-    for kind in ("hc", "gd", "bo"):
-        ctx = make_context(seed)
-        tb = emulab_high_optimal()
-        launched = launch_falcon(ctx, tb, kind=kind, hi=64, name=f"falcon-{kind}")
-        ctx.engine.run_for(duration)
-        agent = launched.controller
-        times = agent.times()
-        tputs = agent.throughputs()
-        cc = agent.concurrencies()
-        tail = slice(int(len(cc) * 0.75), None)
-        runs[kind] = AlgorithmRun(
-            name=kind.upper(),
-            time_to_85pct=time_to_fraction_of_max(times, tputs, 0.85),
-            steady_throughput_bps=float(np.mean(tputs[tail])),
-            steady_concurrency=float(np.mean(cc[tail])),
-        )
-    return Fig7Result(runs=runs)
+    results = run_tasks(
+        [
+            task(algorithm_run, kind=kind, seed=seed, duration=duration, label=f"fig07 {kind}")
+            for kind in KINDS
+        ]
+    )
+    return Fig7Result(runs=dict(zip(KINDS, results)))
 
 
 def main() -> None:

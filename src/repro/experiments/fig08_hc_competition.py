@@ -16,6 +16,7 @@ import numpy as np
 from repro.analysis.fairness import jain_index
 from repro.analysis.tables import format_table
 from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import emulab_high_optimal
 from repro.units import bps_to_mbps
 
@@ -51,32 +52,34 @@ class Fig8Result:
         )
 
 
-def _pair_run(kind: str, seed: int, join_at: float, duration: float):
+def pair_windows(kind: str, seed: int, join_at: float, duration: float) -> dict[str, list[float]]:
+    """Task unit: a staggered pair; early/late window means per agent."""
     ctx = make_context(seed)
     tb = emulab_high_optimal()
     a = launch_falcon(ctx, tb, kind=kind, hi=64, name=f"{kind}-a")
     b = launch_falcon(ctx, tb, kind=kind, hi=64, name=f"{kind}-b", start_time=join_at)
     ctx.engine.run_for(duration)
-    return a, b
+    early = (join_at + 10.0, join_at + 70.0)
+    late = (duration - 60.0, duration)
+    return {
+        "early": [window_mean_bps(a.trace, *early), window_mean_bps(b.trace, *early)],
+        "late": [window_mean_bps(a.trace, *late), window_mean_bps(b.trace, *late)],
+    }
 
 
 def run(seed: int = 0, join_at: float = 260.0, duration: float = 700.0) -> Fig8Result:
     """Run HC and GD pairs over identical timelines."""
-    hc_a, hc_b = _pair_run("hc", seed, join_at, duration)
-    gd_a, gd_b = _pair_run("gd", seed, join_at, duration)
+    hc, gd = run_tasks(
+        [
+            task(pair_windows, kind=kind, seed=seed, join_at=join_at, duration=duration,
+                 label=f"fig08 {kind} pair")
+            for kind in ("hc", "gd")
+        ]
+    )
 
-    early = (join_at + 10.0, join_at + 70.0)
-    late = (duration - 60.0, duration)
-
-    hc_early = np.array(
-        [window_mean_bps(hc_a.trace, *early), window_mean_bps(hc_b.trace, *early)]
-    )
-    hc_late = np.array(
-        [window_mean_bps(hc_a.trace, *late), window_mean_bps(hc_b.trace, *late)]
-    )
-    gd_early = np.array(
-        [window_mean_bps(gd_a.trace, *early), window_mean_bps(gd_b.trace, *early)]
-    )
+    hc_early = np.array(hc["early"])
+    hc_late = np.array(hc["late"])
+    gd_early = np.array(gd["early"])
     return Fig8Result(
         hc_early_jain=jain_index(hc_early),
         hc_late_jain=jain_index(hc_late),

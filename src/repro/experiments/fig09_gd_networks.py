@@ -15,6 +15,7 @@ import numpy as np
 from repro.analysis.convergence import time_to_fraction_of_max
 from repro.analysis.tables import format_table
 from repro.experiments.common import LaunchedTransfer, launch_falcon, make_context
+from repro.runner import run_tasks, task
 from repro.testbeds.base import Testbed
 from repro.testbeds.presets import campus_cluster, emulab_fig4, hpclab, xsede
 from repro.units import bps_to_gbps
@@ -71,27 +72,36 @@ NETWORKS: dict[str, Callable[[], Testbed]] = {
 }
 
 
+def network_run(kind: str, network: str, seed: int, duration: float) -> NetworkRun:
+    """Task unit: Falcon with one algorithm on one named testbed."""
+    ctx = make_context(seed)
+    tb = NETWORKS[network]()
+    launched: LaunchedTransfer = launch_falcon(ctx, tb, kind=kind, name=f"{kind}-{network}")
+    ctx.engine.run_for(duration)
+    agent = launched.controller
+    tputs = agent.throughputs()
+    cc = agent.concurrencies()
+    tail = slice(int(len(cc) * 0.7), None)
+    return NetworkRun(
+        network=network,
+        steady_throughput_bps=float(np.mean(tputs[tail])),
+        achievable_bps=tb.max_throughput(),
+        steady_concurrency=float(np.mean(cc[tail])),
+        optimal_concurrency=tb.optimal_concurrency(),
+        time_to_85pct=time_to_fraction_of_max(agent.times(), tputs, 0.85),
+    )
+
+
 def run_networks(kind: str, seed: int = 0, duration: float = 300.0) -> FigNetworksResult:
     """Falcon with the given search algorithm on each Table 1 testbed."""
-    runs = {}
-    for name, factory in NETWORKS.items():
-        ctx = make_context(seed)
-        tb = factory()
-        launched: LaunchedTransfer = launch_falcon(ctx, tb, kind=kind, name=f"{kind}-{name}")
-        ctx.engine.run_for(duration)
-        agent = launched.controller
-        tputs = agent.throughputs()
-        cc = agent.concurrencies()
-        tail = slice(int(len(cc) * 0.7), None)
-        runs[name] = NetworkRun(
-            network=name,
-            steady_throughput_bps=float(np.mean(tputs[tail])),
-            achievable_bps=tb.max_throughput(),
-            steady_concurrency=float(np.mean(cc[tail])),
-            optimal_concurrency=tb.optimal_concurrency(),
-            time_to_85pct=time_to_fraction_of_max(agent.times(), tputs, 0.85),
-        )
-    return FigNetworksResult(algorithm=kind.upper(), runs=runs)
+    results = run_tasks(
+        [
+            task(network_run, kind=kind, network=name, seed=seed, duration=duration,
+                 label=f"{kind} {name}")
+            for name in NETWORKS
+        ]
+    )
+    return FigNetworksResult(algorithm=kind.upper(), runs=dict(zip(NETWORKS, results)))
 
 
 def run(seed: int = 0, duration: float = 300.0) -> FigNetworksResult:

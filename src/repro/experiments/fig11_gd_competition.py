@@ -22,6 +22,7 @@ from repro.experiments.common import (
     retire_at,
     window_mean_bps,
 )
+from repro.runner import callable_path, resolve_callable, run_tasks, task
 from repro.testbeds.base import Testbed
 from repro.testbeds.presets import hpclab
 from repro.units import bps_to_gbps
@@ -70,15 +71,11 @@ class CompetitionResult:
         )
 
 
-def run_competition(
-    kind: str,
-    testbed_factory: Callable[[], Testbed] = hpclab,
-    seed: int = 0,
-    phase: float = 150.0,
-) -> CompetitionResult:
-    """Three staggered agents: join at 0/1x/2x phase, first leaves at 3x.
+def competition_run(kind: str, testbed: str, seed: int, phase: float) -> CompetitionResult:
+    """Task unit: one shared-testbed sim with three staggered agents.
 
-    Phases measured (last 60 s of each):
+    Join at 0/1x/2x phase, first leaves at 3x.  Phases measured (last
+    60 s of each):
 
     * ``one``    — only the first agent;
     * ``two``    — first + second;
@@ -86,7 +83,7 @@ def run_competition(
     * ``reclaim``— second + third after the first departs.
     """
     ctx = make_context(seed)
-    tb = testbed_factory()
+    tb = resolve_callable(testbed)()
     launches: list[LaunchedTransfer] = []
     for i in range(3):
         launches.append(
@@ -117,6 +114,27 @@ def run_competition(
         phases=phases,
         achievable_bps=tb.max_throughput(),
     )
+
+
+def run_competition(
+    kind: str,
+    testbed_factory: Callable[[], Testbed] | str = hpclab,
+    seed: int = 0,
+    phase: float = 150.0,
+) -> CompetitionResult:
+    """The staggered-competition scenario, executed through the runner."""
+    return run_tasks(
+        [
+            task(
+                competition_run,
+                kind=kind,
+                testbed=callable_path(testbed_factory),
+                seed=seed,
+                phase=phase,
+                label=f"{kind} competition",
+            )
+        ]
+    )[0]
 
 
 def run(seed: int = 0, phase: float = 150.0) -> CompetitionResult:

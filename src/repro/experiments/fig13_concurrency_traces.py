@@ -19,6 +19,7 @@ from repro.experiments.common import (
     make_context,
     retire_at,
 )
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import emulab
 from repro.units import Mbps
 
@@ -64,8 +65,8 @@ class Fig13Result:
         )
 
 
-def run(seed: int = 0, phase: float = 180.0) -> Fig13Result:
-    """Three staggered GD agents on the 48-optimum Emulab."""
+def traces_run(seed: int, phase: float) -> Fig13Result:
+    """Task unit: three staggered GD agents on the 48-optimum Emulab."""
     ctx = make_context(seed)
     tb = emulab(link_bps=1000 * Mbps, per_process_bps=20 * Mbps)
     launches = [
@@ -96,6 +97,11 @@ def run(seed: int = 0, phase: float = 180.0) -> Fig13Result:
         stats("reclaim", 4 * phase, [1, 2]),
     ]
     return Fig13Result(phases=phases, saturation_concurrency=tb.optimal_concurrency())
+
+
+def run(seed: int = 0, phase: float = 180.0) -> Fig13Result:
+    """Three staggered GD agents, executed through the runner."""
+    return run_tasks([task(traces_run, seed=seed, phase=phase, label="fig13 traces")])[0]
 
 
 def main() -> None:

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     make_context,
     window_mean_bps,
 )
+from repro.runner import run_tasks, task
 from repro.testbeds.base import Testbed
 from repro.testbeds.presets import campus_cluster, hpclab, xsede
 from repro.transfer.dataset import uniform_dataset
@@ -78,34 +79,47 @@ NETWORKS: dict[str, Callable[[], Testbed]] = {
 }
 
 
+SOLUTIONS = ("falcon", "harp", "globus")
+
+
+def solution_run(solution: str, network: str, seed: int, duration: float) -> SolutionRun:
+    """Task unit: one solution alone on one network, 1 TB workload."""
+    ctx = make_context(seed)
+    tb = NETWORKS[network]()
+    dataset = uniform_dataset(1000)  # 1000 x 1 GB = 1 TB
+    if solution == "falcon":
+        launched = launch_falcon(ctx, tb, kind="gd", dataset=dataset, name=solution)
+    elif solution == "harp":
+        launched = launch_controller(
+            ctx, tb, lambda s: HarpController(session=s), dataset=dataset, name=solution
+        )
+    else:
+        launched = launch_controller(
+            ctx,
+            tb,
+            lambda s: GlobusController(session=s, dataset=dataset),
+            dataset=dataset,
+            name=solution,
+        )
+    ctx.engine.run_for(duration)
+    return SolutionRun(
+        solution=solution,
+        network=network,
+        throughput_bps=window_mean_bps(launched.trace, duration - 90, duration),
+    )
+
+
 def run(seed: int = 0, duration: float = 240.0) -> Fig14Result:
     """Each solution alone on each network, 1 TB workload."""
-    runs: dict[tuple[str, str], SolutionRun] = {}
-    dataset = uniform_dataset(1000)  # 1000 x 1 GB = 1 TB
-    for net_name, factory in NETWORKS.items():
-        for solution in ("falcon", "harp", "globus"):
-            ctx = make_context(seed)
-            tb = factory()
-            if solution == "falcon":
-                launched = launch_falcon(ctx, tb, kind="gd", dataset=dataset, name=solution)
-            elif solution == "harp":
-                launched = launch_controller(
-                    ctx, tb, lambda s: HarpController(session=s), dataset=dataset, name=solution
-                )
-            else:
-                launched = launch_controller(
-                    ctx,
-                    tb,
-                    lambda s: GlobusController(session=s, dataset=dataset),
-                    dataset=dataset,
-                    name=solution,
-                )
-            ctx.engine.run_for(duration)
-            runs[(solution, net_name)] = SolutionRun(
-                solution=solution,
-                network=net_name,
-                throughput_bps=window_mean_bps(launched.trace, duration - 90, duration),
-            )
+    pairs = [(net, sol) for net in NETWORKS for sol in SOLUTIONS]
+    results = run_tasks(
+        [
+            task(solution_run, solution=sol, network=net, seed=seed, duration=duration,
+                 label=f"fig14 {sol} {net}")
+            for net, sol in pairs
+        ]
+    )
+    runs = {(sol, net): r for (net, sol), r in zip(pairs, results)}
     return Fig14Result(runs=runs, networks=tuple(NETWORKS))
 
 

@@ -17,6 +17,7 @@ from repro.analysis.tables import format_table
 from repro.core.conjugate_gradient import ConjugateGradientOptimizer
 from repro.core.utility import MultiParamUtility
 from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import stampede2_comet
 from repro.transfer.dataset import Dataset, large_dataset, mixed_dataset, small_dataset
 from repro.transfer.session import TransferParams
@@ -71,49 +72,73 @@ def _datasets(seed: int) -> dict[str, Dataset]:
     }
 
 
+def single_run(profile: str, seed: int, duration: float) -> float:
+    """Task unit: concurrency-only Falcon on one dataset profile.
+
+    GridFTP's command pipelining is on by default in production
+    deployments, so the single-parameter agent transfers with a fixed
+    moderate pipelining depth and parallelism 1 — it simply never
+    *tunes* them.
+    """
+    ctx = make_context(seed)
+    launched = launch_falcon(
+        ctx,
+        stampede2_comet(),
+        kind="gd",
+        dataset=_datasets(seed)[profile],
+        name=f"single-{profile}",
+        hi=40,
+        initial_params=TransferParams(concurrency=1, parallelism=1, pipelining=8),
+    )
+    ctx.engine.run_for(duration)
+    return window_mean_bps(launched.trace, 20, duration)
+
+
+def multiparam_run(profile: str, seed: int, duration: float) -> dict[str, float]:
+    """Task unit: Falcon_MP (conjugate gradient, Eq. 7 utility)."""
+    ctx = make_context(seed)
+    mp_optimizer = ConjugateGradientOptimizer(
+        concurrency_bounds=(1, 40), parallelism_bounds=(1, 8), pipelining_bounds=(1, 64)
+    )
+    mp = launch_falcon(
+        ctx,
+        stampede2_comet(),
+        kind="gd",
+        dataset=_datasets(seed)[profile],
+        name=f"mp-{profile}",
+        optimizer=mp_optimizer,
+        utility=MultiParamUtility(),
+    )
+    ctx.engine.run_for(duration)
+    final = mp.session.params
+    return {
+        "bps": window_mean_bps(mp.trace, 20, duration),
+        "concurrency": float(final.concurrency),
+        "parallelism": float(final.parallelism),
+        "pipelining": float(final.pipelining),
+    }
+
+
+PROFILES = ("small", "large", "mixed")
+
+
 def run(seed: int = 0, duration: float = 400.0) -> Fig15Result:
     """Falcon vs Falcon_MP per dataset profile."""
+    specs = []
+    for name in PROFILES:
+        specs.append(task(single_run, profile=name, seed=seed, duration=duration,
+                          label=f"fig15 single {name}"))
+        specs.append(task(multiparam_run, profile=name, seed=seed, duration=duration,
+                          label=f"fig15 mp {name}"))
+    results = run_tasks(specs)
     runs = {}
-    for name, dataset in _datasets(seed).items():
-        # Concurrency-only Falcon.  GridFTP's command pipelining is on
-        # by default in production deployments, so the single-parameter
-        # agent transfers with a fixed moderate pipelining depth and
-        # parallelism 1 — it simply never *tunes* them.
-        ctx = make_context(seed)
-        single = launch_falcon(
-            ctx,
-            stampede2_comet(),
-            kind="gd",
-            dataset=dataset,
-            name=f"single-{name}",
-            hi=40,
-            initial_params=TransferParams(concurrency=1, parallelism=1, pipelining=8),
-        )
-        ctx.engine.run_for(duration)
-        single_bps = window_mean_bps(single.trace, 20, duration)
-
-        # Multi-parameter Falcon.
-        ctx = make_context(seed)
-        mp_optimizer = ConjugateGradientOptimizer(
-            concurrency_bounds=(1, 40), parallelism_bounds=(1, 8), pipelining_bounds=(1, 64)
-        )
-        mp = launch_falcon(
-            ctx,
-            stampede2_comet(),
-            kind="gd",
-            dataset=dataset,
-            name=f"mp-{name}",
-            optimizer=mp_optimizer,
-            utility=MultiParamUtility(),
-        )
-        ctx.engine.run_for(duration)
-        mp_bps = window_mean_bps(mp.trace, 20, duration)
-        final = mp.session.params
+    for i, name in enumerate(PROFILES):
+        single_bps, mp = results[2 * i], results[2 * i + 1]
         runs[name] = DatasetRun(
             dataset=name,
             falcon_bps=single_bps,
-            falcon_mp_bps=mp_bps,
-            mp_params=(final.concurrency, final.parallelism, final.pipelining),
+            falcon_mp_bps=mp["bps"],
+            mp_params=(int(mp["concurrency"]), int(mp["parallelism"]), int(mp["pipelining"])),
         )
     return Fig15Result(runs=runs)
 

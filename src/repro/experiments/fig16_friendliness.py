@@ -30,6 +30,7 @@ from repro.baselines.harp import HarpController
 from repro.core.gradient_descent import GradientDescent
 from repro.core.utility import ThroughputUtility
 from repro.experiments.common import launch_controller, launch_falcon, make_context, window_mean_bps
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import stampede2_comet
 from repro.transfer.dataset import large_dataset
 from repro.units import GiB, bps_to_gbps
@@ -83,7 +84,8 @@ class Fig16Result:
         )
 
 
-def _run_one(kind: str, seed: int, falcon_join: float, settle: float) -> FriendlinessRun:
+def friendliness_run(kind: str, seed: int, falcon_join: float, settle: float) -> FriendlinessRun:
+    """Task unit: the Globus→HARP→tuner timeline for one tuner variant."""
     ctx = make_context(seed)
     tb = stampede2_comet()
     dataset = large_dataset(total_bytes=256 * GiB, seed=seed)
@@ -135,11 +137,14 @@ def _run_one(kind: str, seed: int, falcon_join: float, settle: float) -> Friendl
 
 def run(seed: int = 0, falcon_join: float = 120.0, settle: float = 420.0) -> Fig16Result:
     """Run the Globus→HARP→tuner timeline for GD, BO, and greedy."""
-    return Fig16Result(
-        gd=_run_one("gd", seed, falcon_join, settle),
-        bo=_run_one("bo", seed, falcon_join, settle),
-        greedy=_run_one("greedy", seed, falcon_join, settle),
+    gd, bo, greedy = run_tasks(
+        [
+            task(friendliness_run, kind=kind, seed=seed, falcon_join=falcon_join,
+                 settle=settle, label=f"fig16 {kind}")
+            for kind in ("gd", "bo", "greedy")
+        ]
     )
+    return Fig16Result(gd=gd, bo=bo, greedy=greedy)
 
 
 def main() -> None:

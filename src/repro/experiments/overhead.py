@@ -25,6 +25,7 @@ from repro.analysis.tables import format_table
 from repro.core.gradient_descent import GradientDescent
 from repro.core.utility import ThroughputUtility
 from repro.experiments.common import launch_falcon, make_context
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import emulab_fig4
 from repro.transfer.dataset import uniform_dataset
 from repro.transfer.session import TransferParams
@@ -81,41 +82,47 @@ class OverheadResult:
         )
 
 
+ARMS = ("falcon-gd", "greedy", "fixed-32")
+
+
+def overhead_run(arm: str, seed: int, duration: float) -> OverheadRun:
+    """Task unit: one tuner's resource accounting over the horizon."""
+    ctx = make_context(seed)
+    tb = emulab_fig4()
+    if arm == "fixed-32":
+        session = tb.new_session(
+            uniform_dataset(200, 100 * MB),
+            name=arm,
+            repeat=True,
+            params=TransferParams(concurrency=32),
+        )
+        ctx.network.add_session(session)
+    elif arm == "greedy":
+        session = launch_falcon(
+            ctx,
+            tb,
+            name=arm,
+            optimizer=GradientDescent(lo=1, hi=40),
+            utility=ThroughputUtility(),
+        ).session
+    else:
+        session = launch_falcon(ctx, tb, kind="gd", hi=40, name=arm).session
+    ctx.engine.run_for(duration)
+    return OverheadRun(
+        name=arm,
+        goodput_bytes=session.total_good_bytes,
+        lost_bytes=session.total_lost_bytes,
+        process_seconds=session.process_seconds,
+        mean_throughput_bps=session.total_good_bytes * 8.0 / duration,
+    )
+
+
 def run(seed: int = 0, duration: float = 400.0) -> OverheadResult:
     """Falcon vs greedy vs fixed-32 on the Fig. 4 Emulab bottleneck."""
-    runs = {}
-    for name in ("falcon-gd", "greedy", "fixed-32"):
-        ctx = make_context(seed)
-        tb = emulab_fig4()
-        if name == "fixed-32":
-            session = tb.new_session(
-                uniform_dataset(200, 100 * MB),
-                name=name,
-                repeat=True,
-                params=TransferParams(concurrency=32),
-            )
-            ctx.network.add_session(session)
-        elif name == "greedy":
-            launched = launch_falcon(
-                ctx,
-                tb,
-                name=name,
-                optimizer=GradientDescent(lo=1, hi=40),
-                utility=ThroughputUtility(),
-            )
-            session = launched.session
-        else:
-            launched = launch_falcon(ctx, tb, kind="gd", hi=40, name=name)
-            session = launched.session
-        ctx.engine.run_for(duration)
-        runs[name] = OverheadRun(
-            name=name,
-            goodput_bytes=session.total_good_bytes,
-            lost_bytes=session.total_lost_bytes,
-            process_seconds=session.process_seconds,
-            mean_throughput_bps=session.total_good_bytes * 8.0 / duration,
-        )
-    return OverheadResult(runs=runs)
+    results = run_tasks(
+        [task(overhead_run, arm=arm, seed=seed, duration=duration, label=arm) for arm in ARMS]
+    )
+    return OverheadResult(runs=dict(zip(ARMS, results)))
 
 
 def main() -> None:

@@ -27,6 +27,7 @@ from repro.baselines.stochastic_approx import StochasticApproximation
 from repro.core.hill_climbing import HillClimbing
 from repro.core.utility import NonlinearPenaltyUtility, ThroughputUtility
 from repro.experiments.common import launch_falcon, make_context
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import emulab_high_optimal
 from repro.units import bps_to_mbps
 
@@ -65,7 +66,8 @@ class RelatedWorkResult:
         )
 
 
-def _tuners(rng):
+def _tuner_setup(name: str):
+    """(optimizer, kind, utility) for one named tuner."""
     falcon_u = NonlinearPenaltyUtility()
     throughput_u = ThroughputUtility()
     return {
@@ -74,37 +76,49 @@ def _tuners(rng):
         "pcp (HC)": (HillClimbing(lo=1, hi=64), None, throughput_u),
         "gridftp-apt (GSS)": (GoldenSectionSearch(lo=1, hi=64), None, throughput_u),
         "probdata (SA)": (StochasticApproximation(lo=1, hi=64), None, throughput_u),
-    }
+    }[name]
+
+
+TUNERS = ("falcon-gd", "falcon-bo", "pcp (HC)", "gridftp-apt (GSS)", "probdata (SA)")
+
+
+def tuner_run(tuner: str, seed: int, duration: float) -> TunerRun:
+    """Task unit: one named tuner alone on the 48-optimum Emulab."""
+    optimizer, kind, utility = _tuner_setup(tuner)
+    ctx = make_context(seed)
+    launched = launch_falcon(
+        ctx,
+        emulab_high_optimal(),
+        kind=kind or "gd",
+        hi=64,
+        optimizer=optimizer,
+        utility=utility,
+        name=tuner.split()[0],
+    )
+    ctx.engine.run_for(duration)
+    agent = launched.controller
+    tp = agent.throughputs()
+    cc = agent.concurrencies()
+    losses = np.array([r.loss_rate for r in agent.history])
+    tail = slice(int(len(tp) * 0.75), None)
+    return TunerRun(
+        name=tuner,
+        time_to_85pct=time_to_fraction_of_max(agent.times(), tp, 0.85),
+        steady_throughput_bps=float(np.mean(tp[tail])),
+        steady_concurrency=float(np.mean(cc[tail])),
+        steady_loss=float(np.mean(losses[tail])),
+    )
 
 
 def run(seed: int = 0, duration: float = 500.0) -> RelatedWorkResult:
     """Each tuner alone on the 48-optimum Emulab."""
-    runs = {}
-    for name, (optimizer, kind, utility) in _tuners(None).items():
-        ctx = make_context(seed)
-        launched = launch_falcon(
-            ctx,
-            emulab_high_optimal(),
-            kind=kind or "gd",
-            hi=64,
-            optimizer=optimizer,
-            utility=utility,
-            name=name.split()[0],
-        )
-        ctx.engine.run_for(duration)
-        agent = launched.controller
-        tp = agent.throughputs()
-        cc = agent.concurrencies()
-        losses = np.array([r.loss_rate for r in agent.history])
-        tail = slice(int(len(tp) * 0.75), None)
-        runs[name] = TunerRun(
-            name=name,
-            time_to_85pct=time_to_fraction_of_max(agent.times(), tp, 0.85),
-            steady_throughput_bps=float(np.mean(tp[tail])),
-            steady_concurrency=float(np.mean(cc[tail])),
-            steady_loss=float(np.mean(losses[tail])),
-        )
-    return RelatedWorkResult(runs=runs)
+    results = run_tasks(
+        [
+            task(tuner_run, tuner=name, seed=seed, duration=duration, label=name)
+            for name in TUNERS
+        ]
+    )
+    return RelatedWorkResult(runs=dict(zip(TUNERS, results)))
 
 
 def main() -> None:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.experiments.common import launch_falcon, make_context, window_mean_bps
+from repro.runner import run_tasks, task
 from repro.testbeds.presets import emulab
 from repro.transfer.background import OnOffTraffic
 from repro.transfer.dataset import uniform_dataset
@@ -82,59 +83,69 @@ def _phase_windows(cycle: float, phases: int, duration: float):
     return on_windows, off_windows
 
 
+ARMS = {"falcon-gd": "gd", "falcon-bo": "bo", "static-20": None}
+
+
+def arm_run(arm: str, seed: int, cycle: float, cycles: int) -> RobustnessRun:
+    """Task unit: one tuner (or the static strawman) vs ON/OFF traffic."""
+    kind = ARMS[arm]
+    duration = (2 * cycles + 1) * cycle
+    ctx = make_context(seed)
+    tb = emulab(link_bps=200 * Mbps, per_process_bps=10 * Mbps)
+    if kind is None:
+        session = tb.new_session(
+            uniform_dataset(200),
+            name=arm,
+            repeat=True,
+            params=TransferParams(concurrency=20),  # optimum when alone
+        )
+        trace = ctx.recorder.watch(session)
+        ctx.network.add_session(session)
+    else:
+        trace = launch_falcon(ctx, tb, kind=kind, hi=40, name=arm).trace
+
+    background = OnOffTraffic(
+        engine=ctx.engine,
+        network=ctx.network,
+        testbed=tb,
+        concurrency=10,
+        on_time=cycle,
+        off_time=cycle,
+    )
+    background.start(initial_delay=cycle)
+    ctx.engine.run_for(duration)
+
+    on_w, off_w = _phase_windows(cycle, cycles, duration)
+    on_tput = float(np.mean([window_mean_bps(trace, *w) for w in on_w]))
+    off_tput = float(np.mean([window_mean_bps(trace, *w) for w in off_w]))
+
+    def window_stat(windows, series_fn):
+        vals = []
+        for t0, t1 in windows:
+            w = trace.window(t0, t1)
+            if w.times:
+                vals.append(float(np.mean(series_fn(w))))
+        return float(np.mean(vals)) if vals else 0.0
+
+    return RobustnessRun(
+        name=arm,
+        on_throughput_bps=on_tput,
+        off_throughput_bps=off_tput,
+        on_concurrency=window_stat(on_w, lambda w: w.concurrencies()),
+        off_concurrency=window_stat(off_w, lambda w: w.concurrencies()),
+        on_loss=window_stat(on_w, lambda w: w.losses()),
+    )
+
+
 def run(seed: int = 0, cycle: float = 120.0, cycles: int = 3) -> RobustnessResult:
     """Falcon GD/BO and a static setting vs ON/OFF cross-traffic."""
-    duration = (2 * cycles + 1) * cycle
-    runs = {}
-    for name, kind in (("falcon-gd", "gd"), ("falcon-bo", "bo"), ("static-20", None)):
-        ctx = make_context(seed)
-        tb = emulab(link_bps=200 * Mbps, per_process_bps=10 * Mbps)
-        if kind is None:
-            session = tb.new_session(
-                uniform_dataset(200),
-                name=name,
-                repeat=True,
-                params=TransferParams(concurrency=20),  # optimum when alone
-            )
-            trace = ctx.recorder.watch(session)
-            ctx.network.add_session(session)
-            launched = None
-        else:
-            launched = launch_falcon(ctx, tb, kind=kind, hi=40, name=name)
-            trace = launched.trace
-
-        background = OnOffTraffic(
-            engine=ctx.engine,
-            network=ctx.network,
-            testbed=tb,
-            concurrency=10,
-            on_time=cycle,
-            off_time=cycle,
-        )
-        background.start(initial_delay=cycle)
-        ctx.engine.run_for(duration)
-
-        on_w, off_w = _phase_windows(cycle, cycles, duration)
-        on_tput = float(np.mean([window_mean_bps(trace, *w) for w in on_w]))
-        off_tput = float(np.mean([window_mean_bps(trace, *w) for w in off_w]))
-
-        def window_stat(windows, series_fn):
-            vals = []
-            for t0, t1 in windows:
-                w = trace.window(t0, t1)
-                if w.times:
-                    vals.append(float(np.mean(series_fn(w))))
-            return float(np.mean(vals)) if vals else 0.0
-
-        runs[name] = RobustnessRun(
-            name=name,
-            on_throughput_bps=on_tput,
-            off_throughput_bps=off_tput,
-            on_concurrency=window_stat(on_w, lambda w: w.concurrencies()),
-            off_concurrency=window_stat(off_w, lambda w: w.concurrencies()),
-            on_loss=window_stat(on_w, lambda w: w.losses()),
-        )
-    return RobustnessResult(runs=runs)
+    results = run_tasks(
+        [
+            task(arm_run, arm=arm, seed=seed, cycle=cycle, cycles=cycles, label=arm)
+            for arm in ARMS
+        ]
+    )
+    return RobustnessResult(runs=dict(zip(ARMS, results)))
 
 
 def main() -> None:

@@ -1,0 +1,56 @@
+"""Evaluation harness: declarative tasks, fan-out, result caching.
+
+Every paper artifact is a loop over independent deterministic
+simulations; this package turns those loops into data.  An experiment
+*emits* :class:`~repro.runner.task.SimTask` specs and the harness
+decides how they execute: in-process (the default — identical to the
+old inline loops), across a process pool (``--jobs N``), or straight
+out of the content-addressed result cache when code, config, and
+payload are all unchanged.
+
+Import surface::
+
+    from repro.runner import (
+        SimTask, task, derive_seed,          # describing work
+        run_tasks, use_runner,               # executing it
+        ResultCache, task_key, code_fingerprint,  # caching it
+    )
+
+``repro.runner.suite`` (experiment-level tasks for ``repro run --all``)
+is imported lazily by its consumers — it depends on the experiment
+registry and would create an import cycle here.
+"""
+
+from repro.runner.cache import MISS, CacheStats, ResultCache, default_cache_dir, task_key
+from repro.runner.executor import (
+    RunnerConfig,
+    TaskFailure,
+    TaskReport,
+    current_config,
+    run_tasks,
+    use_runner,
+)
+from repro.runner.fingerprint import code_fingerprint
+from repro.runner.seeds import derive_seed
+from repro.runner.task import SimTask, TaskSpecError, callable_path, resolve_callable, task
+
+__all__ = [
+    "MISS",
+    "CacheStats",
+    "ResultCache",
+    "RunnerConfig",
+    "SimTask",
+    "TaskFailure",
+    "TaskReport",
+    "TaskSpecError",
+    "callable_path",
+    "code_fingerprint",
+    "current_config",
+    "default_cache_dir",
+    "derive_seed",
+    "resolve_callable",
+    "run_tasks",
+    "task",
+    "task_key",
+    "use_runner",
+]

@@ -1,0 +1,146 @@
+"""Content-addressed on-disk result cache.
+
+A cache entry is addressed by a digest of ``(task payload, code
+fingerprint)`` — there is no invalidation protocol because there is
+nothing to invalidate: change the task, its config, or any source file
+and the key simply changes.  Entries are single pickle files written
+atomically (temp file + ``os.replace``), so concurrent writers — pool
+workers caching their inner tasks — can never expose a torn entry.
+Unreadable, truncated, or mismatched entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.runner.fingerprint import code_fingerprint
+from repro.runner.task import SimTask, payload_fingerprint
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Sentinel distinguishing "miss" from a legitimately-None result.
+MISS = object()
+
+#: Bump when the entry layout changes — old entries become misses.
+_ENTRY_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+def task_key(spec: SimTask, code_fp: str | None = None) -> str:
+    """Content address of one task's result.
+
+    Covers the task payload (callable path, kwargs — including any
+    ``SimConfig`` the task carries — and seed) plus the code
+    fingerprint of the whole ``repro`` package.  The cosmetic ``label``
+    is excluded.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-result-v%d\0" % _ENTRY_VERSION)
+    h.update((code_fp if code_fp is not None else code_fingerprint()).encode())
+    h.update(b"\0")
+    payload_fingerprint(h, spec)
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def summary(self) -> str:
+        """One-line accounting for CLI output."""
+        return f"{self.hits} hit(s), {self.misses} miss(es), {self.writes} write(s)"
+
+
+@dataclass
+class ResultCache:
+    """Pickle-per-entry result store under ``root``."""
+
+    root: Path = field(default_factory=default_cache_dir)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """Entry path: two-level fan-out keeps directories small."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached result for ``key``, or :data:`MISS`.
+
+        Every failure mode — absent file, partial write from a killed
+        process, unpicklable bytes, an entry whose recorded key does
+        not match its address — degrades to a miss; the cache never
+        raises on read.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return MISS
+        except Exception:
+            # Corrupt or foreign file: drop it so the rewritten entry
+            # is clean, and recompute.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return MISS
+        self.stats.hits += 1
+        return entry["result"]
+
+    def put(self, key: str, result: Any, *, task: SimTask | None = None, elapsed: float = 0.0) -> None:
+        """Store ``result`` under ``key`` (atomic, last-writer-wins).
+
+        Unpicklable results are skipped silently — caching is an
+        optimisation and must never fail a run that would otherwise
+        succeed.
+        """
+        entry = {
+            "key": key,
+            "result": result,
+            "fn": task.fn if task else "",
+            "label": task.label if task else "",
+            "elapsed": elapsed,
+        }
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            self.stats.writes += 1
+        except (OSError, pickle.PickleError, AttributeError, TypeError):
+            # AttributeError/TypeError: pickle raises these (not just
+            # PicklingError) for closures and other unpicklables.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

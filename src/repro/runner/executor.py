@@ -1,0 +1,222 @@
+"""Task execution: cache front, serial fallback, process fan-out.
+
+``run_tasks`` is the single entry point every experiment goes through.
+Execution mode is ambient configuration (:func:`use_runner`), not a
+parameter threaded through twenty ``run()`` signatures — the CLI
+establishes jobs/cache once and the experiment code stays declarative.
+
+Three guarantees hold in every mode:
+
+* **ordered collection** — results come back in task order, never
+  completion order, so table rows don't depend on scheduling;
+* **determinism** — a task's seed and payload fully determine its
+  result; the pool only changes *when* work happens, never *what*;
+* **worker serialisation** — a pool worker that itself calls
+  ``run_tasks`` (an experiment fanning out its sweep points while the
+  suite fans out experiments) executes serially instead of spawning a
+  nested pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.runner.cache import MISS, ResultCache, task_key
+from repro.runner.task import SimTask
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """Progress event for one finished task."""
+
+    index: int
+    total: int
+    label: str
+    elapsed: float
+    cached: bool
+
+
+ProgressFn = Callable[[TaskReport], None]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How ``run_tasks`` should execute: fan-out width and cache."""
+
+    jobs: int = 1
+    cache: ResultCache | None = None
+    progress: ProgressFn | None = None
+
+
+# The ambient configuration.  ``None`` means the default: serial, no
+# cache — library callers (tests importing an experiment's run())
+# get exactly the semantics of an inline loop.
+_ACTIVE: RunnerConfig | None = None
+
+#: Set in pool workers: forces nested run_tasks calls to run serially.
+_IN_WORKER = False
+
+
+def current_config() -> RunnerConfig:
+    """The ambient runner configuration (default: serial, uncached)."""
+    return _ACTIVE if _ACTIVE is not None else RunnerConfig()
+
+
+@contextmanager
+def use_runner(
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressFn | None = None,
+) -> Iterator[RunnerConfig]:
+    """Establish the ambient execution mode for a ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = RunnerConfig(jobs=max(1, int(jobs)), cache=cache, progress=progress)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+# ---------------------------------------------------------------------------
+# Worker-side plumbing (must be top-level importable for spawn).
+# ---------------------------------------------------------------------------
+
+
+def _worker_init(cache_root: str | None) -> None:
+    """Pool-worker initialiser: serial nested execution, own cache handle.
+
+    Runs in the worker after fork/spawn.  Resets the ambient config the
+    fork may have copied (a worker must never open a nested pool) while
+    keeping inner-task caching alive so even partial sweeps warm the
+    cache.
+    """
+    global _ACTIVE, _IN_WORKER
+    _IN_WORKER = True
+    cache = ResultCache(cache_root) if cache_root else None
+    _ACTIVE = RunnerConfig(jobs=1, cache=cache, progress=None)
+
+
+def _execute_spec(spec: SimTask) -> tuple[Any, float]:
+    """Run one task in a worker, returning (result, wall seconds)."""
+    start = time.perf_counter()
+    result = spec.execute()
+    return result, time.perf_counter() - start
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where the platform has it (cheap), spawn elsewhere.
+
+    Tasks are declarative — a string path plus picklable kwargs — so
+    spawn works identically, just with a slower cold start.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class TaskFailure(RuntimeError):
+    """A task raised; carries the label so fan-out errors are traceable."""
+
+
+# ---------------------------------------------------------------------------
+# The entry point.
+# ---------------------------------------------------------------------------
+
+
+def run_tasks(
+    tasks: Sequence[SimTask],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None | Any = ...,
+    progress: ProgressFn | None | Any = ...,
+) -> list[Any]:
+    """Execute ``tasks``, returning their results in task order.
+
+    Explicit keyword arguments override the ambient :func:`use_runner`
+    configuration; the ellipsis default means "inherit".  The cache is
+    consulted first (content-addressed, so a hit is always valid);
+    misses execute serially when ``jobs == 1`` — or inside a pool
+    worker — and through a ``ProcessPoolExecutor`` otherwise.
+    """
+    config = current_config()
+    effective_jobs = config.jobs if jobs is None else max(1, int(jobs))
+    effective_cache = config.cache if cache is ... else cache
+    effective_progress = config.progress if progress is ... else progress
+    if _IN_WORKER:
+        effective_jobs = 1
+
+    total = len(tasks)
+    results: list[Any] = [MISS] * total
+
+    def report(index: int, elapsed: float, cached: bool) -> None:
+        if effective_progress is not None:
+            effective_progress(
+                TaskReport(
+                    index=index,
+                    total=total,
+                    label=tasks[index].display(),
+                    elapsed=elapsed,
+                    cached=cached,
+                )
+            )
+
+    # Cache front: replay whatever is already known.
+    keys: list[str | None] = [None] * total
+    pending: list[int] = []
+    for i, spec in enumerate(tasks):
+        if effective_cache is not None:
+            keys[i] = task_key(spec)
+            hit = effective_cache.get(keys[i])
+            if hit is not MISS:
+                results[i] = hit
+                report(i, 0.0, cached=True)
+                continue
+        pending.append(i)
+
+    if not pending:
+        return results
+
+    def record(i: int, value: Any, elapsed: float) -> None:
+        results[i] = value
+        if effective_cache is not None and keys[i] is not None:
+            effective_cache.put(keys[i], value, task=tasks[i], elapsed=elapsed)
+        report(i, elapsed, cached=False)
+
+    if effective_jobs == 1 or len(pending) == 1:
+        for i in pending:
+            try:
+                value, elapsed = _execute_spec(tasks[i])
+            except Exception as exc:
+                raise TaskFailure(f"task {tasks[i].display()!r} failed: {exc}") from exc
+            record(i, value, elapsed)
+        return results
+
+    cache_root = str(effective_cache.root) if effective_cache is not None else None
+    workers = min(effective_jobs, len(pending))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_worker_init,
+        initargs=(cache_root,),
+    ) as pool:
+        futures = {pool.submit(_execute_spec, tasks[i]): i for i in pending}
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                i = futures[future]
+                try:
+                    value, elapsed = future.result()
+                except Exception as exc:
+                    for other in outstanding:
+                        other.cancel()
+                    raise TaskFailure(
+                        f"task {tasks[i].display()!r} failed: {exc}"
+                    ) from exc
+                record(i, value, elapsed)
+    return results

@@ -1,0 +1,53 @@
+"""Code fingerprint: one hash over every source file of the package.
+
+Cached results are only safe to replay while the code that produced
+them is unchanged.  Rather than track which modules a task imports
+(fragile), the cache keys include a single digest of *all* ``.py``
+files under the ``repro`` package — any edit anywhere invalidates
+everything, which is the conservative direction.  Hashing ~100 small
+files costs a few milliseconds and is memoised per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+#: Memoised digests, keyed by resolved package root.
+_CACHE: dict[str, str] = {}
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def code_fingerprint(root: Path | str | None = None) -> str:
+    """Hex digest over every ``*.py`` file under ``root``.
+
+    The digest covers relative paths *and* contents, so renaming a
+    module changes it even when no bytes moved.  Results are memoised:
+    within one process the tree is assumed frozen (editing source while
+    an experiment sweep is mid-flight is out of scope).
+    """
+    base = Path(root).resolve() if root is not None else package_root()
+    key = str(base)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        h.update(str(path.relative_to(base)).encode("utf-8"))
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    digest = h.hexdigest()
+    _CACHE[key] = digest
+    return digest
+
+
+def clear_memo() -> None:
+    """Forget memoised digests (tests edit synthetic trees in place)."""
+    _CACHE.clear()

@@ -1,0 +1,110 @@
+"""Suite-level execution: every experiment as one cacheable task.
+
+``repro run --all`` has two levels of fan-out.  Each experiment's own
+``run()`` emits fine-grained tasks (sweep points, per-network runs)
+through :func:`~repro.runner.executor.run_tasks`; the suite then treats
+*whole experiments* as tasks too, so independent figures regenerate
+concurrently and a warm cache replays the entire result set from one
+entry per experiment.  Workers never nest pools — an experiment running
+inside a suite worker executes its inner tasks serially (but still
+reads/writes the shared content-addressed cache).
+
+The *quick profile* is the CI-sized parameterisation: same experiments,
+same code paths, reduced horizons.  It lives here — next to the task
+boundary — so every consumer (CLI smoke, benchmarks) reduces durations
+the same way and their cache entries are shared.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import TaskReport, run_tasks
+from repro.runner.task import task
+
+#: Reduced-duration run() overrides per experiment (the quick profile).
+QUICK_PROFILE: dict[str, dict[str, Any]] = {
+    "table1": {},
+    "fig01": {"measure_time": 5.0},
+    "fig02": {"settle": 60.0},
+    "fig04": {"measure_time": 6.0},
+    "fig06": {"duration": 120.0},
+    "fig07": {"duration": 120.0},
+    "fig08": {"join_at": 80.0, "duration": 200.0},
+    "fig09": {"duration": 90.0},
+    "fig10": {"duration": 90.0},
+    "fig11": {"phase": 60.0},
+    "fig12": {"phase": 60.0},
+    "fig13": {"phase": 60.0},
+    "fig14": {"duration": 90.0},
+    "fig15": {"duration": 120.0},
+    "fig16": {"falcon_join": 60.0, "settle": 150.0},
+    "related-work": {"duration": 150.0},
+    "bbr": {"duration": 150.0},
+    "robustness": {"cycle": 60.0, "cycles": 2},
+    "overhead": {"duration": 120.0},
+    "fault-tolerance": {"files": 120, "horizon": 200.0},
+}
+
+
+def render_experiment(name: str, quick: bool = False) -> str:
+    """Run one registered experiment and return its rendered output.
+
+    This is the suite's task callable: top-level importable, fed only
+    primitives, returning a plain string — the exact bytes the
+    byte-identical guarantee is stated over.
+    """
+    from repro.experiments import REGISTRY
+
+    module_path = REGISTRY.get(name)
+    if module_path is None:
+        raise KeyError(f"unknown experiment {name!r}")
+    module = importlib.import_module(module_path)
+    kwargs = QUICK_PROFILE.get(name, {}) if quick else {}
+    result = module.run(**kwargs)
+    render = getattr(result, "render", None)
+    return render() if callable(render) else str(result)
+
+
+@dataclass(frozen=True)
+class SuiteOutcome:
+    """One experiment's rendered output plus how it was obtained."""
+
+    name: str
+    output: str
+    elapsed: float
+    cached: bool
+
+
+def run_suite(
+    names: Sequence[str],
+    *,
+    quick: bool = False,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[TaskReport], None] | None = None,
+) -> list[SuiteOutcome]:
+    """Run experiments as tasks, returning outcomes in request order."""
+    specs = [
+        task(render_experiment, name=name, quick=quick, label=name) for name in names
+    ]
+    timings: dict[int, TaskReport] = {}
+
+    def capture(report: TaskReport) -> None:
+        timings[report.index] = report
+        if progress is not None:
+            progress(report)
+
+    outputs = run_tasks(specs, jobs=jobs, cache=cache, progress=capture)
+    return [
+        SuiteOutcome(
+            name=name,
+            output=output,
+            elapsed=timings[i].elapsed if i in timings else 0.0,
+            cached=timings[i].cached if i in timings else False,
+        )
+        for i, (name, output) in enumerate(zip(names, outputs))
+    ]

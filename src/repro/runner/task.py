@@ -1,0 +1,209 @@
+"""The declarative task model the evaluation harness executes.
+
+A :class:`SimTask` is a *picklable description* of one independent
+simulation: the dotted path of a top-level callable, keyword arguments,
+and an optional seed.  Keeping tasks declarative (no closures, no live
+engines) is what makes the three execution modes interchangeable — the
+same payload can run in-process, be shipped to a pool worker, or be
+hashed into a cache key.
+
+Payloads are restricted to values with a *canonical byte encoding*:
+primitives, lists/tuples, string-keyed dicts, dataclasses of such
+values, and numpy arrays.  :func:`payload_fingerprint` feeds that
+encoding into a hash; anything it cannot encode deterministically is a
+:class:`TaskSpecError` at task-construction time rather than a silent
+cache-key collision later.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+
+class TaskSpecError(TypeError):
+    """A task payload that cannot be executed or fingerprinted."""
+
+
+# ---------------------------------------------------------------------------
+# Callable <-> dotted path.
+# ---------------------------------------------------------------------------
+
+
+def callable_path(fn: Callable[..., Any] | str) -> str:
+    """``"module:qualname"`` for a top-level importable callable.
+
+    Lambdas, nested functions, and bound methods are rejected: a task
+    must be reconstructible in a worker process from its path alone.
+    """
+    if isinstance(fn, str):
+        resolve_callable(fn)  # validate eagerly
+        return fn
+    name = getattr(fn, "__qualname__", None)
+    module = getattr(fn, "__module__", None)
+    if not name or not module:
+        raise TaskSpecError(f"task callable {fn!r} has no importable name")
+    if name == "<lambda>" or "<locals>" in name or "." in name:
+        raise TaskSpecError(
+            f"task callable {module}.{name} is not a top-level function; "
+            "process fan-out needs importable (picklable) callables"
+        )
+    if module == "__main__":
+        raise TaskSpecError(
+            f"task callable __main__.{name} is only importable in this entry "
+            "point; move it into a real module so workers can resolve it"
+        )
+    resolved = getattr(import_module(module), name, None)
+    if resolved is not fn:
+        raise TaskSpecError(
+            f"task callable {module}.{name} does not resolve to itself on import"
+        )
+    return f"{module}:{name}"
+
+
+def resolve_callable(path: str) -> Callable[..., Any]:
+    """Import the callable a :class:`SimTask` references."""
+    module_path, _, name = path.partition(":")
+    if not module_path or not name:
+        raise TaskSpecError(f"malformed task path {path!r} (want 'module:function')")
+    try:
+        fn = getattr(import_module(module_path), name, None)
+    except ImportError as exc:
+        raise TaskSpecError(f"cannot import task module {module_path!r}") from exc
+    if not callable(fn):
+        raise TaskSpecError(f"task path {path!r} does not name a callable")
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Canonical payload encoding.
+# ---------------------------------------------------------------------------
+
+
+def _feed(h: Any, obj: Any) -> None:
+    """Feed a canonical byte encoding of ``obj`` into hasher ``h``.
+
+    Type tags keep distinct shapes distinct (``1`` vs ``1.0`` vs
+    ``"1"``), and containers encode their length so concatenations
+    cannot collide.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, np.generic):
+        # Before the scalar branches: numpy scalars subclass Python
+        # numbers (np.float64 is a float) but repr differently, so they
+        # must decay to the equivalent Python value first.
+        _feed(h, obj.item())
+    elif isinstance(obj, bool):  # before int: bool is an int subclass
+        h.update(b"b1" if obj else b"b0")
+    elif isinstance(obj, int):
+        h.update(b"i" + str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"f" + repr(obj).encode())
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        h.update(b"s" + str(len(raw)).encode() + b":" + raw)
+    elif isinstance(obj, bytes):
+        h.update(b"y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"l" + str(len(obj)).encode() + b"[")
+        for item in obj:
+            _feed(h, item)
+        h.update(b"]")
+    elif isinstance(obj, dict):
+        if not all(isinstance(k, str) for k in obj):
+            raise TaskSpecError("task payload dicts must use string keys")
+        h.update(b"d" + str(len(obj)).encode() + b"{")
+        for key in sorted(obj):
+            _feed(h, key)
+            _feed(h, obj[key])
+        h.update(b"}")
+    elif isinstance(obj, np.ndarray):
+        h.update(b"a" + obj.dtype.str.encode() + str(obj.shape).encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        h.update(b"D" + f"{cls.__module__}.{cls.__qualname__}".encode() + b"(")
+        for f in dataclasses.fields(obj):
+            _feed(h, f.name)
+            _feed(h, getattr(obj, f.name))
+        h.update(b")")
+    else:
+        raise TaskSpecError(
+            f"cannot canonically encode task payload value of type "
+            f"{type(obj).__module__}.{type(obj).__qualname__}; "
+            "use primitives, containers, dataclasses, or numpy arrays"
+        )
+
+
+def payload_fingerprint(h: Any, spec: "SimTask") -> None:
+    """Feed a task's identity (fn, kwargs, seed) into hasher ``h``."""
+    _feed(h, spec.fn)
+    _feed(h, spec.kwargs)
+    _feed(h, spec.seed)
+
+
+# ---------------------------------------------------------------------------
+# The task itself.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One independent unit of simulation work.
+
+    ``fn`` is a ``"module:function"`` path; ``kwargs`` its declarative
+    keyword arguments; ``seed`` (when set) is passed as the ``seed=``
+    keyword.  ``label`` is cosmetic — progress output only — and is
+    deliberately excluded from the cache key.
+    """
+
+    fn: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    label: str = ""
+
+    def call_kwargs(self) -> dict[str, Any]:
+        """The keyword arguments the callable actually receives."""
+        if self.seed is None:
+            return dict(self.kwargs)
+        return {**self.kwargs, "seed": self.seed}
+
+    def execute(self) -> Any:
+        """Run the task in the current process."""
+        return resolve_callable(self.fn)(**self.call_kwargs())
+
+    def display(self) -> str:
+        """Human-readable name for progress lines."""
+        return self.label or self.fn.partition(":")[2] or self.fn
+
+
+def task(
+    fn: Callable[..., Any] | str,
+    *,
+    seed: int | None = None,
+    label: str | None = None,
+    **kwargs: Any,
+) -> SimTask:
+    """Build a validated :class:`SimTask`.
+
+    Validation happens here, at construction: the callable must be
+    top-level importable and every kwarg canonically encodable, so a
+    bad spec fails where it is written, not inside a pool worker.
+    """
+    path = callable_path(fn)
+    spec = SimTask(fn=path, kwargs=kwargs, seed=seed, label=label or "")
+    probe = _NullHasher()
+    payload_fingerprint(probe, spec)  # raises TaskSpecError on bad payloads
+    return spec
+
+
+class _NullHasher:
+    """Hash-shaped sink used to validate payload encodability."""
+
+    def update(self, _data: Hashable) -> None:
+        pass

@@ -302,3 +302,92 @@ def test_f006_unscheduled_functions_may_drive_the_engine():
             engine.run_for(300.0)
     """
     assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# F007 — experiment-module state and task-callable hygiene.
+# ---------------------------------------------------------------------------
+
+EXPERIMENT = "repro/experiments/example.py"
+
+
+def test_f007_flags_lowercase_mutable_module_bindings():
+    assert codes("cache = {}\n", path=EXPERIMENT) == ["F007"]
+    assert codes("results = []\n", path=EXPERIMENT) == ["F007"]
+    assert codes("seen = set()\n", path=EXPERIMENT) == ["F007"]
+    assert codes("pairs = [(n, 2 * n) for n in range(4)]\n", path=EXPERIMENT) == ["F007"]
+
+
+def test_f007_flags_annotated_and_ctor_call_bindings():
+    assert codes("memo: dict = dict()\n", path=EXPERIMENT) == ["F007"]
+    src = """
+        import collections
+
+        counts = collections.defaultdict(int)
+    """
+    assert codes(src, path=EXPERIMENT) == ["F007"]
+
+
+def test_f007_allows_all_caps_constants_and_immutables():
+    assert codes("KINDS = ('hc', 'gd', 'bo')\n", path=EXPERIMENT) == []
+    assert codes("NETWORKS = {'XSEDE': 1, 'HPCLab': 2}\n", path=EXPERIMENT) == []
+    assert codes("threshold = 0.03\n", path=EXPERIMENT) == []
+
+
+def test_f007_allows_function_local_mutables():
+    src = """
+        def run():
+            rows = []
+            rows.append(1)
+            return rows
+    """
+    assert codes(src, path=EXPERIMENT) == []
+
+
+def test_f007_flags_global_statements():
+    src = """
+        COUNT = 0
+
+        def bump():
+            global COUNT
+            COUNT += 1
+    """
+    assert codes(src, path=EXPERIMENT) == ["F007"]
+
+
+def test_f007_flags_lambda_task_callables():
+    src = """
+        from repro.runner import task
+
+        SPEC = task(lambda x: x, x=1)
+    """
+    found = run(src, path=EXPERIMENT)
+    assert [f.code for f in found] == ["F007"]
+    assert "lambda" in found[0].message
+
+
+def test_f007_flags_lambda_through_factory_alias_and_fn_kwarg():
+    src = """
+        from repro.runner import task as sim_task
+
+        SPEC = sim_task(lambda: 1)
+    """
+    assert codes(src, path=EXPERIMENT) == ["F007"]
+    src = """
+        from repro.runner.task import SimTask
+
+        SPEC = SimTask(fn=lambda: 1)
+    """
+    assert codes(src, path=EXPERIMENT) == ["F007"]
+
+
+def test_f007_ignores_lambdas_outside_task_factories():
+    src = """
+        def run(xs):
+            return sorted(xs, key=lambda x: -x)
+    """
+    assert codes(src, path=EXPERIMENT) == []
+
+
+def test_f007_only_applies_inside_the_experiment_scope():
+    assert codes("cache = {}\n", path="repro/analysis/report.py") == []

@@ -21,8 +21,10 @@ def codes(findings):
 # ---------------------------------------------------------------------------
 
 
-def test_all_six_checks_registered():
-    assert set(REGISTRY) == {"F001", "F002", "F003", "F004", "F005", "F006"}
+def test_all_seven_checks_registered():
+    assert set(REGISTRY) == {
+        "F001", "F002", "F003", "F004", "F005", "F006", "F007",
+    }
 
 
 def test_registry_rejects_duplicate_codes():

@@ -93,3 +93,27 @@ def test_planted_reentrant_callback_in_fault_injector_is_caught(package_root):
     )
     findings = lint_source(mutated, path=str(injector), config=config)
     assert [f.code for f in findings] == ["F006"]
+
+def test_planted_mutable_state_in_experiment_is_caught(package_root):
+    module = package_root / "experiments" / "fig07_convergence.py"
+    source = module.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(module), config=config) == []
+
+    mutated = source + "\n_memo = {}\n"
+    findings = lint_source(mutated, path=str(module), config=config)
+    assert [f.code for f in findings] == ["F007"]
+    assert findings[0].line == source.count("\n") + 2
+
+
+def test_planted_lambda_task_in_experiment_is_caught(package_root):
+    # A lambda handed to the task factory cannot be rebuilt in a pool
+    # worker; F007 must flag it at the call site.
+    module = package_root / "experiments" / "fig09_gd_networks.py"
+    source = module.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(module), config=config) == []
+
+    mutated = source + "\n_BAD = task(lambda: 0)\n"
+    findings = lint_source(mutated, path=str(module), config=config)
+    assert [f.code for f in findings] == ["F007"]

@@ -1,0 +1,54 @@
+"""The harness's core guarantee: execution mode never changes results.
+
+Serial in-process execution, process fan-out, and cache replay must all
+render byte-identical experiment output — the pool only changes *when*
+work happens and the cache only changes *whether* it happens, never
+*what* the result is.  fig. 7 is the probe: three independent seeded
+runs, cheap at a reduced horizon, rendered to a table that would expose
+any float-level divergence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig07_convergence as fig07
+from repro.runner import ResultCache, use_runner
+
+DURATION = 60.0
+
+
+def render() -> str:
+    return fig07.run(seed=0, duration=DURATION).render()
+
+
+@pytest.fixture(scope="module")
+def serial_output() -> str:
+    return render()
+
+
+def test_parallel_output_is_byte_identical(serial_output):
+    with use_runner(jobs=2):
+        assert render() == serial_output
+
+
+def test_cache_replay_is_byte_identical(tmp_path_factory, serial_output):
+    cache = ResultCache(tmp_path_factory.mktemp("cache"))
+    with use_runner(cache=cache):
+        cold = render()
+        warm = render()
+    assert cold == serial_output
+    assert warm == serial_output
+    assert cache.stats.writes == 3  # one entry per algorithm
+    assert cache.stats.hits == 3  # the replay executed nothing
+
+
+def test_parallel_cold_cache_serves_serial_replay(tmp_path_factory, serial_output):
+    cache = ResultCache(tmp_path_factory.mktemp("cache"))
+    with use_runner(jobs=3, cache=cache):
+        cold = render()
+    with use_runner(cache=cache):
+        warm = render()
+    assert cold == serial_output
+    assert warm == serial_output
+    assert cache.stats.hits == 3

@@ -1,0 +1,38 @@
+"""Top-level task callables for the runner tests.
+
+These live in a real module (not inside a test function) because the
+task model demands importable callables — a pool worker reconstructs
+them from ``"module:qualname"`` paths.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+
+def scaled(x: float, factor: float = 2.0, seed: int | None = None) -> float:
+    """Deterministic arithmetic: cheap, picklable, seed-aware."""
+    return x * factor + (seed or 0)
+
+
+def pid_tag(x: int) -> tuple[int, int]:
+    """(worker pid, payload) — distinguishes in-process from pooled runs."""
+    return (os.getpid(), x)
+
+
+def boom(seed: int | None = None) -> None:
+    """Always raises; exercises failure propagation."""
+    raise ValueError("boom")
+
+
+def slow_identity(x: int, delay: float = 0.05) -> int:
+    """Sleeps then returns; makes completion order differ from task order."""
+    time.sleep(delay)
+    return x
+
+
+def echo_kwargs(**kwargs: Any) -> dict[str, Any]:
+    """Returns its keyword arguments, seed included when injected."""
+    return dict(kwargs)

@@ -1,0 +1,199 @@
+"""Content-addressed cache: key derivation, storage, failure modes."""
+
+from __future__ import annotations
+
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.config import SimConfig
+from repro.runner import MISS, ResultCache, SimTask, task, task_key
+from repro.runner.fingerprint import clear_memo, code_fingerprint
+from tests.runner import helpers
+
+FP = "0" * 64  # fixed code fingerprint: key tests must not depend on the tree
+
+
+def spec(**overrides) -> SimTask:
+    base = dict(fn="tests.runner.helpers:scaled", kwargs={"x": 1.0}, seed=3, label="")
+    base.update(overrides)
+    return SimTask(**base)
+
+
+# ---------------------------------------------------------------------------
+# Key derivation.
+# ---------------------------------------------------------------------------
+
+
+def test_key_is_stable_for_equal_specs():
+    assert task_key(spec(), code_fp=FP) == task_key(spec(), code_fp=FP)
+
+
+def test_key_is_stable_across_processes():
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    root = str(Path(__file__).resolve().parents[2])
+    program = (
+        f"import sys; sys.path[:0] = [{src!r}, {root!r}]\n"
+        "from repro.runner import task_key\n"
+        "from tests.runner.test_cache import FP, spec\n"
+        "print(task_key(spec(), code_fp=FP))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", program], capture_output=True, text=True, check=True
+    )
+    assert out.stdout.strip() == task_key(spec(), code_fp=FP)
+
+
+def test_every_payload_field_is_covered_by_the_key():
+    base = task_key(spec(), code_fp=FP)
+    assert task_key(spec(fn="tests.runner.helpers:pid_tag"), code_fp=FP) != base
+    assert task_key(spec(kwargs={"x": 2.0}), code_fp=FP) != base
+    assert task_key(spec(seed=4), code_fp=FP) != base
+    assert task_key(spec(seed=None), code_fp=FP) != base
+
+
+def test_label_is_cosmetic_and_excluded_from_the_key():
+    assert task_key(spec(label="pretty name"), code_fp=FP) == task_key(spec(), code_fp=FP)
+
+
+def test_code_fingerprint_is_part_of_the_key():
+    assert task_key(spec(), code_fp=FP) != task_key(spec(), code_fp="f" * 64)
+
+
+def test_sim_config_in_the_payload_changes_the_key():
+    with_default = task(helpers.echo_kwargs, config=SimConfig())
+    with_coarse = task(helpers.echo_kwargs, config=SimConfig(dt=0.5))
+    assert task_key(with_default, code_fp=FP) == task_key(with_default, code_fp=FP)
+    assert task_key(with_default, code_fp=FP) != task_key(with_coarse, code_fp=FP)
+
+
+# ---------------------------------------------------------------------------
+# Code fingerprint.
+# ---------------------------------------------------------------------------
+
+
+def synthetic_tree(root: Path) -> Path:
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "module.py").write_text("X = 1\n")
+    return pkg
+
+
+def test_fingerprint_changes_when_a_file_changes(tmp_path):
+    pkg = synthetic_tree(tmp_path)
+    before = code_fingerprint(pkg)
+    (pkg / "module.py").write_text("X = 2\n")
+    clear_memo()
+    assert code_fingerprint(pkg) != before
+
+
+def test_fingerprint_changes_on_rename_even_with_identical_bytes(tmp_path):
+    pkg = synthetic_tree(tmp_path)
+    before = code_fingerprint(pkg)
+    (pkg / "module.py").rename(pkg / "renamed.py")
+    clear_memo()
+    assert code_fingerprint(pkg) != before
+
+
+def test_fingerprint_is_memoised_within_a_process(tmp_path):
+    pkg = synthetic_tree(tmp_path)
+    before = code_fingerprint(pkg)
+    (pkg / "module.py").write_text("X = 99\n")
+    assert code_fingerprint(pkg) == before  # frozen-tree assumption
+    clear_memo()
+    assert code_fingerprint(pkg) != before
+
+
+# ---------------------------------------------------------------------------
+# On-disk store.
+# ---------------------------------------------------------------------------
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(spec(), code_fp=FP)
+    cache.put(key, {"bps": 1.5e9}, task=spec(), elapsed=0.2)
+    assert cache.get(key) == {"bps": 1.5e9}
+    assert (cache.stats.writes, cache.stats.hits) == (1, 1)
+
+
+def test_none_results_are_distinguished_from_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(spec(), code_fp=FP)
+    cache.put(key, None)
+    assert cache.get(key) is None
+    assert cache.get("ff" * 32) is MISS
+
+
+def test_absent_entry_is_a_counted_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("ab" * 32) is MISS
+    assert cache.stats.misses == 1
+
+
+def test_truncated_entry_is_a_miss_and_is_deleted(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(spec(), code_fp=FP)
+    cache.put(key, [1, 2, 3])
+    path = cache.path_for(key)
+    path.write_bytes(path.read_bytes()[:10])  # simulate a killed writer
+    assert cache.get(key) is MISS
+    assert cache.stats.corrupt == 1
+    assert not path.exists()
+
+
+def test_garbage_bytes_are_a_miss_and_are_deleted(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "cd" * 32
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key) is MISS
+    assert not path.exists()
+
+
+def test_entry_stored_under_the_wrong_address_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    honest = task_key(spec(), code_fp=FP)
+    cache.put(honest, "value")
+    impostor = "12" * 32
+    path = cache.path_for(impostor)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(cache.path_for(honest).read_bytes())  # key mismatch inside
+    assert cache.get(impostor) is MISS
+    assert cache.stats.corrupt == 1
+
+
+def test_entry_that_is_not_a_dict_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "ef" * 32
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps(["foreign"]))
+    assert cache.get(key) is MISS
+
+
+def test_unpicklable_results_are_skipped_silently(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(spec(), code_fp=FP)
+    cache.put(key, lambda: None)  # caching is best-effort
+    assert cache.stats.writes == 0
+    assert cache.get(key) is MISS
+    assert not list(tmp_path.rglob("*.tmp.*"))
+
+
+def test_put_leaves_no_temp_files_behind(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(task_key(spec(), code_fp=FP), list(range(100)))
+    leftovers = [p for p in tmp_path.rglob("*") if p.is_file() and p.suffix != ".pkl"]
+    assert leftovers == []
+
+
+def test_entries_are_sharded_by_key_prefix(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(spec(), code_fp=FP)
+    cache.put(key, 1)
+    assert cache.path_for(key) == tmp_path / key[:2] / f"{key}.pkl"
+    assert cache.path_for(key).exists()

@@ -1,0 +1,187 @@
+"""run_tasks semantics: ordering, fan-out, ambient config, failures."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runner import (
+    ResultCache,
+    TaskFailure,
+    TaskReport,
+    current_config,
+    run_tasks,
+    task,
+    use_runner,
+)
+from repro.runner import executor as executor_mod
+from tests.runner import helpers
+
+
+def scaled_tasks(n: int) -> list:
+    return [task(helpers.scaled, x=float(i), factor=10.0) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Serial execution (the library default).
+# ---------------------------------------------------------------------------
+
+
+def test_serial_results_come_back_in_task_order():
+    assert run_tasks(scaled_tasks(5)) == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+
+def test_default_config_is_serial_and_uncached():
+    config = current_config()
+    assert (config.jobs, config.cache, config.progress) == (1, None, None)
+
+
+def test_serial_runs_in_this_process():
+    (pid, _), = run_tasks([task(helpers.pid_tag, x=1)])
+    assert pid == os.getpid()
+
+
+def test_empty_task_list_is_a_noop():
+    assert run_tasks([]) == []
+
+
+# ---------------------------------------------------------------------------
+# Process fan-out.
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_results_match_serial_and_stay_ordered():
+    tasks = scaled_tasks(6)
+    assert run_tasks(tasks, jobs=3, cache=None) == run_tasks(tasks, cache=None)
+
+
+def test_parallel_runs_in_worker_processes():
+    results = run_tasks(
+        [task(helpers.pid_tag, x=i) for i in range(4)], jobs=2, cache=None
+    )
+    payloads = [x for _, x in results]
+    assert payloads == [0, 1, 2, 3]
+    assert all(pid != os.getpid() for pid, _ in results)
+
+
+def test_ordering_survives_out_of_order_completion():
+    # The first task sleeps longest, so it finishes last; collection
+    # must still report it first.
+    tasks = [
+        task(helpers.slow_identity, x=i, delay=(3 - i) * 0.05) for i in range(4)
+    ]
+    assert run_tasks(tasks, jobs=4, cache=None) == [0, 1, 2, 3]
+
+
+def test_single_pending_task_short_circuits_the_pool():
+    (pid, _), = run_tasks([task(helpers.pid_tag, x=9)], jobs=8, cache=None)
+    assert pid == os.getpid()
+
+
+def test_worker_mode_forces_serial_execution(monkeypatch):
+    monkeypatch.setattr(executor_mod, "_IN_WORKER", True)
+    results = run_tasks(
+        [task(helpers.pid_tag, x=i) for i in range(3)], jobs=4, cache=None
+    )
+    assert all(pid == os.getpid() for pid, _ in results)
+
+
+# ---------------------------------------------------------------------------
+# Ambient configuration.
+# ---------------------------------------------------------------------------
+
+
+def test_use_runner_sets_and_restores_ambient_config(tmp_path):
+    cache = ResultCache(tmp_path)
+    with use_runner(jobs=4, cache=cache):
+        assert current_config().jobs == 4
+        assert current_config().cache is cache
+        with use_runner(jobs=2):
+            assert current_config().jobs == 2
+            assert current_config().cache is None
+        assert current_config().jobs == 4
+    assert current_config().jobs == 1
+    assert current_config().cache is None
+
+
+def test_explicit_kwargs_override_ambient_config(tmp_path):
+    with use_runner(jobs=4, cache=ResultCache(tmp_path)):
+        (pid, _), *rest = run_tasks(
+            [task(helpers.pid_tag, x=i) for i in range(3)], jobs=1, cache=None
+        )
+    assert pid == os.getpid()
+    assert not any(tmp_path.iterdir())  # cache=None suppressed writes
+
+
+def test_ambient_cache_is_used_when_not_overridden(tmp_path):
+    with use_runner(cache=ResultCache(tmp_path)):
+        run_tasks(scaled_tasks(2))
+    assert len(list(tmp_path.rglob("*.pkl"))) == 2
+
+
+# ---------------------------------------------------------------------------
+# Cache integration.
+# ---------------------------------------------------------------------------
+
+
+def test_cache_replays_results_without_reexecuting(tmp_path):
+    tasks = [task(helpers.pid_tag, x=i) for i in range(3)]
+    cache = ResultCache(tmp_path)
+    first = run_tasks(tasks, cache=cache)
+    second = run_tasks(tasks, cache=cache)
+    assert second == first
+    assert cache.stats.hits == 3
+    assert cache.stats.writes == 3
+
+
+def test_cached_tasks_are_reported_as_cached(tmp_path):
+    cache = ResultCache(tmp_path)
+    reports: list[TaskReport] = []
+    tasks = scaled_tasks(2)
+    run_tasks(tasks, cache=cache, progress=reports.append)
+    run_tasks(tasks, cache=cache, progress=reports.append)
+    assert [(r.index, r.total, r.cached) for r in reports] == [
+        (0, 2, False),
+        (1, 2, False),
+        (0, 2, True),
+        (1, 2, True),
+    ]
+    assert all(r.elapsed == 0.0 for r in reports if r.cached)
+
+
+def test_parallel_cold_run_fills_the_cache_for_serial_replay(tmp_path):
+    tasks = scaled_tasks(4)
+    cache = ResultCache(tmp_path)
+    cold = run_tasks(tasks, jobs=2, cache=cache)
+    warm = run_tasks(tasks, jobs=1, cache=cache)
+    assert warm == cold
+    assert cache.stats.hits == 4
+
+
+# ---------------------------------------------------------------------------
+# Failure propagation.
+# ---------------------------------------------------------------------------
+
+
+def test_serial_failure_carries_the_task_label():
+    with pytest.raises(TaskFailure, match="'bad point' failed: boom"):
+        run_tasks([task(helpers.boom, label="bad point")])
+
+
+def test_parallel_failure_carries_the_task_label():
+    tasks = [
+        task(helpers.slow_identity, x=1, delay=0.01),
+        task(helpers.boom, label="pool casualty"),
+        task(helpers.slow_identity, x=2, delay=0.01),
+    ]
+    with pytest.raises(TaskFailure, match="'pool casualty' failed: boom"):
+        run_tasks(tasks, jobs=2, cache=None)
+
+
+def test_failure_is_not_cached(tmp_path):
+    cache = ResultCache(tmp_path)
+    with pytest.raises(TaskFailure):
+        run_tasks([task(helpers.boom)], cache=cache)
+    assert cache.stats.writes == 0
+    assert not list(tmp_path.rglob("*.pkl"))

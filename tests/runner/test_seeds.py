@@ -1,0 +1,37 @@
+"""derive_seed: stability, independence, and the 31-bit range."""
+
+from __future__ import annotations
+
+from repro.runner import derive_seed
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(0, "fig09", "XSEDE") == derive_seed(0, "fig09", "XSEDE")
+    assert derive_seed(3, "n", 8) == derive_seed(3, "n", 8)
+
+
+def test_derive_seed_is_pinned_across_versions():
+    # blake2b is fully specified, so these values hold on every host and
+    # Python build; a change here silently invalidates every recorded
+    # experiment seed.
+    assert derive_seed(0) == 1277483697
+    assert derive_seed(0, "fig09", "XSEDE") == 1717728022
+    assert derive_seed(1, "fig09", "XSEDE") == 1052383988
+
+
+def test_base_and_parts_both_matter():
+    assert derive_seed(0, "a") != derive_seed(1, "a")
+    assert derive_seed(0, "a") != derive_seed(0, "b")
+    assert derive_seed(0, "a", "b") != derive_seed(0, "ab")
+    assert derive_seed(0) != derive_seed(0, "")
+
+
+def test_part_types_are_distinguished():
+    # repr-based rendering keeps 1 and "1" apart.
+    assert derive_seed(0, 1) != derive_seed(0, "1")
+
+
+def test_seeds_fit_every_rng_constructor():
+    for base in range(50):
+        seed = derive_seed(base, "spread")
+        assert 0 <= seed < 2**31 - 1

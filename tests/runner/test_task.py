@@ -1,0 +1,195 @@
+"""Task model: callable paths, payload validation, canonical encoding."""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.runner import SimTask, TaskSpecError, callable_path, resolve_callable, task
+from repro.runner.task import _feed
+from tests.runner import helpers
+
+# ---------------------------------------------------------------------------
+# callable_path / resolve_callable.
+# ---------------------------------------------------------------------------
+
+
+def test_callable_path_of_top_level_function():
+    assert callable_path(helpers.scaled) == "tests.runner.helpers:scaled"
+
+
+def test_callable_path_accepts_valid_string_path():
+    path = "tests.runner.helpers:scaled"
+    assert callable_path(path) == path
+
+
+def test_callable_path_rejects_lambda():
+    with pytest.raises(TaskSpecError, match="top-level"):
+        callable_path(lambda x: x)
+
+
+def test_callable_path_rejects_nested_function():
+    def inner():
+        pass
+
+    with pytest.raises(TaskSpecError, match="top-level"):
+        callable_path(inner)
+
+
+def test_callable_path_rejects_bound_method():
+    with pytest.raises(TaskSpecError, match="top-level"):
+        callable_path(SimConfig().with_)
+
+
+def test_callable_path_rejects_partial():
+    with pytest.raises(TaskSpecError, match="importable name"):
+        callable_path(functools.partial(helpers.scaled, 1.0))
+
+
+def test_callable_path_rejects_main_module(monkeypatch):
+    def orphan():
+        pass
+
+    monkeypatch.setattr(orphan, "__qualname__", "orphan")
+    monkeypatch.setattr(orphan, "__module__", "__main__")
+    with pytest.raises(TaskSpecError, match="__main__"):
+        callable_path(orphan)
+
+
+def test_callable_path_rejects_non_self_resolving():
+    def impostor():
+        pass
+
+    # Claims to be helpers.scaled but is not the object import finds.
+    impostor.__module__ = "tests.runner.helpers"
+    impostor.__qualname__ = "scaled"
+    with pytest.raises(TaskSpecError, match="resolve"):
+        callable_path(impostor)
+
+
+def test_resolve_callable_roundtrip():
+    assert resolve_callable(callable_path(helpers.scaled)) is helpers.scaled
+
+
+@pytest.mark.parametrize("path", ["no_colon", ":fn", "mod:", ""])
+def test_resolve_callable_rejects_malformed_paths(path):
+    with pytest.raises(TaskSpecError, match="malformed"):
+        resolve_callable(path)
+
+
+def test_resolve_callable_rejects_missing_module():
+    with pytest.raises(TaskSpecError, match="cannot import"):
+        resolve_callable("tests.runner.does_not_exist:fn")
+
+
+def test_resolve_callable_rejects_non_callable_attr():
+    with pytest.raises(TaskSpecError, match="callable"):
+        resolve_callable("tests.runner.helpers:os")  # a module attribute
+
+
+# ---------------------------------------------------------------------------
+# task() construction and execution.
+# ---------------------------------------------------------------------------
+
+
+def test_task_builds_frozen_spec():
+    spec = task(helpers.scaled, x=3.0, factor=4.0, seed=7, label="demo")
+    assert spec == SimTask(
+        fn="tests.runner.helpers:scaled",
+        kwargs={"x": 3.0, "factor": 4.0},
+        seed=7,
+        label="demo",
+    )
+    with pytest.raises(AttributeError):
+        spec.seed = 1  # type: ignore[misc]
+
+
+def test_seed_is_injected_as_keyword():
+    spec = task(helpers.echo_kwargs, a=1, seed=42)
+    assert spec.call_kwargs() == {"a": 1, "seed": 42}
+    assert spec.execute() == {"a": 1, "seed": 42}
+
+
+def test_no_seed_means_no_seed_kwarg():
+    spec = task(helpers.echo_kwargs, a=1)
+    assert spec.call_kwargs() == {"a": 1}
+
+
+def test_execute_runs_in_process():
+    assert task(helpers.scaled, x=3.0, factor=4.0, seed=5).execute() == 17.0
+
+
+def test_display_prefers_label_then_function_name():
+    assert task(helpers.scaled, x=1.0, label="point n=8").display() == "point n=8"
+    assert task(helpers.scaled, x=1.0).display() == "scaled"
+
+
+def test_task_rejects_unencodable_kwargs_at_construction():
+    with pytest.raises(TaskSpecError, match="canonically encode"):
+        task(helpers.echo_kwargs, payload=object())
+    with pytest.raises(TaskSpecError, match="canonically encode"):
+        task(helpers.echo_kwargs, payload={1, 2, 3})
+
+
+def test_task_rejects_non_string_dict_keys():
+    with pytest.raises(TaskSpecError, match="string keys"):
+        task(helpers.echo_kwargs, payload={1: "a"})
+
+
+def test_task_accepts_rich_payloads():
+    spec = task(
+        helpers.echo_kwargs,
+        array=np.arange(4, dtype=np.float64),
+        config=SimConfig(),
+        nested={"xs": [1, 2, (3.0, None)], "flag": True},
+    )
+    assert spec.kwargs["config"] == SimConfig()
+
+
+# ---------------------------------------------------------------------------
+# Canonical encoding distinctness.
+# ---------------------------------------------------------------------------
+
+
+def digest(obj) -> str:
+    h = hashlib.sha256()
+    _feed(h, obj)
+    return h.hexdigest()
+
+
+def test_feed_distinguishes_scalar_types():
+    encodings = {digest(v) for v in (1, 1.0, True, "1", b"1", None)}
+    assert len(encodings) == 6
+
+
+def test_feed_distinguishes_container_shapes():
+    assert digest([1, 2]) == digest((1, 2))  # sequences are interchangeable
+    assert digest([[1], [2]]) != digest([[1, 2]])  # lengths are encoded
+    assert digest(["ab"]) != digest(["a", "b"])
+
+
+def test_feed_canonicalises_dict_order():
+    assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+    assert digest({"a": 1, "b": 2}) != digest({"a": 2, "b": 1})
+
+
+def test_feed_covers_numpy_dtype_and_shape():
+    a = np.arange(6, dtype=np.float64)
+    assert digest(a) != digest(a.astype(np.float32))
+    assert digest(a) != digest(a.reshape(2, 3))
+    assert digest(np.float64(1.5)) == digest(1.5)  # generics decay to scalars
+
+
+def test_feed_distinguishes_dataclass_types_and_fields():
+    @dataclass(frozen=True)
+    class Other:
+        dt: float = 0.1
+
+    assert digest(SimConfig()) != digest(SimConfig(dt=0.2))
+    assert digest(SimConfig()) == digest(SimConfig())
+    assert digest(Other(0.1)) != digest(SimConfig())
