@@ -5,6 +5,7 @@ Usage::
     python -m repro list-testbeds
     python -m repro list-experiments
     python -m repro run fig09                # regenerate one figure
+    python -m repro trace fig07 --quick      # same, with an event trace
     python -m repro tune hpclab --optimizer bo --duration 240
     python -m repro lint src/repro           # repo-specific invariant checks
 
@@ -70,21 +71,17 @@ def cmd_list_experiments(_args: argparse.Namespace) -> int:
 
 
 def _runner_pieces(args: argparse.Namespace):
-    """(cache, progress) from the run subcommand's flags."""
-    from repro.runner import ResultCache, TaskReport, default_cache_dir
+    """(cache, progress) from the run subcommand's flags.
+
+    Progress goes through a single :class:`ProgressWriter` so parallel
+    task completions under ``--jobs N`` never interleave mid-line.
+    """
+    from repro.runner import ProgressWriter, ResultCache, default_cache_dir
 
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-
-    def progress(report: TaskReport) -> None:
-        how = "cache" if report.cached else f"{report.elapsed:.1f}s"
-        print(
-            f"[{report.index + 1}/{report.total}] {report.label} ({how})",
-            file=sys.stderr,
-        )
-
-    return cache, progress
+    return cache, ProgressWriter(sys.stderr)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -127,6 +124,43 @@ def _run_all(args: argparse.Namespace) -> int:
     print(
         f"{len(outcomes)} experiments in {wall:.1f}s "
         f"(jobs={args.jobs}, {replayed} from cache)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment under tracing; write JSONL, print a summary.
+
+    The experiment executes serially and uncached (a pool worker's
+    events would be lost and a cache replay emits none), so the trace
+    covers every simulated event.  Same seed ⇒ byte-identical file.
+    """
+    module_path = EXPERIMENTS.get(args.experiment)
+    if module_path is None:
+        print(f"unknown experiment {args.experiment!r}; try `list-experiments`")
+        return 2
+    from repro.analysis.timeline import summarize
+    from repro.obs import InMemoryExporter, JsonlExporter, use_tracing
+    from repro.runner import use_runner
+    from repro.runner.suite import render_experiment
+
+    out = args.out or f"{args.experiment}.trace.jsonl"
+    memory = InMemoryExporter()
+    with JsonlExporter(out) as sink:
+        with use_tracing(sink, memory) as tracer:
+            with use_runner(jobs=1, cache=None):
+                output = render_experiment(args.experiment, quick=args.quick)
+    print(output)
+    rows = [
+        (s.type, s.count, f"{s.first:.1f}", f"{s.last:.1f}")
+        for s in summarize(memory.events)
+    ]
+    print(format_table(["event", "count", "first[s]", "last[s]"], rows))
+    counters = tracer.metrics.snapshot()["counters"]
+    decisions = int(counters.get("optimizer.decisions", 0))
+    print(
+        f"{len(memory.events)} events ({decisions} optimizer decisions) -> {out}",
         file=sys.stderr,
     )
     return 0
@@ -232,6 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="reduced-duration profile (CI-sized horizons)"
     )
     run.set_defaults(fn=cmd_run)
+
+    trace = sub.add_parser("trace", help="run an experiment with event tracing")
+    trace.add_argument("experiment", help="experiment name (see list-experiments)")
+    trace.add_argument(
+        "--out", default=None, help="trace path (default <name>.trace.jsonl)"
+    )
+    trace.add_argument(
+        "--quick", action="store_true", help="reduced-duration profile (CI-sized horizons)"
+    )
+    trace.set_defaults(fn=cmd_trace)
 
     export = sub.add_parser("export", help="run an experiment and write JSON")
     export.add_argument("experiment", help="experiment name (see list-experiments)")

@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.core.optimizer import ConcurrencyOptimizer, MultiParamOptimizer, Observation
 from repro.core.utility import NonlinearPenaltyUtility, UtilityFunction
+from repro.obs.events import MonitorSampleTaken, OptimizerDecision, UtilityEvaluated
+from repro.obs.tracer import current_tracer
 from repro.transfer.session import TransferParams, TransferSession
 
 
@@ -89,16 +91,52 @@ class FalconAgent:
         )
         if sample.duration <= 0:
             return
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(
+                MonitorSampleTaken,
+                session=self.session.name,
+                duration_s=sample.duration,
+                throughput_bps=sample.throughput_bps,
+                loss_rate=sample.loss_rate,
+                concurrency=params.concurrency,
+                parallelism=params.parallelism,
+                pipelining=params.pipelining,
+                valid=sample.valid,
+            )
+            tracer.metrics.inc("monitor.samples")
         if not sample.valid:
             # The interval overlapped an infrastructure outage: the
             # reading reflects the fault, not the setting.  Feeding it
             # to GD/BO would send the search chasing a zero-throughput
             # cliff, so the tick is dropped (params stay, no history).
+            if tracer is not None:
+                tracer.metrics.inc("monitor.invalid_samples")
             return
         u = self.utility(sample)
+        if tracer is not None:
+            tracer.emit(
+                UtilityEvaluated,
+                session=self.session.name,
+                utility=u,
+                throughput_bps=sample.throughput_bps,
+                loss_rate=sample.loss_rate,
+            )
+            tracer.metrics.observe("agent.utility", u)
         obs = Observation(params=params, utility=u, sample=sample)
         proposal = self.optimizer.update(obs)
         next_params = self._apply(proposal)
+        if tracer is not None:
+            tracer.emit(
+                OptimizerDecision,
+                session=self.session.name,
+                optimizer=type(self.optimizer).__name__,
+                concurrency=next_params.concurrency,
+                parallelism=next_params.parallelism,
+                pipelining=next_params.pipelining,
+                utility=u,
+            )
+            tracer.metrics.inc("optimizer.decisions")
         self.history.append(
             DecisionRecord(
                 time=now,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.devtools.checks import (  # noqa: F401  (imported for registration)
     callbacks,
     determinism,
+    docstrings,
     experiments,
     floats,
     ordering,

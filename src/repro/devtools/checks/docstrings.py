@@ -1,0 +1,130 @@
+"""F008 — public observability/runner/faults APIs must document units.
+
+The packages in ``docstring_scope`` (by default ``repro.obs``,
+``repro.runner``, ``repro.faults``) are the repo's operational surface:
+other tools consume their events, reports, and fault plans, so an
+undocumented function there is an interface nobody can trust.  Two
+rules:
+
+* every public module-level function/class, and every public method of
+  a public class, carries a docstring;
+* when such a callable takes a physical-quantity parameter whose name
+  does not already carry its unit (``duration``, ``delay``, ``at``,
+  ...), the docstring must state the unit (``seconds``/``ms``/...).
+  Names with a unit suffix (``delay_s``, ``rate_bps``, ``size_bytes``)
+  are self-documenting and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Union
+
+from repro.devtools.findings import Finding
+from repro.devtools.framework import Check, ModuleContext, register
+
+#: Parameter names denoting a physical quantity with no unit in the name.
+PHYSICAL_PARAMS = frozenset(
+    {
+        "duration",
+        "dt",
+        "delay",
+        "interval",
+        "timeout",
+        "period",
+        "horizon",
+        "elapsed",
+        "warmup",
+        "rtt",
+        "at",
+    }
+)
+
+#: Suffixes that carry the unit in the name itself.
+UNIT_SUFFIXES = ("_s", "_seconds", "_ms", "_bps", "_gbps", "_mbps", "_bytes", "_hz")
+
+#: A docstring "states a unit" when it matches this.
+_UNIT_RE = re.compile(
+    r"(?i)\bseconds?\b|\bsecs?\b|\bms\b|\bmilliseconds?\b|\bbps\b|\bbytes?\b|``s``|\[s\]"
+)
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _physical_args(node: _FuncDef) -> list[str]:
+    """Parameter names needing a documented unit, in signature order."""
+    args = [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]
+    return [
+        a.arg
+        for a in args
+        if a.arg in PHYSICAL_PARAMS and not a.arg.endswith(UNIT_SUFFIXES)
+    ]
+
+
+@register
+class DocstringUnitsCheck(Check):
+    """Flags undocumented public APIs and unit-less physical parameters."""
+
+    code = "F008"
+    name = "docstring-units"
+    description = (
+        "public functions/classes in the observability scope must carry "
+        "docstrings, with units stated for physical-quantity parameters"
+    )
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.in_scope(ctx.config.docstring_scope)
+
+    def run(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(stmt.name):
+                    yield from self._check_callable(ctx, stmt, f"function {stmt.name!r}")
+            elif isinstance(stmt, ast.ClassDef) and _is_public(stmt.name):
+                yield from self._check_class(ctx, stmt)
+
+    def _check_class(self, ctx: ModuleContext, node: ast.ClassDef) -> Iterator[Finding]:
+        if ast.get_docstring(node) is None:
+            yield ctx.finding(
+                self.code,
+                f"public class {node.name!r} has no docstring; the "
+                "observability scope is consumed as an API and must "
+                "document itself",
+                node,
+            )
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_public(stmt.name):
+                continue
+            yield from self._check_callable(
+                ctx, stmt, f"method {node.name}.{stmt.name!r}"
+            )
+
+    def _check_callable(
+        self, ctx: ModuleContext, node: _FuncDef, label: str
+    ) -> Iterator[Finding]:
+        doc = ast.get_docstring(node)
+        if doc is None:
+            yield ctx.finding(
+                self.code,
+                f"public {label} has no docstring; the observability scope "
+                "is consumed as an API and must document itself",
+                node,
+            )
+            return
+        physical = _physical_args(node)
+        if physical and not _UNIT_RE.search(doc):
+            names = ", ".join(repr(p) for p in physical)
+            yield ctx.finding(
+                self.code,
+                f"docstring of {label} states no unit for physical "
+                f"parameter(s) {names}; say e.g. 'seconds' (or rename "
+                "with a unit suffix like '_s')",
+                node,
+            )

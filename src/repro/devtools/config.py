@@ -73,6 +73,13 @@ class LintConfig:
     dirty_attrs: tuple[str, ...] = ("_dirty",)
     #: Module prefixes holding runner-executed experiment code (F007).
     experiment_scope: tuple[str, ...] = ("repro/experiments/",)
+    #: Module prefixes whose public APIs must carry docstrings with
+    #: units on physical quantities (F008).
+    docstring_scope: tuple[str, ...] = (
+        "repro/obs/",
+        "repro/runner/",
+        "repro/faults/",
+    )
     #: Canonical names of task-building callables (F007 lambda check).
     task_factories: tuple[str, ...] = (
         "repro.runner.task",

@@ -38,6 +38,8 @@ from repro.faults.plan import (
 )
 from repro.faults.rng import ChaosRng
 from repro.network.link import Link
+from repro.obs.events import FaultInjected, FaultRecovered, FaultSkipped
+from repro.obs.tracer import current_tracer
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RngStreams
 from repro.transfer.executor import FluidTransferNetwork
@@ -130,6 +132,17 @@ class FaultInjector:
         self.log.append(rec)
         if self.recorder is not None:
             self.recorder.annotate(rec.time, rec.kind, f"{rec.target} {rec.detail}".strip())
+        tracer = current_tracer()
+        if tracer is not None:
+            if kind.endswith("-skip"):
+                tracer.emit(FaultSkipped, kind=kind[:-5], target=target, reason=detail)
+                tracer.metrics.inc("faults.skipped")
+            elif kind.endswith("-end"):
+                tracer.emit(FaultRecovered, kind=kind[:-4], target=target)
+                tracer.metrics.inc("faults.recovered")
+            else:
+                tracer.emit(FaultInjected, kind=kind, target=target, detail=detail)
+                tracer.metrics.inc("faults.injected")
 
     def records(self, kind: str | None = None) -> list[FaultRecord]:
         """The audit log, optionally filtered by kind."""

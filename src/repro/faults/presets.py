@@ -93,7 +93,7 @@ CHAOS_PRESETS: dict[str, ChaosProfile] = {
 def chaos_plan(
     profile: ChaosProfile | str, horizon: float, rng: ChaosRng
 ) -> FaultPlan:
-    """Expand a profile into a concrete plan over ``[0, horizon]``.
+    """Expand a profile into a concrete plan over ``[0, horizon]`` seconds.
 
     Event counts are Poisson draws from the per-minute rates; times are
     uniform inside the middle 90% of the horizon so a fault never fires

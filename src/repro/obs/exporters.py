@@ -1,0 +1,86 @@
+"""Event exporters: in-memory capture and deterministic JSONL files.
+
+The JSONL format is one JSON object per line with ``type`` first and
+the remaining keys in dataclass field order, serialised with compact
+separators and Python's shortest-repr floats — so a trace's bytes are a
+pure function of the emitted event sequence, and same-seed runs produce
+byte-identical files (pinned by an integration test).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.events import TraceEvent, from_dict
+
+
+class InMemoryExporter:
+    """Collects emitted events in a list (tests, summary tables)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def export(self, event: TraceEvent) -> None:
+        """Append one event to :attr:`events`."""
+        self.events.append(event)
+
+
+class JsonlExporter:
+    """Streams events to a JSONL file (or any text stream).
+
+    Accepts either a path (opened and owned — call :meth:`close` or use
+    the instance as a context manager) or an open text stream (borrowed,
+    left open).
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = Path(target).open("w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def export(self, event: TraceEvent) -> None:
+        """Write one event as a single JSON line."""
+        self._stream.write(encode_event(event))
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        """Flush, and close the stream if this exporter opened it."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def encode_event(event: TraceEvent) -> str:
+    """One event as its canonical JSON line (no trailing newline).
+
+    Keys keep dataclass field order (``type`` first); separators are
+    compact; floats use Python's shortest repr — all fixed so the
+    encoding is byte-stable.
+    """
+    return json.dumps(event.to_dict(), separators=(",", ":"))
+
+
+def read_events(source: str | Path | Iterable[str]) -> list[TraceEvent]:
+    """Parse a JSONL trace back into typed event records.
+
+    ``source`` is a file path or an iterable of lines; blank lines are
+    skipped.  Round-trips exactly: ``read_events(path)`` equals the
+    emitted sequence (pinned by the exporter unit tests).
+    """
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(source)
+    return [from_dict(json.loads(line)) for line in lines if line.strip()]

@@ -1,0 +1,138 @@
+"""Deterministic metrics registry: counters, gauges, histograms.
+
+Metrics complement the event trace: events answer *what happened when*,
+metrics answer *how much in total*.  Every instrument lives in one
+:class:`Metrics` registry keyed by a dotted name (``engine.steps``,
+``faults.injected``); :meth:`Metrics.snapshot` renders the whole
+registry as a plain dict with sorted keys, so two same-seed runs
+produce byte-identical snapshots.
+
+No wall-clock anywhere — histograms record whatever quantity the call
+site observes (utilities, delays in simulated seconds), never host
+timing, keeping snapshots reproducible across machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total (events, bytes, decisions)."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (same unit as the counter's name implies)."""
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time level (active sessions, queue depth)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with the latest observed level."""
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Summary statistics over observed values (count/sum/min/max).
+
+    Exact quantiles would require retaining every observation; the
+    four-field summary is enough for overhead tables and regression
+    pins while staying O(1) per observation and fully deterministic.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        """Fold one observation (unit defined by the histogram's name)."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class Metrics:
+    """Registry of named instruments with a deterministic snapshot.
+
+    Instruments are created on first use (``inc``/``set``/``observe``
+    auto-register), so call sites never pre-declare anything.  A name
+    must keep one instrument kind for the registry's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if absent)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if absent)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created if absent)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The registry as nested plain dicts with sorted keys.
+
+        Shape: ``{"counters": {name: value}, "gauges": {name: value},
+        "histograms": {name: {count, total, min, max, mean}}}`` —
+        JSON-ready and byte-stable for same-seed runs.
+        """
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "mean": h.mean,
+                }
+                for k, h in ((k, self._histograms[k]) for k in sorted(self._histograms))
+            },
+        }

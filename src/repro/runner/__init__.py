@@ -31,12 +31,14 @@ from repro.runner.executor import (
     use_runner,
 )
 from repro.runner.fingerprint import code_fingerprint
+from repro.runner.progress import ProgressWriter
 from repro.runner.seeds import derive_seed
 from repro.runner.task import SimTask, TaskSpecError, callable_path, resolve_callable, task
 
 __all__ = [
     "MISS",
     "CacheStats",
+    "ProgressWriter",
     "ResultCache",
     "RunnerConfig",
     "SimTask",

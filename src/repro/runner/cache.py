@@ -118,9 +118,10 @@ class ResultCache:
     def put(self, key: str, result: Any, *, task: SimTask | None = None, elapsed: float = 0.0) -> None:
         """Store ``result`` under ``key`` (atomic, last-writer-wins).
 
-        Unpicklable results are skipped silently — caching is an
-        optimisation and must never fail a run that would otherwise
-        succeed.
+        ``elapsed`` is the task's wall-clock run time in seconds, kept
+        as entry metadata.  Unpicklable results are skipped silently —
+        caching is an optimisation and must never fail a run that would
+        otherwise succeed.
         """
         entry = {
             "key": key,

@@ -1,0 +1,44 @@
+"""Serialised progress output for parallel runs.
+
+``print(..., file=sys.stderr)`` issues two writes per call (the text,
+then the newline); when several threads report task completions
+concurrently under ``--jobs N`` the halves interleave into garbled
+lines.  :class:`ProgressWriter` fixes this by always emitting one
+complete, newline-terminated line per write under a lock.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import IO
+
+from repro.runner.executor import TaskReport
+
+
+class ProgressWriter:
+    """Writes one complete line per progress event, never fragments.
+
+    Instances are callable with a :class:`TaskReport`, so a writer can
+    be passed directly as the ``progress`` argument of ``use_runner`` /
+    ``run_tasks``.
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def line(self, text: str) -> None:
+        """Emit ``text`` as one atomic newline-terminated write."""
+        with self._lock:
+            self._stream.write(text + "\n")
+            self._stream.flush()
+
+    def __call__(self, report: TaskReport) -> None:
+        """Format and emit one task-completion report.
+
+        ``report.elapsed`` is wall-clock seconds; cache replays show
+        ``cache`` instead of a duration.
+        """
+        how = "cache" if report.cached else f"{report.elapsed:.1f}s"
+        self.line(f"[{report.index + 1}/{report.total}] {report.label} ({how})")

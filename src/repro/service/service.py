@@ -35,6 +35,14 @@ from repro.core.controller import attach_agent
 from repro.core.gradient_descent import GradientDescent
 from repro.core.optimizer import ConcurrencyOptimizer
 from repro.core.utility import NonlinearPenaltyUtility, UtilityFunction
+from repro.obs.events import (
+    JobRestarted,
+    JobStateChanged,
+    JobSubmitted,
+    RetryScheduled,
+    WatchdogKilled,
+)
+from repro.obs.tracer import current_tracer
 from repro.service.jobs import JobState, TransferJob, TransferReport
 from repro.service.policy import RetryPolicy
 from repro.sim.engine import SimulationEngine
@@ -120,6 +128,10 @@ class FalconService:
         self._next_id += 1
         self._jobs.append(job)
         self._queue.append(job)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(JobSubmitted, job=job.name, job_id=job.job_id)
+            tracer.metrics.inc("jobs.submitted")
         self._dispatch()
         return job
 
@@ -133,13 +145,13 @@ class FalconService:
         """
         if job.state is JobState.QUEUED:
             self._queue.remove(job)
-            job.state = JobState.CANCELLED
+            self._transition(job, JobState.CANCELLED)
             job.finished_at = self.engine.now
         elif job.state is JobState.RUNNING:
             session = job._extras["session"]
             agent: FalconAgent = job._extras["agent"]
             self._teardown_session(session)
-            job.state = JobState.CANCELLED
+            self._transition(job, JobState.CANCELLED)
             job.finished_at = self.engine.now
             job.report = self._partial_report(job, session, agent, completed=False)
             self._active.remove(job)
@@ -163,6 +175,15 @@ class FalconService:
         if self._policy_active and job.restarts < policy.max_restarts:
             job.restarts += 1
             job.note(now, "restart", f"{job.restarts}/{policy.max_restarts}")
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.emit(
+                    JobRestarted,
+                    job=job.name,
+                    restart=job.restarts,
+                    max_restarts=policy.max_restarts,
+                )
+                tracer.metrics.inc("jobs.restarted")
             self._accumulate_carry(job, session, agent)
             self._launch(job, queue=session.queue)
         else:
@@ -190,8 +211,23 @@ class FalconService:
             job = self._queue.popleft()
             self._start(job)
 
+    def _transition(self, job: TransferJob, state: JobState) -> None:
+        """Move ``job`` to ``state``, mirroring the change to the tracer."""
+        old = job.state
+        job.state = state
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(
+                JobStateChanged,
+                job=job.name,
+                job_id=job.job_id,
+                old_state=old.value,
+                new_state=state.value,
+            )
+            tracer.metrics.inc(f"jobs.{state.value}")
+
     def _start(self, job: TransferJob) -> None:
-        job.state = JobState.RUNNING
+        self._transition(job, JobState.RUNNING)
         job.started_at = self.engine.now
         self._active.append(job)
         self._launch(job)
@@ -264,6 +300,12 @@ class FalconService:
         delay = policy.backoff(failed, u)
         job.retries += 1
         job.note(now, "retry", f"attempt {failed + 1} in {delay:.1f}s")
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(
+                RetryScheduled, job=job.name, attempt=failed, delay_s=delay, size_bytes=size
+            )
+            tracer.metrics.inc("jobs.retries")
         queue = job._extras["session"].queue
         # The hold keeps the file counted as remaining work so the
         # session cannot declare completion while the timer runs.  The
@@ -330,6 +372,10 @@ class FalconService:
                 if w >= session.rates.size or not session.has_file[w]:
                     continue
                 job.note(self.engine.now, "watchdog-kill", f"worker {w}")
+                tracer = current_tracer()
+                if tracer is not None:
+                    tracer.emit(WatchdogKilled, job=job.name, worker=w)
+                    tracer.metrics.inc("jobs.watchdog_kills")
                 streak[w] = 0.0
                 session.crash_worker(w)
 
@@ -342,7 +388,7 @@ class FalconService:
     def _finish(self, job: TransferJob) -> None:
         session = job._extras["session"]
         agent: FalconAgent = job._extras["agent"]
-        job.state = JobState.COMPLETED
+        self._transition(job, JobState.COMPLETED)
         job.finished_at = self.engine.now
         job.report = self._partial_report(job, session, agent, completed=True)
         if job in self._active:
@@ -357,7 +403,7 @@ class FalconService:
         agent: FalconAgent = job._extras["agent"]
         if session.finished_at is None:
             self._teardown_session(session)
-        job.state = JobState.FAILED
+        self._transition(job, JobState.FAILED)
         job.finished_at = self.engine.now
         job.note(self.engine.now, "failed", reason)
         job.report = self._partial_report(job, session, agent, completed=False)

@@ -22,6 +22,9 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
+from repro.obs.events import EngineEventFired, EngineStep
+from repro.obs.tracer import current_tracer
+
 if TYPE_CHECKING:
     from repro.sim.profile import PerfCounters
 
@@ -173,6 +176,10 @@ class SimulationEngine:
                 break
             heapq.heappop(self._queue)
             self._now = max(self._now, head.time)
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.now = self._now
+                tracer.emit(EngineEventFired, name=head.name)
             head.action()
 
     def _advance_fluid(self, horizon: float) -> None:
@@ -199,9 +206,18 @@ class SimulationEngine:
                 continue
             steps = max(1, math.ceil(span / self.dt - 1e-9))
             step = span / steps
+            tracer = current_tracer()
+            if tracer is not None:
+                # Events emitted *inside* the fluid callback (rebalance
+                # summaries) carry the step's start time.
+                tracer.now = self._now
             if self.fluid_step is not None:
                 self.fluid_step(self._now, step)
             self._now += step
+            if tracer is not None:
+                tracer.now = self._now
+                tracer.emit(EngineStep, dt=step)
+                tracer.metrics.inc("engine.steps")
             if self.profile is not None:
                 self.profile.note_step(step)
             nxt = self._peek_time()

@@ -38,6 +38,8 @@ import numpy as np
 
 from repro.config import DEFAULT_CONFIG, SimConfig
 from repro.network.link import Link
+from repro.obs.events import FluidRebalance, SessionStart, TopologyRebuild
+from repro.obs.tracer import current_tracer
 from repro.sim.engine import SimulationEngine
 from repro.sim.fairshare import weighted_max_min_fair_share
 from repro.transfer.session import TransferSession
@@ -118,6 +120,15 @@ class FluidTransferNetwork:
         session.on_topology_change = self.invalidate_topology
         self.sessions.append(session)
         self._dirty = True
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(
+                SessionStart,
+                session=session.name,
+                concurrency=session.params.concurrency,
+                parallelism=session.params.parallelism,
+            )
+            tracer.metrics.inc("sessions.started")
 
     def remove_session(self, session: TransferSession) -> None:
         """Detach a session (finished or cancelled)."""
@@ -162,6 +173,19 @@ class FluidTransferNetwork:
         losses = self._session_losses(topo, final)
         t3 = perf_counter()  # repro: lint-ok[F001]
 
+        tracer = current_tracer()
+        if tracer is not None:
+            # Stamped with the step's start time (the engine sets
+            # tracer.now before invoking the fluid callback).
+            tracer.emit(
+                FluidRebalance,
+                sessions=len(sessions),
+                workers=topo.total,
+                demand_bps=float(demand_cap.sum()),
+                allocated_bps=float(final.sum()),
+            )
+            tracer.metrics.set("fluid.active_sessions", len(sessions))
+
         offsets = topo.offsets
         for i, s in enumerate(sessions):
             targets = final[offsets[i] : offsets[i + 1]]
@@ -195,6 +219,15 @@ class FluidTransferNetwork:
         topo = self._build_topology(sessions, fingerprint)
         self._topo = topo
         self._dirty = False
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(
+                TopologyRebuild,
+                sessions=len(sessions),
+                workers=topo.total,
+                resources=len(topo.resources),
+            )
+            tracer.metrics.inc("fluid.topology_rebuilds")
         return topo
 
     def _build_topology(

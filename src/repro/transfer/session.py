@@ -25,6 +25,13 @@ import numpy as np
 
 from repro.hosts.dtn import DataTransferNode
 from repro.network.path import Path
+from repro.obs.events import (
+    SessionComplete,
+    SessionParamsChange,
+    WorkerCrashed,
+    WorkerStalled,
+)
+from repro.obs.tracer import current_tracer
 from repro.network.tcp import CUBIC, TcpModel
 from repro.transfer.dataset import FileQueue
 from repro.transfer.metrics import ThroughputMonitor
@@ -155,6 +162,17 @@ class TransferSession:
 
     def set_params(self, params: TransferParams) -> None:
         """Apply a new parameter vector (spawning/dropping workers)."""
+        if params != self.params:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.emit(
+                    SessionParamsChange,
+                    session=self.name,
+                    concurrency=params.concurrency,
+                    parallelism=params.parallelism,
+                    pipelining=params.pipelining,
+                )
+                tracer.metrics.inc("sessions.param_changes")
         if params.concurrency != self.params.concurrency:
             self._resize_workers(params.concurrency)
         if params.parallelism != self.params.parallelism:
@@ -215,6 +233,10 @@ class TransferSession:
         attempts = int(self.attempts[w])
         had_file = bool(self.has_file[w]) and done < size
         self.worker_crashes += 1
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(WorkerCrashed, session=self.name, worker=w, requeued=had_file)
+            tracer.metrics.inc("workers.crashed")
         self.rates[w] = self.tcp.initial_rate
         self.file_size[w] = 0.0
         self.file_done[w] = 0.0
@@ -241,6 +263,10 @@ class TransferSession:
         if duration < 0:
             raise ValueError("duration must be non-negative")
         self.stall_left[w] += duration
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(WorkerStalled, session=self.name, worker=w, duration_s=duration)
+            tracer.metrics.inc("workers.stalled")
 
     def stalled_workers(self) -> np.ndarray:
         """Indices of workers currently inside an injected stall."""
@@ -370,6 +396,17 @@ class TransferSession:
         self.assign_files()
         if self.queue.exhausted and not self.has_file.any() and self.finished_at is None:
             self.finished_at = now + dt
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.emit(
+                    SessionComplete,
+                    t=self.finished_at,
+                    session=self.name,
+                    good_bytes=self.total_good_bytes,
+                    lost_bytes=self.total_lost_bytes,
+                    files=self.files_completed,
+                )
+                tracer.metrics.inc("sessions.completed")
             if self.on_complete is not None:
                 self.on_complete(self)
 

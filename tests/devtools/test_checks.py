@@ -391,3 +391,65 @@ def test_f007_ignores_lambdas_outside_task_factories():
 
 def test_f007_only_applies_inside_the_experiment_scope():
     assert codes("cache = {}\n", path="repro/analysis/report.py") == []
+
+
+# ---------------------------------------------------------------------------
+# F008 — docstrings with units in the observability scope.
+# ---------------------------------------------------------------------------
+
+OBS = "repro/obs/example.py"
+
+
+def test_f008_flags_missing_docstring_on_public_function():
+    assert codes("def emit(event):\n    return event\n", path=OBS) == ["F008"]
+
+
+def test_f008_flags_missing_docstring_on_public_class_and_method():
+    src = """
+        class Tracer:
+            def emit(self, event):
+                return event
+    """
+    assert codes(src, path=OBS) == ["F008", "F008"]
+
+
+def test_f008_flags_unitless_physical_parameter():
+    src = '''
+        def stall(worker, duration):
+            """Freeze a worker for a while."""
+    '''
+    assert codes(src, path=OBS) == ["F008"]
+
+
+def test_f008_satisfied_by_unit_word_or_suffix():
+    src = '''
+        def stall(worker, duration):
+            """Freeze ``worker`` for ``duration`` seconds."""
+    '''
+    assert codes(src, path=OBS) == []
+    src = '''
+        def stall(worker, delay_s):
+            """Freeze ``worker`` (delay carries its unit in the name)."""
+    '''
+    assert codes(src, path=OBS) == []
+
+
+def test_f008_private_names_and_dunders_are_exempt():
+    src = '''
+        class Tracer:
+            """Bus."""
+
+            def __init__(self, duration):
+                self.duration = duration
+
+            def _emit(self, event):
+                return event
+
+        def _helper():
+            pass
+    '''
+    assert codes(src, path=OBS) == []
+
+
+def test_f008_only_applies_inside_the_docstring_scope():
+    assert codes("def f(duration):\n    return duration\n", path="repro/sim/example.py") == []

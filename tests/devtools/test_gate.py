@@ -117,3 +117,31 @@ def test_planted_lambda_task_in_experiment_is_caught(package_root):
     mutated = source + "\n_BAD = task(lambda: 0)\n"
     findings = lint_source(mutated, path=str(module), config=config)
     assert [f.code for f in findings] == ["F007"]
+
+
+def test_planted_undocumented_public_def_in_obs_is_caught(package_root):
+    # obs/ is API surface: a public function without a docstring must
+    # trip F008 at its definition line.
+    tracer = package_root / "obs" / "tracer.py"
+    source = tracer.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(tracer), config=config) == []
+
+    mutated = source + "\n\ndef sneak_emit(event):\n    return event\n"
+    findings = lint_source(mutated, path=str(tracer), config=config)
+    assert [f.code for f in findings] == ["F008"]
+    assert findings[0].line == source.count("\n") + 3
+
+
+def test_planted_unitless_duration_in_faults_is_caught(package_root):
+    # A physical quantity documented without its unit must trip F008.
+    plan = package_root / "faults" / "plan.py"
+    source = plan.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(plan), config=config) == []
+
+    mutated = source + (
+        '\n\ndef sneak_outage(duration):\n    """Take the link down for a while."""\n'
+    )
+    findings = lint_source(mutated, path=str(plan), config=config)
+    assert [f.code for f in findings] == ["F008"]

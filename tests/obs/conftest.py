@@ -1,0 +1,13 @@
+"""Shared fixtures for the observability test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    """The repository checkout containing this test file."""
+    return Path(__file__).resolve().parents[2]

@@ -1,0 +1,75 @@
+"""Event registry integrity: typed records, metadata, round-trip."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EngineStep,
+    SessionComplete,
+    TraceEvent,
+    event,
+    field_specs,
+    from_dict,
+    iter_event_types,
+)
+
+
+class TestRegistry:
+    def test_every_type_is_frozen_and_labelled(self):
+        for name, cls in EVENT_TYPES.items():
+            assert cls.type == name
+            assert cls.emitted_by, name
+            assert cls.__doc__, name
+            assert issubclass(cls, TraceEvent)
+            # All non-time fields carry defaults, so this constructs.
+            instance = cls(time=0.0)
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                instance.time = 1.0
+
+    def test_instances_are_immutable(self):
+        ev = EngineStep(time=1.0, dt=0.1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ev.dt = 0.2
+
+    def test_iter_event_types_is_sorted(self):
+        names = [cls.type for cls in iter_event_types()]
+        assert names == sorted(EVENT_TYPES)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+
+            @event("engine.step", emitted_by="nowhere")
+            class Impostor(TraceEvent):
+                """Duplicate wire name."""
+
+    def test_every_field_has_unit_metadata(self):
+        # The schema table needs a unit and description for every field.
+        for cls in EVENT_TYPES.values():
+            for name, _type, unit, doc in field_specs(cls):
+                assert unit, f"{cls.type}.{name} has no unit metadata"
+                assert doc, f"{cls.type}.{name} has no field description"
+
+    def test_time_is_first_field_everywhere(self):
+        for cls in EVENT_TYPES.values():
+            assert dataclasses.fields(cls)[0].name == "time"
+
+
+class TestRoundTrip:
+    def test_to_dict_puts_type_first(self):
+        d = EngineStep(time=2.5, dt=0.1).to_dict()
+        assert list(d)[0] == "type"
+        assert d == {"type": "engine.step", "time": 2.5, "dt": 0.1}
+
+    def test_from_dict_rebuilds_the_exact_record(self):
+        ev = SessionComplete(
+            time=9.0, session="a", good_bytes=1e9, lost_bytes=2e6, files=100
+        )
+        assert from_dict(ev.to_dict()) == ev
+
+    def test_from_dict_rejects_unknown_types(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            from_dict({"type": "no.such.event", "time": 0.0})

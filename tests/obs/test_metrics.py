@@ -1,0 +1,70 @@
+"""Metrics registry: instruments, auto-registration, snapshots."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Metrics
+
+
+class TestInstruments:
+    def test_counters_accumulate(self):
+        m = Metrics()
+        m.inc("steps")
+        m.inc("steps", 2)
+        assert m.counter("steps").value == 3.0
+
+    def test_gauges_keep_the_latest_level(self):
+        m = Metrics()
+        m.set("active", 3)
+        m.set("active", 1)
+        assert m.gauge("active").value == 1.0
+
+    def test_histograms_track_summary_stats(self):
+        m = Metrics()
+        for v in (2.0, -1.0, 5.0):
+            m.observe("u", v)
+        h = m.histogram("u")
+        assert (h.count, h.total, h.min, h.max) == (3, 6.0, -1.0, 5.0)
+        assert h.mean == 2.0
+
+    def test_instruments_are_created_on_first_use(self):
+        m = Metrics()
+        assert m.counter("fresh").value == 0.0
+        assert m.counter("fresh") is m.counter("fresh")
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        m = Metrics()
+        m.inc("z.second")
+        m.inc("a.first")
+        m.set("g", 7)
+        m.observe("h", 1.5)
+        snap = m.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.second"]
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"] == {
+            "count": 1,
+            "total": 1.5,
+            "min": 1.5,
+            "max": 1.5,
+            "mean": 1.5,
+        }
+        json.dumps(snap)  # must be plain JSON types throughout
+
+    def test_empty_histogram_snapshot_has_finite_bounds(self):
+        m = Metrics()
+        m.histogram("empty")
+        snap = m.snapshot()["histograms"]["empty"]
+        assert snap == {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+    def test_identical_operations_give_identical_snapshots(self):
+        def build():
+            m = Metrics()
+            m.inc("a")
+            m.observe("b", 0.25)
+            m.set("c", 9)
+            return m.snapshot()
+
+        assert build() == build()

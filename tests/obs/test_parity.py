@@ -1,0 +1,75 @@
+"""Tracing must be a pure observer: on vs. off leaves results bit-identical.
+
+The property the <3%-overhead budget is meaningless without: enabling
+the tracer may never change *what* the simulation computes — only
+record it.  Checked across seeds, testbeds, optimizers, and a faulted
+service run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import launch_falcon, make_context
+from repro.faults import ChaosRng, FaultInjector, chaos_plan
+from repro.obs import InMemoryExporter, use_tracing
+from repro.testbeds.presets import emulab_fig4, hpclab, xsede
+
+
+def run_plain(testbed_factory, seed, kind, duration):
+    ctx = make_context(seed)
+    launched = launch_falcon(ctx, testbed_factory(), kind=kind)
+    ctx.engine.run_for(duration)
+    agent = launched.controller
+    session = launched.session
+    return (
+        agent.concurrencies(),
+        agent.throughputs(),
+        agent.utilities(),
+        session.total_good_bytes,
+        session.total_lost_bytes,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23])
+@pytest.mark.parametrize(
+    "testbed_factory,kind",
+    [(hpclab, "gd"), (xsede, "bo"), (emulab_fig4, "hc")],
+)
+def test_tracing_on_off_bit_identical(testbed_factory, seed, kind):
+    duration = 60.0
+    off = run_plain(testbed_factory, seed, kind, duration)
+    with use_tracing(InMemoryExporter()) as tracer:
+        on = run_plain(testbed_factory, seed, kind, duration)
+    assert len(tracer.exporters[0].events) > 0  # tracing actually ran
+    for a, b in zip(off, on):
+        if isinstance(a, np.ndarray):
+            assert np.array_equal(a, b)
+        else:
+            assert a == b
+
+
+def run_faulted(seed):
+    ctx = make_context(seed)
+    launched = launch_falcon(ctx, hpclab(), kind="gd")
+    plan = chaos_plan("hostile", horizon=90.0, rng=ChaosRng(ctx.streams))
+    FaultInjector(ctx.engine, ctx.network, plan, streams=ctx.streams).arm()
+    ctx.engine.run_for(90.0)
+    session = launched.session
+    return (
+        launched.controller.throughputs(),
+        session.total_good_bytes,
+        session.worker_crashes,
+        session.stalled_seconds,
+    )
+
+
+def test_faulted_run_is_bit_identical_under_tracing():
+    off = run_faulted(seed=5)
+    with use_tracing(InMemoryExporter()) as tracer:
+        on = run_faulted(seed=5)
+    events = tracer.exporters[0].events
+    assert any(ev.type.startswith("fault.") for ev in events)
+    assert np.array_equal(off[0], on[0])
+    assert off[1:] == on[1:]

@@ -1,0 +1,40 @@
+"""Schema generator: docs/events.md must mirror the registry."""
+
+from __future__ import annotations
+
+from repro.obs.events import EVENT_TYPES
+from repro.obs.schema import main, render_schema
+
+
+class TestRender:
+    def test_every_event_type_is_documented(self):
+        rendered = render_schema()
+        for name, cls in EVENT_TYPES.items():
+            assert f"## `{name}`" in rendered
+            assert cls.emitted_by in rendered
+
+    def test_render_is_deterministic(self):
+        assert render_schema() == render_schema()
+
+
+class TestCli:
+    def test_repo_doc_is_in_sync(self, repo_root, capsys):
+        # The committed docs/events.md must match the live registry —
+        # the same invariant CI enforces.
+        path = repo_root / "docs" / "events.md"
+        assert path.is_file(), "docs/events.md missing; run schema --write"
+        assert main(["--check", "--path", str(path)]) == 0
+
+    def test_write_then_check_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "events.md"
+        assert main(["--write", "--path", str(path)]) == 0
+        assert main(["--check", "--path", str(path)]) == 0
+
+    def test_check_detects_drift(self, tmp_path, capsys):
+        path = tmp_path / "events.md"
+        main(["--write", "--path", str(path)])
+        path.write_text(path.read_text() + "\nstray edit\n")
+        assert main(["--check", "--path", str(path)]) == 1
+
+    def test_check_fails_when_file_missing(self, tmp_path, capsys):
+        assert main(["--check", "--path", str(tmp_path / "absent.md")]) == 1

@@ -1,0 +1,68 @@
+"""ProgressWriter: atomic line emission under concurrent reporters."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.runner.executor import TaskReport
+from repro.runner.progress import ProgressWriter
+
+
+class RecordingStream:
+    """Captures every ``write()`` call separately to expose fragmenting."""
+
+    def __init__(self):
+        self.writes = []
+
+    def write(self, text):
+        self.writes.append(text)
+
+    def flush(self):
+        pass
+
+
+def report(index, total=4, label="fig07", elapsed=1.25, cached=False):
+    return TaskReport(index=index, total=total, label=label, elapsed=elapsed, cached=cached)
+
+
+class TestFormatting:
+    def test_report_renders_one_full_line(self):
+        stream = RecordingStream()
+        ProgressWriter(stream)(report(0))
+        assert stream.writes == ["[1/4] fig07 (1.2s)\n"]
+
+    def test_cached_reports_say_cache_instead_of_elapsed(self):
+        stream = RecordingStream()
+        ProgressWriter(stream)(report(2, cached=True))
+        assert stream.writes == ["[3/4] fig07 (cache)\n"]
+
+    def test_line_is_a_single_terminated_write(self):
+        stream = RecordingStream()
+        ProgressWriter(stream).line("hello")
+        assert stream.writes == ["hello\n"]
+
+
+class TestAtomicity:
+    def test_concurrent_reports_never_interleave(self):
+        # The regression this class exists for: print(..., file=stderr)
+        # issues two writes per line, so parallel reporters interleave.
+        # Every write() reaching the stream must be one complete line.
+        stream = RecordingStream()
+        writer = ProgressWriter(stream)
+        n_threads, per_thread = 8, 50
+
+        def pump(tid):
+            for i in range(per_thread):
+                writer(report(index=i, total=per_thread, label=f"job-{tid}"))
+
+        threads = [threading.Thread(target=pump, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(stream.writes) == n_threads * per_thread
+        for chunk in stream.writes:
+            assert chunk.endswith("\n")
+            assert chunk.count("\n") == 1
+            assert chunk.startswith("[")

@@ -23,6 +23,14 @@ class TestParser:
         )
         assert (args.optimizer, args.duration, args.seed) == ("bo", 60.0, 3)
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "fig07"])
+        assert (args.experiment, args.out, args.quick) == ("fig07", None, False)
+
+    def test_trace_options(self):
+        args = build_parser().parse_args(["trace", "table1", "--out", "x.jsonl", "--quick"])
+        assert (args.out, args.quick) == ("x.jsonl", True)
+
 
 class TestCommands:
     def test_list_testbeds(self, capsys):
@@ -65,6 +73,21 @@ class TestCommands:
 
     def test_export_unknown(self, capsys):
         assert main(["export", "fig99"]) == 2
+
+    def test_trace_unknown_experiment(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_trace_fig07_writes_jsonl_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "fig07.trace.jsonl"
+        assert main(["trace", "fig07", "--quick", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "optimizer.decision" in captured  # event summary after the table
+        from repro.obs import read_events
+
+        events = read_events(out)
+        assert events, "trace file must not be empty"
+        assert any(ev.type == "session.start" for ev in events)
 
     def test_every_experiment_module_importable(self):
         import importlib
