@@ -1,0 +1,206 @@
+"""Scale benchmark: the 256-session x 64-worker metro ring scenario.
+
+Times the batched fluid engine (`repro.sim.batch.BatchStore`) against
+the per-session reference path on the `repro.testbeds.presets.metro`
+scenario — 16 shared sites, 16 384 workers, ~80 shared resources, every
+ring link carrying dozens of overlapping sessions.  This is the scale
+regime ROADMAP item 1 targets: per-session numpy dispatch dominates the
+hot path (68% of wall time at 8x64 per ``BENCH_hotpath.json``) and
+grows linearly with the session count, while the batched store advances
+all sessions in one pass.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py            # full run
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_scale.py --baseline # print only
+
+Writes ``BENCH_scale.json`` pinning both engines on the same scenario;
+the acceptance bar for the batched-engine PR is ``speedup >= 5``.
+
+The ``--smoke`` mode runs a short batched-only slice and exits nonzero
+if it misses the wall-clock budget — the CI guard against the batched
+path silently regressing to per-session speeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path as FsPath
+
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import metro
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.transfer.session import TransferParams
+from repro.units import GB
+
+#: Scenario shape (the acceptance scenario from ISSUE 6).
+N_SITES = 16
+SESSIONS_PER_SITE = 16
+N_SESSIONS = N_SITES * SESSIONS_PER_SITE
+CONCURRENCY = 64
+
+#: Wall-clock budget for the CI smoke slice (seconds).  Generous — the
+#: full batched run covers this scenario several times over within it —
+#: so the gate only trips on order-of-magnitude regressions, not on a
+#: noisy shared runner.
+SMOKE_BUDGET_SECONDS = 120.0
+SMOKE_SIM_TIME = 2.0
+
+
+def build_scenario(
+    n_sites: int = N_SITES,
+    sessions_per_site: int = SESSIONS_PER_SITE,
+    concurrency: int = CONCURRENCY,
+    dt: float = 0.1,
+    batched: bool = True,
+):
+    """The metro ring with one repeating 1 GB-file session per testbed."""
+    engine = SimulationEngine(dt=dt)
+    network = FluidTransferNetwork(engine, batched=batched)
+    sessions = []
+    for tb in metro(n_sites=n_sites, sessions_per_site=sessions_per_site):
+        session = tb.new_session(
+            uniform_dataset(256, 1 * GB),
+            params=TransferParams(concurrency=concurrency, parallelism=2),
+            repeat=True,
+        )
+        network.add_session(session)
+        sessions.append(session)
+    return engine, network, sessions
+
+
+class _TimedEngine:
+    """One engine under measurement: counts steps, accumulates wall time."""
+
+    def __init__(self, batched: bool, dt: float):
+        self.batched = batched
+        self.engine, self.network, self.sessions = build_scenario(dt=dt, batched=batched)
+        self.engine.enable_profiling()
+        self.steps = 0
+        self.wall = 0.0
+        inner = self.engine.fluid_step
+
+        def counting_step(now: float, step_dt: float) -> None:
+            self.steps += 1
+            inner(now, step_dt)
+
+        self.engine.fluid_step = counting_step
+
+    def run(self, sim_time: float, timed: bool = True) -> None:
+        t0 = time.perf_counter()
+        self.engine.run_for(sim_time)
+        if timed:
+            self.wall += time.perf_counter() - t0
+        else:
+            self.steps = 0
+
+    def result(self, sim_time: float, dt: float, warmup: float) -> dict:
+        result = {
+            "batched": self.batched,
+            "sim_time": sim_time,
+            "dt": dt,
+            "warmup_sim_time": warmup,
+            "fluid_steps": self.steps,
+            "wall_seconds": round(self.wall, 4),
+            "steps_per_second": round(self.steps / self.wall, 1),
+            "total_good_bytes": float(sum(s.total_good_bytes for s in self.sessions)),
+        }
+        profile = getattr(self.engine, "profile", None)
+        if profile is not None and getattr(profile, "totals", None):
+            result["subsystem_seconds"] = {
+                name: round(seconds, 4)
+                for name, seconds in sorted(profile.totals.items())
+            }
+        return result
+
+
+def run_bench(
+    sim_time: float, dt: float = 0.1, batched: bool = True, warmup: float = 1.0
+) -> dict:
+    """Measure steady-state wall time and fluid steps/sec for one engine.
+
+    ``warmup`` simulated seconds run before the timer starts, so the
+    measurement is steady-state throughput: the one-time topology build
+    (identical for both engines, amortised over any real run) and the
+    first cold waterfill are excluded from the timed window.
+    """
+    timed = _TimedEngine(batched, dt)
+    timed.run(warmup, timed=False)
+    timed.run(sim_time)
+    return timed.result(sim_time, dt, warmup)
+
+
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short batched-only run; exit 1 if over the wall-clock budget",
+    )
+    parser.add_argument("--sim-time", type=float, default=20.0, help="simulated seconds")
+    parser.add_argument("--dt", type=float, default=0.1, help="fluid step size")
+    parser.add_argument(
+        "--baseline", action="store_true", help="print measurements without writing JSON"
+    )
+    parser.add_argument("--out", default="BENCH_scale.json", help="output path")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        result = run_bench(SMOKE_SIM_TIME, dt=args.dt, batched=True)
+        wall = result["wall_seconds"]
+        print(
+            f"metro smoke: {N_SESSIONS} sessions x {CONCURRENCY} workers, "
+            f"{SMOKE_SIM_TIME:g}s sim in {wall:.2f}s wall "
+            f"(budget {SMOKE_BUDGET_SECONDS:g}s)"
+        )
+        if wall > SMOKE_BUDGET_SECONDS:
+            print("FAIL: metro smoke exceeded the wall-clock budget")
+            return 1
+        return 0
+
+    # Measured sequentially, each engine with its working set resident
+    # (interleaving the two engines makes them evict each other's arrays
+    # from cache, which penalises the batched path it is meant to measure).
+    batched = run_bench(args.sim_time, dt=args.dt, batched=True)
+    per_session = run_bench(args.sim_time, dt=args.dt, batched=False)
+    speedup = round(batched["steps_per_second"] / per_session["steps_per_second"], 2)
+    for label, result in (("batched", batched), ("per-session", per_session)):
+        print(
+            f"{N_SESSIONS} sessions x {CONCURRENCY} workers ({label}), "
+            f"{args.sim_time:g}s sim: {result['wall_seconds']:.3f}s wall, "
+            f"{result['steps_per_second']:.1f} steps/s"
+        )
+        for name, seconds in result.get("subsystem_seconds", {}).items():
+            print(f"  {name:<14} {seconds:.4f}s")
+    print(f"speedup: {speedup}x")
+
+    if args.baseline:
+        return 0
+
+    payload = {
+        "scenario": {
+            "preset": "metro",
+            "sites": N_SITES,
+            "sessions": N_SESSIONS,
+            "concurrency": CONCURRENCY,
+            "workers": N_SESSIONS * CONCURRENCY,
+            "sim_time": args.sim_time,
+            "dt": args.dt,
+        },
+        "batched": batched,
+        "per_session": per_session,
+        "speedup": speedup,
+    }
+    FsPath(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -162,6 +162,21 @@ class FluidRebalance(TraceEvent):
     allocated_bps: float = unit_field("bps", "sum of granted equilibrium rates", 0.0)
 
 
+@event("fluid.cascade", emitted_by="repro.sim.batch.BatchStore.step")
+class BatchCascadeFallback(TraceEvent):
+    """The batched advance fell back to per-worker cascade resolution.
+
+    Emitted only on steps where at least one worker finished its file
+    (completion cascades — queue pops, inter-file gaps, possible queue
+    exhaustion — are the genuinely discrete part the vectorized pass
+    cannot resolve).  A trace dominated by these records means the
+    workload is completion-bound, not streaming-bound.
+    """
+
+    sessions: int = unit_field("-", "sessions with at least one cascading worker", 0)
+    workers: int = unit_field("-", "workers resolved via the per-worker cascade", 0)
+
+
 @event(
     "fluid.topology_rebuild",
     emitted_by="repro.transfer.executor.FluidTransferNetwork._topology",

@@ -1,0 +1,262 @@
+"""Batched per-worker state store: one contiguous array set for all sessions.
+
+At scale (hundreds of sessions, tens of thousands of workers) the cost
+of a fluid step is dominated by *per-session* numpy dispatch: every
+session advancing its own small arrays costs dozens of interpreter
+round trips, multiplied by the session count.  This module hoists that
+state into one set of contiguous global arrays — ``rates``,
+``file_size``, ``file_done``, ``gap_left``, ``stall_left``,
+``attempts``, ``has_file`` — indexed by the executor's global worker
+numbering (``_Topology.offsets``), so one vectorized pass advances
+every session and link at once.
+
+View discipline
+---------------
+Each attached :class:`~repro.transfer.session.TransferSession` holds
+*views* into the global arrays (``session.rates is store.rates[lo:hi]``
+memory-wise), installed by :meth:`TransferSession.adopt_state`.  All
+in-place mutation — fault injection's ``crash_worker``/``stall_worker``,
+``assign_files``, the cascade advance — therefore writes straight
+through to the store.  Operations that *rebind* a session's arrays
+(worker resize via ``np.concatenate``/slicing) detach that session from
+the store; they already raise the executor's topology-dirty flag, so
+the next fluid step rebuilds the topology and re-gathers every
+session's current arrays into a fresh store.
+
+Bit-for-bit parity
+------------------
+The batched pass is required to reproduce the per-session path exactly
+(``tests/integration/test_batch_parity.py``).  Three rules make that
+hold:
+
+* every elementwise update uses the same expression as the per-session
+  code, with per-session scalars (loss goodput factor, TCP ramp blend)
+  expanded via ``np.repeat`` — IEEE elementwise ops are value-identical
+  whether the operand is a broadcast scalar or a repeated array;
+* per-session reductions are contiguous-slice ``.sum()`` calls, which
+  numpy's pairwise summation resolves identically to the session's own
+  standalone array of the same length (``np.add.reduceat`` does *not*
+  guarantee that and is only ever used as a boolean selector here);
+* workers whose file completes inside the step fall back to the
+  session's per-worker cascade (`TransferSession._advance_worker`), in
+  ascending worker order — the same order, and therefore the same queue
+  pops and float accumulation, as the per-session path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.obs.events import BatchCascadeFallback
+from repro.obs.tracer import current_tracer
+
+if TYPE_CHECKING:
+    from repro.transfer.session import TransferSession
+
+
+class BatchStore:
+    """Contiguous per-worker state spanning every attached session.
+
+    Built by the executor's topology rebuild from the session list and
+    the global worker ``offsets`` (session ``i`` owns worker rows
+    ``offsets[i]:offsets[i+1]``); lives exactly as long as the cached
+    topology it belongs to.
+    """
+
+    def __init__(self, sessions: Sequence["TransferSession"], offsets: np.ndarray) -> None:
+        self.sessions = list(sessions)
+        self.offsets = np.asarray(offsets, dtype=np.intp)
+        self.counts = np.diff(self.offsets)
+        self.total = int(self.offsets[-1]) if self.offsets.size else 0
+
+        n = self.total
+        self.rates = np.empty(n)
+        self.file_size = np.empty(n)
+        self.file_done = np.empty(n)
+        self.gap_left = np.empty(n)
+        self.stall_left = np.empty(n)
+        self.attempts = np.empty(n, dtype=np.intp)
+        self.has_file = np.empty(n, dtype=bool)
+
+        for i, s in enumerate(self.sessions):
+            lo, hi = self.offsets[i], self.offsets[i + 1]
+            self.rates[lo:hi] = s.rates
+            self.file_size[lo:hi] = s.file_size
+            self.file_done[lo:hi] = s.file_done
+            self.gap_left[lo:hi] = s.gap_left
+            self.stall_left[lo:hi] = s.stall_left
+            self.attempts[lo:hi] = s.attempts
+            self.has_file[lo:hi] = s.has_file
+            s.adopt_state(
+                self.rates[lo:hi],
+                self.file_size[lo:hi],
+                self.file_done[lo:hi],
+                self.gap_left[lo:hi],
+                self.stall_left[lo:hi],
+                self.attempts[lo:hi],
+                self.has_file[lo:hi],
+            )
+
+        #: Per-session TCP ramp time constants (fixed for a session's
+        #: lifetime: path RTT and transport are frozen at construction).
+        self._tau = [float(s.tcp.ramp_tau(s.path_rtt)) for s in self.sessions]
+        self._blend_cache: dict[float, np.ndarray] = {}
+
+    # -- view management -----------------------------------------------------
+
+    def detach(self, session: "TransferSession") -> None:
+        """Give ``session`` back standalone copies of its state.
+
+        Called when a session leaves the executor so its final state
+        stops aliasing the (soon to be rebuilt) global arrays.
+        """
+        session.adopt_state(
+            session.rates.copy(),
+            session.file_size.copy(),
+            session.file_done.copy(),
+            session.gap_left.copy(),
+            session.stall_left.copy(),
+            session.attempts.copy(),
+            session.has_file.copy(),
+        )
+
+    # -- per-session idle bookkeeping ----------------------------------------
+
+    def busy_counts(self) -> np.ndarray:
+        """Workers holding a file, per session (one global reduction).
+
+        ``np.add.reduceat`` is safe here: the result is only ever
+        compared against worker counts, never fed into float state.
+        """
+        return np.add.reduceat(self.has_file.astype(np.int64), self.offsets[:-1])
+
+    # -- the batched advance --------------------------------------------------
+
+    def _blend_for(self, dt: float) -> np.ndarray:
+        """Per-worker TCP ramp blend ``1 - exp(-dt / tau)``.
+
+        Computed from per-session *scalar* exponentials (bit-identical
+        to :meth:`TcpModel.advance_rates`) and expanded per worker;
+        memoized per exact ``dt`` value — the engine's accumulated clock
+        makes the step size wobble between a handful of neighbouring
+        float values, so a dict (not a last-value slot) is what keeps
+        the hit rate near 100%.
+        """
+        blend = self._blend_cache.get(dt)
+        if blend is None:
+            per_session = np.array(
+                [1.0 - float(np.exp(-dt / tau)) for tau in self._tau]
+            )
+            blend = self._blend_cache[dt] = np.repeat(per_session, self.counts)
+        return blend
+
+    def step(self, dt: float, targets: np.ndarray, losses: np.ndarray, now: float) -> None:
+        """Advance every session by ``dt`` in one vectorized pass.
+
+        Parameters
+        ----------
+        targets:
+            Global per-worker allocated equilibrium rates (bps) from the
+            executor's waterfill, in store order.
+        losses:
+            Per-session path-loss fractions this step.
+        now:
+            Simulation time at the *start* of the step.
+        """
+        sessions = self.sessions
+        n_sess = len(sessions)
+        offsets = self.offsets
+
+        goodput = 1.0 - losses
+        gf_w = np.repeat(goodput, self.counts)
+
+        # TCP dynamics: instant decrease, exponential relaxation up —
+        # the same expression as TcpModel.advance_rates, in place.
+        rates = self.rates
+        blend = self._blend_for(dt)
+        ramped = rates + (targets - rates) * blend
+        rates[:] = np.where(targets < rates, targets, ramped)
+
+        # Stalls first (hung workers move nothing), then gaps.  Workers
+        # with no stall see budget == dt exactly, so running every
+        # session through the stall branch is value-identical to the
+        # per-session path's branch-per-session structure.
+        if self.stall_left.any():
+            stall_used = np.minimum(self.stall_left, dt)
+            self.stall_left -= stall_used
+            consumed = np.add.reduceat(stall_used, offsets[:-1])
+            for i in np.flatnonzero(consumed > 0.0).tolist():
+                lo, hi = offsets[i], offsets[i + 1]
+                sessions[i].stalled_seconds += float(stall_used[lo:hi].sum())
+            budget = dt - stall_used
+            time_left = np.maximum(0.0, budget - self.gap_left)
+            self.gap_left[:] = np.maximum(0.0, self.gap_left - budget)
+        else:
+            time_left = np.maximum(0.0, dt - self.gap_left)
+            self.gap_left[:] = np.maximum(0.0, self.gap_left - dt)
+
+        good_rate_Bps = rates * gf_w / 8.0
+
+        good_totals = [0.0] * n_sess
+        cascade_sessions = 0
+        cascade_workers = 0
+        moving = np.flatnonzero(
+            self.has_file & (time_left > 1e-12) & (good_rate_Bps > 1e-9)
+        )
+        if moving.size:
+            need = self.file_size[moving] - self.file_done[moving]
+            finishes = (need / good_rate_Bps[moving]) <= time_left[moving]
+
+            # Streaming workers (no completion this step): one global
+            # update, then per-session contiguous-slice sums.
+            streaming = moving[~finishes]
+            moved = good_rate_Bps[streaming] * time_left[streaming]
+            self.file_done[streaming] += moved
+            bounds = np.searchsorted(streaming, offsets)
+            for i in np.flatnonzero(np.diff(bounds)).tolist():
+                good_totals[i] = float(moved[bounds[i] : bounds[i + 1]].sum())
+
+            # Completion cascade: only workers that actually finish a
+            # file fall back to the per-worker advance, in worker order.
+            if finishes.any():
+                cascading = moving[finishes]
+                cascade_workers = int(cascading.size)
+                w_bounds = np.searchsorted(cascading, offsets)
+                for i in np.flatnonzero(np.diff(w_bounds)).tolist():
+                    cascade_sessions += 1
+                    s = sessions[i]
+                    base = int(offsets[i])
+                    gf = float(goodput[i])
+                    total = good_totals[i]
+                    for w in cascading[w_bounds[i] : w_bounds[i + 1]].tolist():
+                        good, _ = s._advance_worker(
+                            w - base,
+                            float(time_left[w]),
+                            float(good_rate_Bps[w]),
+                            gf,
+                        )
+                        total += good
+                    good_totals[i] = total
+
+        if cascade_workers:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.emit(
+                    BatchCascadeFallback,
+                    sessions=cascade_sessions,
+                    workers=cascade_workers,
+                )
+                tracer.metrics.inc("fluid.cascade_fallbacks")
+
+        # Per-session accounting and file assignment.  Only sessions
+        # with an idle worker need the assignment/completion scan.
+        busy = self.busy_counts()
+        counts = self.counts
+        for i, s in enumerate(sessions):
+            gf = float(goodput[i])
+            good = good_totals[i]
+            sent = good / gf if gf > 0 else good
+            s.current_loss = float(losses[i])
+            s._finish_step(good, sent, dt, now, idle_workers=bool(busy[i] < counts[i]))

@@ -131,18 +131,30 @@ class SimulationEngine:
         return self.schedule_at(first, fire, name)
 
     def stop(self) -> None:
-        """Request that :meth:`run_until` return at the current time."""
+        """Request that :meth:`run_until` return at the current time.
+
+        A stop requested while no run is in progress (e.g. by a service
+        callback firing right after the previous ``run_until`` returned)
+        stays pending: the *next* ``run_until`` returns immediately
+        without advancing the clock.
+        """
         self._stopped = True
 
     def run_until(self, end_time: float) -> None:
         """Advance the simulation to ``end_time``.
 
         Alternates between firing due events and integrating the fluid
-        state in steps of at most ``dt``.
+        state in steps of at most ``dt``.  Each call consumes at most
+        one :meth:`stop` request — whether it arrived mid-run or was
+        already pending at entry.
         """
         if end_time < self._now:
             raise ValueError("end_time is in the past")
-        self._stopped = False
+        if self._stopped:
+            # Honor (and consume) a stop requested between runs instead
+            # of silently discarding it.
+            self._stopped = False
+            return
         while not self._stopped:
             next_event_time = self._peek_time()
             if next_event_time is not None and next_event_time <= self._now + 1e-12:
@@ -152,7 +164,9 @@ class SimulationEngine:
             if horizon <= self._now + 1e-12:
                 break
             self._advance_fluid(horizon)
-        if not self._stopped:
+        stopped = self._stopped
+        self._stopped = False
+        if not stopped:
             self._now = max(self._now, end_time)
 
     def run_for(self, duration: float) -> None:

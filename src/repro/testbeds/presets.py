@@ -25,7 +25,9 @@ from __future__ import annotations
 from repro.hosts.cpu import CpuModel
 from repro.hosts.dtn import DataTransferNode
 from repro.hosts.nic import Nic
-from repro.network.path import build_dumbbell
+from repro.network.link import Link
+from repro.network.path import Path, build_dumbbell
+from repro.network.queue import DropTailLossModel
 from repro.network.tcp import TcpModel
 from repro.storage.parallel_fs import ParallelFileSystem, throttled_fs
 from repro.testbeds.base import Testbed
@@ -239,6 +241,70 @@ def stampede2_comet() -> Testbed:
         bottleneck="Disk Read",
         tcp=tcp,
     )
+
+
+def metro(n_sites: int = 16, sessions_per_site: int = 16) -> list[Testbed]:
+    """Metro ring: 256 session pairs over 16 shared sites (scale scenario).
+
+    The scale stress shape behind ``benchmarks/bench_scale.py``: a ring
+    of ``n_sites`` metro sites, each with one shared storage array and
+    one shared 100 Gbps NIC, joined by 100 Gbps ring links.  Session
+    ``k`` sources at site ``k % n_sites`` and travels *clockwise* for
+    ``1 + (k // n_sites) % (n_sites - 1)`` hops, so the default
+    16 x 16 = 256 sessions have heterogeneous path lengths (RTTs from
+    3 ms to 45 ms), every ring link carries dozens of overlapping
+    sessions, and every site's storage/NIC arbitrates the workers of
+    ~32 sessions — the many-tenant regime the batched engine exists for.
+
+    Returns one :class:`Testbed` per session pair; all of them alias
+    the same site hosts and ring links (sharing is the point).
+    """
+    loss_model = DropTailLossModel()
+    sites = []
+    for i in range(n_sites):
+        storage = ParallelFileSystem(
+            name=f"metro-fs-{i}",
+            per_process_read_bps=500 * Mbps,
+            per_process_write_bps=500 * Mbps,
+            aggregate_read_bps=40 * Gbps,
+            aggregate_write_bps=40 * Gbps,
+            contention=0.004,
+            open_latency=1e-3,
+        )
+        sites.append(
+            DataTransferNode(
+                f"metro-site-{i}",
+                storage=storage,
+                nic=Nic(100 * Gbps, name=f"metro-nic-{i}"),
+                cpu=CpuModel(cores=2048, oversubscription_penalty=0.05),
+            )
+        )
+    ring = [
+        Link(
+            f"metro-ring-{i}",
+            100 * Gbps,
+            delay=milliseconds(1.5),
+            loss_model=loss_model,
+        )
+        for i in range(n_sites)
+    ]
+
+    testbeds = []
+    for k in range(n_sites * sessions_per_site):
+        src = k % n_sites
+        hops = 1 + (k // n_sites) % (n_sites - 1)
+        links = tuple(ring[(src + h) % n_sites] for h in range(hops))
+        testbeds.append(
+            Testbed(
+                name=f"metro-{k}",
+                source=sites[src],
+                destination=sites[(src + hops) % n_sites],
+                path=Path(links=links, name=f"metro-path-{k}"),
+                sample_interval=5.0,
+                bottleneck="Network",
+            )
+        )
+    return testbeds
 
 
 def TABLE1() -> list[Testbed]:

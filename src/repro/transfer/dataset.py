@@ -116,7 +116,15 @@ class FileQueue:
         return not self.repeat and self.remaining_files == 0
 
     def pop(self) -> tuple[float, float] | None:
-        """Next ``(file_size, bytes_done)`` or ``None`` when exhausted."""
+        """Next ``(file_size, bytes_done)`` or ``None`` when exhausted.
+
+        Returned files are handed out LIFO (most recently pushed back
+        first), ahead of fresh files.  This is deliberate: a requeued
+        file usually carries partial progress, and re-dispatching it
+        immediately keeps that progress hot instead of parking it
+        behind the rest of the dataset; the golden scenarios pin this
+        order, so changing it to FIFO is a semantics change.
+        """
         if self._returned:
             size, done, attempts = self._returned.pop()
             self.last_attempts = attempts

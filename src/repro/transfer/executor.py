@@ -40,6 +40,7 @@ from repro.config import DEFAULT_CONFIG, SimConfig
 from repro.network.link import Link
 from repro.obs.events import FluidRebalance, SessionStart, TopologyRebuild
 from repro.obs.tracer import current_tracer
+from repro.sim.batch import BatchStore
 from repro.sim.engine import SimulationEngine
 from repro.sim.fairshare import weighted_max_min_fair_share
 from repro.transfer.session import TransferSession
@@ -91,19 +92,50 @@ class _Topology:
     grants: np.ndarray
     #: Per session, the ``id()`` of every link on its path (loss lookup).
     session_link_ids: list[list[int]]
+    #: The link-typed entries of ``resources`` (loss is computed per link).
+    link_resources: list[_Resource]
+    #: (n_sessions, max_path_links) rows into the per-step link-loss
+    #: vector; padded with the vector's trailing zero-loss sentinel.
+    session_link_rows: np.ndarray
     #: Waterfill memo: the allocation is a pure function of the demand
     #: caps for a fixed topology, and the caps only change when a worker
     #: gains/loses a file — so identical caps replay the cached result.
     memo_demand_cap: np.ndarray | None = None
     memo_final: np.ndarray | None = None
+    #: Loss memo: losses are a pure function of the final allocation and
+    #: the links' fault state (``available``/``extra_loss``) for a fixed
+    #: topology, and steady-state steps replay the same allocation via
+    #: the waterfill memo above.  The fault state is part of the key
+    #: because loss bursts mutate links *without* invalidating the
+    #: topology (they don't change capacities, only loss).
+    memo_loss_final: np.ndarray | None = None
+    memo_loss_state: tuple | None = None
+    memo_losses: np.ndarray | None = None
+    #: Batched state store (None when the executor runs the per-session
+    #: path).  Rebuilt with the topology: sessions hold views into it.
+    batch: BatchStore | None = None
 
 
 class FluidTransferNetwork:
-    """Holds the active sessions and arbitrates them each fluid step."""
+    """Holds the active sessions and arbitrates them each fluid step.
 
-    def __init__(self, engine: SimulationEngine, config: SimConfig = DEFAULT_CONFIG):
+    ``batched=True`` (the default) advances all sessions through the
+    contiguous :class:`~repro.sim.batch.BatchStore` in one vectorized
+    pass; ``batched=False`` keeps the per-session advance.  The two
+    paths are bit-identical (pinned by the batch parity test) — the
+    per-session path exists as the parity reference and for
+    worker-state layouts the store cannot host (none today).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        config: SimConfig = DEFAULT_CONFIG,
+        batched: bool = True,
+    ):
         self.engine = engine
         self.config = config
+        self.batched = batched
         self.sessions: list[TransferSession] = []
         self._topo: _Topology | None = None
         self._dirty = True
@@ -134,6 +166,11 @@ class FluidTransferNetwork:
         """Detach a session (finished or cancelled)."""
         self.sessions.remove(session)
         session.on_topology_change = None
+        topo = self._topo
+        if topo is not None and topo.batch is not None and session in topo.sessions:
+            # Freeze the departing session's state into standalone copies
+            # so it stops aliasing the store (which the next step rebuilds).
+            topo.batch.detach(session)
         self._dirty = True
 
     def invalidate_topology(self) -> None:
@@ -156,12 +193,20 @@ class FluidTransferNetwork:
         sessions = self.active_sessions()
         if not sessions:
             return
-        for s in sessions:
-            s.assign_files()
+        if not self.batched:
+            for s in sessions:
+                s.assign_files()
 
         topo = self._topology(sessions)
         if topo.total == 0:
             return
+        if topo.batch is not None:
+            # Start-of-step assignment, restricted to sessions that
+            # actually have an idle worker (assign_files is a no-op for
+            # the rest; the global reduction replaces N per-session scans).
+            busy = topo.batch.busy_counts()
+            for i in np.flatnonzero(busy < topo.batch.counts).tolist():
+                topo.sessions[i].assign_files()
 
         # Wall-clock reads below are profiling-only: they feed the
         # optional PerfCounters report and never influence sim state.
@@ -186,12 +231,18 @@ class FluidTransferNetwork:
             )
             tracer.metrics.set("fluid.active_sessions", len(sessions))
 
-        offsets = topo.offsets
-        for i, s in enumerate(sessions):
-            targets = final[offsets[i] : offsets[i + 1]]
-            s.step(dt, targets, losses[i], now)
-            if not s.active and s in self.sessions:
-                self.remove_session(s)
+        if topo.batch is not None:
+            topo.batch.step(dt, final, losses, now)
+            for s in sessions:
+                if not s.active and s in self.sessions:
+                    self.remove_session(s)
+        else:
+            offsets = topo.offsets
+            for i, s in enumerate(sessions):
+                targets = final[offsets[i] : offsets[i + 1]]
+                s.step(dt, targets, float(losses[i]), now)
+                if not s.active and s in self.sessions:
+                    self.remove_session(s)
         t4 = perf_counter()  # repro: lint-ok[F001]
 
         prof = self.engine.profile
@@ -241,27 +292,53 @@ class FluidTransferNetwork:
         n_res = len(resources)
 
         # Which resources serve each worker (for the other-rows tables).
-        worker_res: list[list[int]] = [[] for _ in range(total)]
+        # Built as one padded (total, k_max) matrix — per-worker Python
+        # loops here cost more than the whole steady-state step at
+        # 16k-worker scale, so everything below the count pass is
+        # vectorized fancy indexing.
+        res_count = np.zeros(total, dtype=np.intp)
+        for res in resources:
+            res_count[res.members] += 1
+        k_max = int(res_count.max()) if total else 0
+        worker_res = np.full((total, max(k_max, 1)), n_res, dtype=np.intp)
+        fill = np.zeros(total, dtype=np.intp)
         for r, res in enumerate(resources):
-            for w in res.members.tolist():
-                worker_res[w].append(r)
+            worker_res[res.members, fill[res.members]] = r
+            fill[res.members] += 1
+
+        # The worst path RTT through each link (for its loss model).
+        link_rtt: dict[int, float] = {}
+        for s in sessions:
+            for link in s.path:
+                key = id(link)
+                link_rtt[key] = max(link_rtt.get(key, 0.0), s.path.rtt)
+
         for r, res in enumerate(resources):
-            members = res.members.tolist()
-            width = max((len(worker_res[w]) - 1 for w in members), default=0)
-            other = np.full((len(members), max(width, 1)), n_res, dtype=np.intp)
-            for j, w in enumerate(members):
-                others = [x for x in worker_res[w] if x != r]
-                other[j, : len(others)] = others
+            rows = worker_res[res.members]
+            # Mask out this resource's own column; the sentinel column
+            # of the grants matrix stays +inf, so padding is harmless
+            # (every row keeps at least one sentinel entry).
             res.members_col = res.members[:, None]
-            res.other_rows = other
+            res.other_rows = np.where(rows == r, n_res, rows)
             if res.link is not None:
                 res.n_flows = (
                     int(res.streams.sum()) if res.streams is not None else res.members.size
                 )
-                res.link_rtt = max(
-                    (s.path.rtt for s in sessions if res.link in s.path.links),
-                    default=0.0,
-                )
+                res.link_rtt = link_rtt.get(id(res.link), 0.0)
+
+        # Loss scaffolding: which resource-list entries are links, and
+        # each session's path as rows into the per-step loss vector
+        # (padded with the sentinel slot that always holds zero loss).
+        session_link_ids = [[id(link) for link in s.path] for s in sessions]
+        link_resources = [res for res in resources if res.link is not None]
+        link_slot = {id(res.link): j for j, res in enumerate(link_resources)}
+        n_links = len(link_resources)
+        width = max((len(ids) for ids in session_link_ids), default=0)
+        session_link_rows = np.full(
+            (len(sessions), max(width, 1)), n_links, dtype=np.intp
+        )
+        for i, ids in enumerate(session_link_ids):
+            session_link_rows[i, : len(ids)] = [link_slot[key] for key in ids]
 
         return _Topology(
             fingerprint=fingerprint,
@@ -272,7 +349,10 @@ class FluidTransferNetwork:
             caps_full=self._caps_full(sessions, offsets, total),
             has_file=np.zeros(total, dtype=bool),
             grants=np.full((total, n_res + 1), np.inf),
-            session_link_ids=[[id(link) for link in s.path] for s in sessions],
+            session_link_ids=session_link_ids,
+            link_resources=link_resources,
+            session_link_rows=session_link_rows,
+            batch=BatchStore(sessions, offsets) if self.batched else None,
         )
 
     # -- demand caps -----------------------------------------------------------
@@ -309,6 +389,10 @@ class FluidTransferNetwork:
         a short inter-file gap (data-channel caching); workers with no
         file left demand nothing.
         """
+        if topo.batch is not None:
+            # Sessions hold views into the store: the global mask is
+            # already current, no per-session gather needed.
+            return np.where(topo.batch.has_file, topo.caps_full, 0.0)
         has_file = topo.has_file
         offsets = topo.offsets
         for i, s in enumerate(topo.sessions):
@@ -427,25 +511,36 @@ class FluidTransferNetwork:
 
     # -- loss -----------------------------------------------------------------------
 
-    def _session_losses(self, topo: _Topology, final: np.ndarray) -> list[float]:
-        """Per-session path loss: independent loss at each traversed link."""
-        link_loss: dict[int, float] = {}
-        for res in topo.resources:
-            if res.link is None:
-                continue
+    def _session_losses(self, topo: _Topology, final: np.ndarray) -> np.ndarray:
+        """Per-session path loss: independent loss at each traversed link.
+
+        One loss evaluation per link, then one indexed product over the
+        precomputed session-path rows (the sentinel slot stays at zero
+        loss, so row padding multiplies by exactly 1.0).
+        """
+        # Memo hit: same allocation, same link fault state, same
+        # topology -> same (pure) losses.
+        fault_state = tuple(
+            (res.link.available, res.link.extra_loss) for res in topo.link_resources
+        )
+        if (
+            topo.memo_loss_final is not None
+            and topo.memo_loss_state == fault_state
+            and np.array_equal(final, topo.memo_loss_final)
+        ):
+            return topo.memo_losses
+        n_links = len(topo.link_resources)
+        loss_vec = np.zeros(n_links + 1)
+        for j, res in enumerate(topo.link_resources):
             carried = float(final[res.members].sum())
             # Use the RTT of the longest path through this link — loss is a
             # property of the shared queue, approximated with one RTT.
-            link_loss[id(res.link)] = res.link.loss_rate(
-                carried, res.n_flows, res.link_rtt
-            )
-
-        losses = []
-        for link_ids in topo.session_link_ids:
-            survive = 1.0
-            for key in link_ids:
-                survive *= 1.0 - link_loss.get(key, 0.0)
-            losses.append(1.0 - survive)
+            loss_vec[j] = res.link.loss_rate(carried, res.n_flows, res.link_rtt)
+        survive = np.prod(1.0 - loss_vec[topo.session_link_rows], axis=1)
+        losses = 1.0 - survive
+        topo.memo_loss_final = final
+        topo.memo_loss_state = fault_state
+        topo.memo_losses = losses
         return losses
 
 

@@ -57,6 +57,11 @@ class TransferParams:
             value = getattr(self, name)
             if not isinstance(value, (int, np.integer)) or value < 1:
                 raise ValueError(f"{name} must be an integer >= 1, got {value!r}")
+            # Coerce numpy integers (optimizer outputs) to built-in int so
+            # trace events, cache-key encodings, and topology fingerprints
+            # never see a np.int64 where JSON expects an int.
+            if not isinstance(value, int):
+                object.__setattr__(self, name, int(value))
 
     def with_(self, **kwargs) -> "TransferParams":
         """Copy with fields replaced."""
@@ -216,6 +221,37 @@ class TransferSession:
         if target != current:
             self._notify_topology_change()
 
+    # -- batched state-store integration -------------------------------------
+
+    def adopt_state(
+        self,
+        rates: np.ndarray,
+        file_size: np.ndarray,
+        file_done: np.ndarray,
+        gap_left: np.ndarray,
+        stall_left: np.ndarray,
+        attempts: np.ndarray,
+        has_file: np.ndarray,
+    ) -> None:
+        """Install externally owned arrays as this session's worker state.
+
+        Called by :class:`repro.sim.batch.BatchStore` to hand the session
+        views into the global contiguous arrays (and again with copies
+        when the session detaches).  The arrays must describe the same
+        worker count; values are taken as-is.
+        """
+        if rates.size != self.rates.size:
+            raise ValueError(
+                f"adopt_state: expected {self.rates.size} workers, got {rates.size}"
+            )
+        self.rates = rates
+        self.file_size = file_size
+        self.file_done = file_done
+        self.gap_left = gap_left
+        self.stall_left = stall_left
+        self.attempts = attempts
+        self.has_file = has_file
+
     # -- fault handling ------------------------------------------------------
 
     def crash_worker(self, w: int) -> None:
@@ -231,11 +267,17 @@ class TransferSession:
             return
         size, done = float(self.file_size[w]), float(self.file_done[w])
         attempts = int(self.attempts[w])
-        had_file = bool(self.has_file[w]) and done < size
+        had_file = bool(self.has_file[w])
+        # A file whose bytes all arrived but whose completion the step
+        # loop has not retired yet (done can round up to exactly size at
+        # a step boundary) is *delivered*, not in-progress: a crash now
+        # must count it completed, never drop or re-send it.
+        finished = had_file and done >= size
+        requeued = had_file and not finished
         self.worker_crashes += 1
         tracer = current_tracer()
         if tracer is not None:
-            tracer.emit(WorkerCrashed, session=self.name, worker=w, requeued=had_file)
+            tracer.emit(WorkerCrashed, session=self.name, worker=w, requeued=requeued)
             tracer.metrics.inc("workers.crashed")
         self.rates[w] = self.tcp.initial_rate
         self.file_size[w] = 0.0
@@ -244,7 +286,9 @@ class TransferSession:
         self.stall_left[w] = 0.0
         self.attempts[w] = 0
         self.has_file[w] = False
-        if had_file:
+        if finished:
+            self.files_completed += 1
+        elif requeued:
             self.files_requeued += 1
             if self.on_file_failure is not None:
                 self.on_file_failure(size, done, attempts)
@@ -305,6 +349,11 @@ class TransferSession:
         return self.finished_at is None
 
     @property
+    def path_rtt(self) -> float:
+        """End-to-end round-trip time of this session's path, seconds."""
+        return self._path_rtt
+
+    @property
     def instantaneous_rate(self) -> float:
         """Sum of current worker send rates, bps."""
         return float(self.rates.sum())
@@ -317,6 +366,13 @@ class TransferSession:
 
     def step(self, dt: float, targets: np.ndarray, loss_rate: float, now: float) -> None:
         """Advance worker state by ``dt`` given allocated rate targets.
+
+        This is the standalone (per-session) path; when the session is
+        attached to a batched executor the
+        :class:`~repro.sim.batch.BatchStore` advances all sessions in
+        one pass instead, using the same elementwise expressions and the
+        same per-session reductions so outcomes are bit-identical (see
+        ``tests/integration/test_batch_parity.py``).
 
         Parameters
         ----------
@@ -349,7 +405,6 @@ class TransferSession:
         good_rate_Bps = self.rates * goodput_factor / 8.0
 
         good_total = 0.0
-        sent_total = 0.0
         # Workers that will actually move bytes this step (same guards
         # the per-worker advance applies individually).
         moving = np.flatnonzero(
@@ -358,32 +413,38 @@ class TransferSession:
         if moving.size:
             need = self.file_size[moving] - self.file_done[moving]
             finishes = (need / good_rate_Bps[moving]) <= time_left[moving]
-            if not finishes.any():
-                # Fast path — the common case: no worker completes its
-                # file this step, so every moving worker just streams
-                # for its whole remaining time.  One vectorized update;
-                # totals accumulate in worker order so the floating-
-                # point results match the per-worker loop bit for bit.
-                moved = good_rate_Bps[moving] * time_left[moving]
-                self.file_done[moving] += moved
-                if goodput_factor > 0:
-                    for good in moved.tolist():
-                        good_total += good
-                        sent_total += good / goodput_factor
-                else:
-                    for good in moved.tolist():
-                        good_total += good
-                        sent_total += good
-            else:
-                # Completion cascade (file finishes, inter-file gaps,
-                # possible queue exhaustion): per-worker advance.
-                for w in moving.tolist():
-                    good, sent = self._advance_worker(
+            # Streaming workers (the common case — no completion this
+            # step) advance in one vectorized update; only workers whose
+            # file actually finishes fall back to the per-worker cascade
+            # (queue pops, inter-file gaps, possible exhaustion).
+            streaming = moving[~finishes]
+            moved = good_rate_Bps[streaming] * time_left[streaming]
+            self.file_done[streaming] += moved
+            good_total = float(moved.sum())
+            if finishes.any():
+                for w in moving[finishes].tolist():
+                    good, _ = self._advance_worker(
                         w, time_left[w], good_rate_Bps[w], goodput_factor
                     )
                     good_total += good
-                    sent_total += sent
+        sent_total = good_total / goodput_factor if goodput_factor > 0 else good_total
+        self._finish_step(good_total, sent_total, dt, now)
 
+    def _finish_step(
+        self,
+        good_total: float,
+        sent_total: float,
+        dt: float,
+        now: float,
+        idle_workers: bool = True,
+    ) -> None:
+        """Per-step accounting shared by the standalone and batched paths.
+
+        ``idle_workers`` lets the batched pass skip the assignment and
+        completion scan for sessions whose workers all still hold a file
+        (a no-op there, but one avoided numpy round trip per session per
+        step at 256-session scale).
+        """
         lost_total = sent_total - good_total
         self.monitor.record(good_total, sent_total, lost_total, dt)
         self.total_good_bytes += good_total
@@ -393,6 +454,8 @@ class TransferSession:
         # side of the paper's "minimal overhead" claim).
         self.process_seconds += 2 * self.rates.size * dt
 
+        if not idle_workers:
+            return
         self.assign_files()
         if self.queue.exhausted and not self.has_file.any() and self.finished_at is None:
             self.finished_at = now + dt

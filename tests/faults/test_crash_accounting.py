@@ -1,0 +1,74 @@
+"""Regression: crashing a worker must never leak its file.
+
+A file whose ``file_done`` has reached ``file_size`` exactly at a step
+boundary is *delivered* — the step loop just hasn't retired it yet.  The
+old ``done < size`` guard in ``TransferSession.crash_worker`` treated
+that worker as fileless: the crash neither counted the file completed
+nor requeued it, so bytes and file counts leaked under fault injection.
+"""
+
+from __future__ import annotations
+
+from repro.testbeds.presets import emulab_fig4
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.session import TransferParams
+from repro.units import MB
+
+
+def make_session(files=4, file_bytes=10 * MB):
+    tb = emulab_fig4()
+    return tb.new_session(
+        uniform_dataset(files, file_bytes),
+        params=TransferParams(concurrency=1),
+    )
+
+
+class TestCrashAccounting:
+    def test_crash_on_exactly_finished_file_counts_it_completed(self):
+        session = make_session(files=4)
+        assert session.has_file[0]
+        session.file_done[0] = session.file_size[0]  # delivered, not yet retired
+
+        session.crash_worker(0)
+
+        assert session.files_completed == 1
+        assert session.files_requeued == 0
+        assert not session.has_file[0]
+        # The delivered file must not re-enter the queue: the remaining
+        # population is exactly the files never handed out.
+        assert session.queue.remaining_files == 3
+
+    def test_crash_mid_file_requeues_with_progress(self):
+        session = make_session(files=4)
+        size = float(session.file_size[0])
+        session.file_done[0] = size / 2
+
+        session.crash_worker(0)
+
+        assert session.files_completed == 0
+        assert session.files_requeued == 1
+        assert session.queue.remaining_files == 4  # 3 untouched + the requeued one
+        # Progress and the bumped attempt count ride along.
+        session.assign_files()
+        popped = [
+            (float(session.file_size[0]), float(session.file_done[0]), int(session.attempts[0]))
+        ]
+        while session.queue.remaining_files:
+            session.has_file[0] = False
+            session.assign_files()
+            popped.append(
+                (float(session.file_size[0]), float(session.file_done[0]), int(session.attempts[0]))
+            )
+        assert (size, size / 2, 1) in popped
+
+    def test_crash_conserves_file_count(self):
+        # completed + requeued-in-queue + in-flight == total, for every
+        # crash timing (empty worker, mid-file, exactly-done).
+        session = make_session(files=3)
+        session.crash_worker(0)  # mid-file (done == 0): requeue
+        session.assign_files()
+        session.file_done[0] = session.file_size[0]
+        session.crash_worker(0)  # exactly done: completed
+        session.assign_files()
+        in_flight = int(session.has_file.sum())
+        assert session.files_completed + session.queue.remaining_files + in_flight == 3

@@ -33,10 +33,15 @@ from repro.transfer.session import TransferParams
 from repro.units import Gbps, MB, Mbps, milliseconds
 
 
-def run_scenario() -> dict:
-    """Three site pairs crossing one lossy 1 Gbps backbone, 90 s."""
+def run_scenario(batched: bool = True) -> dict:
+    """Three site pairs crossing one lossy 1 Gbps backbone, 90 s.
+
+    ``batched`` selects the executor's engine path; the batch parity
+    test runs this same scenario both ways and requires bit-identical
+    outcomes (see ``tests/integration/test_batch_parity.py``).
+    """
     engine = SimulationEngine(dt=0.1)
-    network = FluidTransferNetwork(engine)
+    network = FluidTransferNetwork(engine, batched=batched)
     backbone = Link(
         "backbone", 1 * Gbps, delay=milliseconds(10), loss_model=DropTailLossModel()
     )

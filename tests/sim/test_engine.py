@@ -154,6 +154,35 @@ class TestFluidIntegration:
         eng.run_until(10.0)
         assert eng.now < 10.0
 
+    def test_pending_stop_between_runs_is_honored(self):
+        # A stop() requested after run_until returned (e.g. by a service
+        # callback reacting to the finished run) must not be silently
+        # discarded by the next run_until.
+        eng = SimulationEngine(dt=0.1)
+        eng.run_until(1.0)
+        eng.stop()
+        eng.run_until(5.0)
+        assert eng.now == 1.0  # returned immediately, clock untouched
+
+    def test_pending_stop_is_consumed_by_one_run(self):
+        eng = SimulationEngine(dt=0.1)
+        eng.stop()
+        eng.run_until(2.0)
+        assert eng.now == 0.0
+        eng.run_until(2.0)  # the stop was consumed; this run proceeds
+        assert eng.now == 2.0
+
+    def test_mid_run_stop_does_not_leak_into_next_run(self):
+        # A stop that interrupted one run must not also abort the next
+        # (stop/resume is how the service pauses the engine).
+        eng = SimulationEngine(dt=0.1)
+        eng.schedule_at(1.0, eng.stop)
+        eng.run_until(10.0)
+        stopped_at = eng.now
+        eng.run_until(10.0)
+        assert stopped_at < 10.0
+        assert eng.now == 10.0
+
 
 class TestPeriodic:
     def test_schedule_every_fires_repeatedly(self):

@@ -44,6 +44,36 @@ class TestParams:
         p = TransferParams(concurrency=2).with_(parallelism=3)
         assert p.concurrency == 2 and p.parallelism == 3
 
+    def test_numpy_integers_coerced_to_int(self):
+        # Optimizers hand back np.int64; the params must store built-in
+        # ints so fingerprints, cache keys, and JSON never see numpy types.
+        p = TransferParams(
+            concurrency=np.int64(8), parallelism=np.int32(4), pipelining=np.int64(2)
+        )
+        assert type(p.concurrency) is int and p.concurrency == 8
+        assert type(p.parallelism) is int and p.parallelism == 4
+        assert type(p.pipelining) is int and p.pipelining == 2
+        assert type(p.total_streams) is int
+
+    def test_numpy_params_round_trip_through_jsonl(self, tmp_path):
+        # A params change produced by an optimizer (np.int64 values) must
+        # survive trace export: JSON encoding and read-back both work and
+        # reproduce the same integers.
+        from repro.obs.events import SessionParamsChange
+        from repro.obs.exporters import JsonlExporter, read_events
+        from repro.obs.tracer import use_tracing
+
+        s = make_session(params=TransferParams(concurrency=2))
+        target = tmp_path / "trace.jsonl"
+        with JsonlExporter(target) as exporter, use_tracing(exporter):
+            s.set_params(
+                TransferParams(concurrency=np.int64(6), parallelism=np.int64(3))
+            )
+        events = [e for e in read_events(target) if isinstance(e, SessionParamsChange)]
+        assert len(events) == 1
+        assert events[0].concurrency == 6 and type(events[0].concurrency) is int
+        assert events[0].parallelism == 3 and type(events[0].parallelism) is int
+
 
 class TestWorkerLifecycle:
     def test_initial_workers_match_concurrency(self):
