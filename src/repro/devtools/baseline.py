@@ -1,0 +1,89 @@
+"""Baseline files: adopt the linter on a tree with known findings.
+
+A baseline records the *accepted* findings of a tree so that ``repro
+lint --baseline lint-baseline.json`` fails only on findings that are
+new relative to it.  This is how a check added in a later PR can land
+enabled without first fixing (or suppressing) every historical hit.
+
+Fingerprints are deliberately **line-independent**: the identity of a
+finding is ``code | module-relative path | message``, hashed.  Editing
+an unrelated part of a file (shifting line numbers) does not churn the
+baseline; fixing one of two identical findings in a file does surface
+the count change.  Identical findings in one file are disambiguated by
+an occurrence index, so the baseline also pins *how many* of each.
+
+Workflow::
+
+    repro lint --update-baseline lint-baseline.json   # record status quo
+    repro lint --baseline lint-baseline.json          # fail only on new
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.devtools.findings import Finding
+
+
+def fingerprint(finding: Finding, occurrence: int = 0) -> str:
+    """Stable identity of a finding, independent of line numbers."""
+    raw = f"{finding.code}|{finding.path}|{finding.message}|{occurrence}"
+    return hashlib.blake2b(raw.encode("utf-8"), digest_size=12).hexdigest()
+
+
+def fingerprints(findings: list[Finding]) -> list[str]:
+    """Fingerprint each finding, numbering duplicates within the run."""
+    seen: dict[str, int] = {}
+    out = []
+    for finding in findings:
+        key = f"{finding.code}|{finding.path}|{finding.message}"
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(fingerprint(finding, occurrence))
+    return out
+
+
+def render_baseline(findings: list[Finding]) -> str:
+    """Serialised baseline file content (sorted, diff-friendly)."""
+    entries = sorted(
+        (
+            {
+                "fingerprint": fp,
+                "code": f.code,
+                "path": f.path,
+                "message": f.message,
+            }
+            for fp, f in zip(fingerprints(findings), findings)
+        ),
+        key=lambda e: (e["path"], e["code"], e["fingerprint"]),
+    )
+    payload = {"version": 1, "count": len(entries), "findings": entries}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(findings: list[Finding], path: Path) -> None:
+    path.write_text(render_baseline(findings), encoding="utf-8")
+
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """The set of accepted fingerprints in a baseline file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    return frozenset(entry["fingerprint"] for entry in data["findings"])
+
+
+def filter_baselined(
+    findings: list[Finding], accepted: frozenset[str]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, number-suppressed-by-baseline)."""
+    new = []
+    suppressed = 0
+    for finding, fp in zip(findings, fingerprints(findings)):
+        if fp in accepted:
+            suppressed += 1
+        else:
+            new.append(finding)
+    return new, suppressed

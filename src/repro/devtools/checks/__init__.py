@@ -9,12 +9,16 @@ giving it configuration in ``[tool.repro-lint]``.
 from __future__ import annotations
 
 from repro.devtools.checks import (  # noqa: F401  (imported for registration)
+    aliasing,
     callbacks,
     determinism,
     docstrings,
+    envtaint,
     experiments,
     floats,
     ordering,
+    rngflow,
     topology,
+    unitflow,
     units,
 )

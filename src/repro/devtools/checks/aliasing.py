@@ -1,0 +1,141 @@
+"""F009 — BatchStore view-aliasing discipline on session worker arrays.
+
+Since PR 6, a :class:`~repro.transfer.session.TransferSession` attached
+to a batched executor holds numpy *views* into the
+:class:`~repro.sim.batch.BatchStore`'s contiguous global arrays.  The
+contract (see ``sim/batch.py``, "View discipline") is:
+
+* **in-place** writes — ``session.rates[w] = x``, ``arr[:] = ...``,
+  ``+=`` — pass through to the store and are always safe;
+* **rebinding** one of the adopted attributes
+  (``session.rates = np.concatenate(...)``) silently detaches the
+  session: the store keeps advancing the *old* buffer while the session
+  reads the new one, and the divergence is invisible until a parity
+  test catches it.
+
+Rebinds are therefore only legal at the sanctioned detach points
+(``adopt_state``, ``detach``, ``_resize_workers``, constructors), which
+re-gather or invalidate the topology.  This check uses the dataflow
+layer to tag which objects are sessions — ``self`` inside a session
+class, parameters named/annotated as sessions, elements of a
+``.sessions`` collection, ``TransferSession(...)`` results — and flags
+any attribute *rebind* of an adopted field on a tagged object outside
+those functions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.dataflow import EMPTY, DataflowCheck, Scope, Value
+from repro.devtools.framework import ModuleContext, register
+
+#: Tag carried by values known to be a ``TransferSession``.
+SESSION = "session"
+#: Tag carried by values known to be a collection of sessions.
+SESSIONS = "sessions"
+
+#: Parameter/variable names treated as sessions when untyped.
+_SESSION_PARAMS = frozenset({"session", "sess"})
+
+#: Names of attributes/variables holding session collections.
+_SESSIONS_NAMES = frozenset({"sessions"})
+
+
+def _annotation_is_session(annotation: ast.expr | None, classes: tuple[str, ...]) -> bool:
+    if annotation is None:
+        return False
+    text: str | None = None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value
+    elif isinstance(annotation, (ast.Name, ast.Attribute)):
+        try:
+            text = ast.unparse(annotation)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            return False
+    if text is None:
+        return False
+    tail = text.strip("\"'").split("[", 1)[0]
+    return any(tail == cls or tail.endswith(f".{cls}") for cls in classes)
+
+
+@register
+class ViewAliasingCheck(DataflowCheck):
+    """Flags rebinds of BatchStore-adopted session arrays."""
+
+    code = "F009"
+    name = "view-aliasing"
+    description = "rebinding a BatchStore-adopted session array outside a sanctioned detach point"
+    example_bad = (
+        "def grow(session, extra):\n"
+        "    session.rates = np.concatenate([session.rates, np.zeros(extra)])\n"
+    )
+    example_good = (
+        "def throttle(session, cap_bps):\n"
+        "    session.rates[:] = np.minimum(session.rates, cap_bps)  # in-place: store sees it\n"
+    )
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.in_scope(ctx.config.alias_scope)
+
+    # -- session tagging -----------------------------------------------------
+
+    def param(self, scope: Scope, name: str, annotation: ast.expr | None) -> Value:
+        assert self.ctx is not None
+        config = self.ctx.config
+        if name == "self" and scope.owner_class in config.session_classes:
+            return frozenset({SESSION})
+        if name in _SESSION_PARAMS or _annotation_is_session(annotation, config.session_classes):
+            return frozenset({SESSION})
+        if name in _SESSIONS_NAMES:
+            return frozenset({SESSIONS})
+        return EMPTY
+
+    def name_fallback(self, name: str) -> Value:
+        if name in _SESSIONS_NAMES:
+            return frozenset({SESSIONS})
+        return EMPTY
+
+    def call(self, node, target, base, args, keywords) -> Value:
+        assert self.ctx is not None
+        if target is not None:
+            tail = target.rsplit(".", 1)[-1]
+            if tail in self.ctx.config.session_classes:
+                return frozenset({SESSION})
+        return EMPTY
+
+    def attribute_load(self, node: ast.Attribute, base: Value, resolved: str | None) -> Value:
+        if node.attr in _SESSIONS_NAMES:
+            return frozenset({SESSIONS})
+        return EMPTY
+
+    def subscript_load(self, node: ast.Subscript, base: Value) -> Value:
+        if SESSIONS in base:
+            return frozenset({SESSION})
+        return EMPTY
+
+    def iterate(self, node: ast.expr, iterable: Value) -> Value:
+        if SESSIONS in iterable:
+            return frozenset({SESSION})
+        return EMPTY
+
+    def unpack(self, value: Value) -> Value:
+        # ``for i, s in enumerate(sessions)`` — the element keeps the tag.
+        return value
+
+    # -- the sink ------------------------------------------------------------
+
+    def store_attr(self, stmt, target: ast.Attribute, base: Value, value: Value, aug: bool) -> None:
+        assert self.ctx is not None
+        config = self.ctx.config
+        if aug or target.attr not in config.adopted_fields or SESSION not in base:
+            return
+        function = self.engine.scope.enclosing_function()
+        if function is not None and function.name in config.detach_points:
+            return
+        self.report(
+            f"rebinding adopted per-worker array '{target.attr}' detaches the session "
+            "from the BatchStore; write in place (arr[:] = ..., arr[w] = ...) or go "
+            f"through a sanctioned detach point ({', '.join(config.detach_points)})",
+            target,
+        )

@@ -72,6 +72,14 @@ class CallbackPurityCheck(Check):
     code = "F006"
     name = "callback-purity"
     description = "event callbacks calling engine.run_until/run_for re-entrantly"
+    example_bad = (
+        "def on_fault(engine):\n"
+        "    engine.run_for(1.0)           # re-entrant drive of the event loop\n"
+    )
+    example_good = (
+        "def on_fault(engine):\n"
+        "    engine.schedule_in(1.0, recover)  # schedule, let the loop drive\n"
+    )
 
     def enabled_for(self, ctx: ModuleContext) -> bool:
         return ctx.module.startswith("repro/")

@@ -57,6 +57,16 @@ class DeterminismCheck(Check):
     description = (
         "random.*/secrets.*, wall clocks, uuid, and unseeded numpy.random in sim code"
     )
+    example_bad = (
+        "delay = random.uniform(0.1, 0.3)   # ambient RNG\n"
+        "stamp = time.time()                # wall clock in sim code\n"
+        "rng = np.random.default_rng()      # OS-entropy seed\n"
+    )
+    example_good = (
+        "delay = rng.uniform(0.1, 0.3)      # rng threaded from RngStreams\n"
+        "stamp = engine.now                 # simulation clock\n"
+        "rng = np.random.default_rng(seed)  # caller-supplied seed\n"
+    )
 
     def enabled_for(self, ctx: ModuleContext) -> bool:
         return ctx.in_scope(ctx.config.sim_scope)

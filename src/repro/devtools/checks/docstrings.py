@@ -76,6 +76,14 @@ class DocstringUnitsCheck(Check):
         "public functions/classes in the observability scope must carry "
         "docstrings, with units stated for physical-quantity parameters"
     )
+    example_bad = (
+        "def record_rate(self, rate):      # no docstring: rate in... bps? Gbps?\n"
+        "    ...\n"
+    )
+    example_good = (
+        "def record_rate(self, rate):\n"
+        '    """Record an allocation sample.  ``rate`` is in bps."""\n'
+    )
 
     def enabled_for(self, ctx: ModuleContext) -> bool:
         return ctx.in_scope(ctx.config.docstring_scope)

@@ -1,0 +1,148 @@
+"""F012 — wall-clock / environment taint must never reach simulation state.
+
+F001 bans wall-clock and entropy reads *inside* the sim scope, but the
+layers around the simulator (experiments, analysis, runner, CLI) read
+them legitimately — for profiling, cache paths, report footers.  The
+bug class F012 exists for is the flow: a value **derived from** the
+environment (wall clock, ``os.environ``, filesystem metadata, host
+identity) being fed **into** engine/session/optimizer state, where it
+silently breaks bit-reproducibility — serial vs parallel runs, or two
+hosts, stop agreeing while every individual module still looks clean.
+
+This is a classic taint analysis on the dataflow layer.  Sources taint
+their results; taint propagates through arithmetic, f-strings,
+containers, and any call that consumes a tainted argument.  Sinks:
+
+* storing a tainted value into an attribute or element of an object in
+  a sim-scope module (``self._jitter = time.time() % 1`` in the
+  engine);
+* passing a tainted argument to anything resolving into the simulation
+  packages (``Engine(...)``, ``session.stall_worker(...)``,
+  ``repro.sim.*`` / ``repro.transfer.*`` / ``repro.core.*`` / ... —
+  the ``taint_sink_prefixes`` config knob).
+
+Wall-clock *profiling* that stays in reports never meets a sink and
+passes untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.dataflow import EMPTY, DataflowCheck, Value, join_values
+from repro.devtools.framework import ModuleContext, register
+
+TAINT = "taint"
+_TAINTED: Value = frozenset({TAINT})
+
+#: Environment reads (exact dotted names, or ``prefix.`` to cover a module).
+_SOURCES = frozenset(
+    {
+        "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns", "time.process_time", "time.process_time_ns",
+        "time.localtime", "time.gmtime", "time.ctime",
+        "datetime.datetime.now", "datetime.datetime.utcnow", "datetime.datetime.today",
+        "datetime.date.today",
+        "os.environ", "os.getenv", "os.urandom", "os.getrandom",
+        "os.getpid", "os.getppid", "os.cpu_count", "os.getloadavg", "os.uname",
+        "os.stat", "os.listdir", "os.scandir", "os.walk",
+        "os.path.getmtime", "os.path.getsize", "os.path.getctime", "os.path.getatime",
+        "glob.glob", "glob.iglob",
+        "platform.platform", "platform.node", "platform.machine", "platform.processor",
+        "platform.python_version", "platform.system", "platform.release",
+        "socket.gethostname", "socket.getfqdn",
+        "multiprocessing.cpu_count",
+    }
+)
+
+
+def _is_source(resolved: str | None) -> bool:
+    return resolved is not None and resolved in _SOURCES
+
+
+@register
+class EnvTaintCheck(DataflowCheck):
+    """Tracks environment-derived values and flags flows into sim state."""
+
+    code = "F012"
+    name = "env-taint"
+    description = "wall-clock/os.environ/filesystem-derived values flowing into engine/session/optimizer state"
+    example_bad = (
+        "wall = time.perf_counter()\n"
+        "engine.schedule_at(wall, cb)   # wall-clock leaks into the event queue\n"
+    )
+    example_good = (
+        "wall = time.perf_counter()\n"
+        "report['wall_s'] = wall        # profiling that stays in the report is fine\n"
+    )
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.module.startswith("repro/")
+
+    # -- sources & propagation ----------------------------------------------
+
+    def attribute_load(self, node: ast.Attribute, base: Value, resolved: str | None) -> Value:
+        if _is_source(resolved):
+            return _TAINTED
+        return base  # field reads of a tainted object stay tainted
+
+    def call(self, node, target, base, args, keywords) -> Value:
+        if _is_source(target):
+            return _TAINTED
+        self._check_call_sink(node, target, args, keywords)
+        out = base
+        for _, value in args:
+            out = join_values(out, value)
+        for _, _, value in keywords:
+            out = join_values(out, value)
+        return _TAINTED if TAINT in out else EMPTY
+
+    def binop(self, node: ast.BinOp, left: Value, right: Value) -> Value:
+        return _TAINTED if TAINT in left or TAINT in right else EMPTY
+
+    def iterate(self, node: ast.expr, iterable: Value) -> Value:
+        return iterable
+
+    # -- sinks ---------------------------------------------------------------
+
+    def _in_sim_scope(self) -> bool:
+        assert self.ctx is not None
+        return self.ctx.in_scope(self.ctx.config.sim_scope)
+
+    def _check_call_sink(self, node: ast.Call, target: str | None, args, keywords) -> None:
+        assert self.ctx is not None
+        if target is None:
+            return
+        prefixes = self.ctx.config.taint_sink_prefixes
+        if not any(target.startswith(prefix) for prefix in prefixes):
+            return
+        for arg_node, value in args:
+            if TAINT in value:
+                self.report(
+                    f"wall-clock/environment-derived value flows into {target}(); "
+                    "simulation inputs must be deterministic",
+                    arg_node,
+                )
+        for name, value_node, value in keywords:
+            if TAINT in value:
+                self.report(
+                    f"wall-clock/environment-derived value flows into {target}"
+                    f"({name}=...); simulation inputs must be deterministic",
+                    value_node,
+                )
+
+    def store_attr(self, stmt, target: ast.Attribute, base: Value, value: Value, aug: bool) -> None:
+        if TAINT in value and self._in_sim_scope():
+            self.report(
+                f"wall-clock/environment-derived value stored into simulation state "
+                f"'.{target.attr}'; sim state must derive from seeds and engine.now only",
+                target,
+            )
+
+    def store_subscript(self, stmt, target: ast.Subscript, base: Value, value: Value, aug: bool) -> None:
+        if TAINT in value and self._in_sim_scope():
+            self.report(
+                "wall-clock/environment-derived value stored into simulation state "
+                "element; sim state must derive from seeds and engine.now only",
+                target,
+            )

@@ -57,6 +57,14 @@ class ExperimentStateCheck(Check):
         "mutable module-level state, global statements, and lambda task "
         "callables in experiment modules"
     )
+    example_bad = (
+        "_RESULTS = []                     # shared across fan-out workers\n"
+        "task(lambda: run(n))              # lambdas do not pickle\n"
+    )
+    example_good = (
+        "def run_point(n):                 # top-level function, picklable\n"
+        "    return run(n)\n"
+    )
 
     def enabled_for(self, ctx: ModuleContext) -> bool:
         return ctx.in_scope(ctx.config.experiment_scope)

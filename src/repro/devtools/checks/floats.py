@@ -43,6 +43,8 @@ class FloatEqualityCheck(Check):
     code = "F003"
     name = "float-equality"
     description = "==/!= against manifestly float expressions in sim code"
+    example_bad = "if elapsed == 0.3:            # accumulates rounding error\n"
+    example_good = "if math.isclose(elapsed, 0.3, rel_tol=1e-9):\n"
 
     def enabled_for(self, ctx: ModuleContext) -> bool:
         return ctx.in_scope(ctx.config.sim_scope)

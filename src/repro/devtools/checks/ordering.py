@@ -93,6 +93,14 @@ class UnorderedIterationCheck(Check):
     code = "F002"
     name = "unordered-iteration"
     description = "iterating or pop()ing a set in deterministic simulation code"
+    example_bad = (
+        "for session in active_set:        # set order varies run to run\n"
+        "    session.advance(dt)\n"
+    )
+    example_good = (
+        "for session in sorted(active_set, key=lambda s: s.name):\n"
+        "    session.advance(dt)\n"
+    )
 
     def enabled_for(self, ctx: ModuleContext) -> bool:
         return ctx.in_scope(ctx.config.sim_scope)

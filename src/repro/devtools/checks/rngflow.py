@@ -1,0 +1,133 @@
+"""F011 — RNG provenance: every generator's seed must be *derived*.
+
+F001 spots call sites: an **unseeded** ``np.random.default_rng()`` in
+sim scope is flagged syntactically.  But a *hardcoded* seed is nearly
+as bad — two components seeded ``default_rng(42)`` draw identical
+sequences (accidental coupling), and a constant seed buried in a
+library default silently decouples a component from the experiment's
+root seed, so "change the seed, rerun" no longer covers it.  The
+repository contract (``repro/sim/rng.py``, ``repro/runner/seeds.py``)
+is that every generator flows from one of:
+
+* a named :class:`~repro.sim.rng.RngStreams` stream (``streams.get``),
+* a seed derived via :func:`repro.runner.derive_seed`,
+* a seed handed in by the caller (a ``seed``/``*_seed`` parameter or
+  attribute — provenance is then the caller's responsibility).
+
+This check runs the dataflow layer to answer "where did this seed come
+from": seed-ness propagates through arithmetic (hash mixing),
+``int()``/``abs()``, and :class:`numpy.random.SeedSequence`; generator
+constructors called with a literal constant — or with a value that
+provably is one — are flagged.  Unknown seeds do not flag.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.dataflow import EMPTY, DataflowCheck, Scope, Value
+from repro.devtools.framework import ModuleContext, register
+
+#: Tags.
+SEED = "seed"  # sanctioned seed material
+LITERAL = "lit"  # a compile-time numeric constant
+STREAMS = "streams"  # an RngStreams family
+
+#: numpy.random generator constructors taking a seed.
+_GENERATOR_CTORS = frozenset(
+    {"default_rng", "Generator", "RandomState", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+#: Builtins through which seed-ness passes unchanged.
+_PASSTHROUGH = frozenset({"int", "abs"})
+
+#: Parameter/attribute names that carry caller-supplied seed material.
+_SEED_NAMES = frozenset({"seed", "entropy", "spawn_key"})
+
+
+def _is_seed_name(name: str | None) -> bool:
+    return name is not None and (name in _SEED_NAMES or name.endswith("_seed"))
+
+
+@register
+class RngProvenanceCheck(DataflowCheck):
+    """Flags generators built from hardcoded (or no provenance) seeds."""
+
+    code = "F011"
+    name = "rng-provenance"
+    description = "numpy Generators whose seed is a hardcoded literal instead of derive_seed/RngStreams"
+    example_bad = "rng = np.random.default_rng(42)  # same stream in every component seeded 42\n"
+    example_good = (
+        "rng = streams.get('measurement')           # named RngStreams stream\n"
+        "rng = np.random.default_rng(derive_seed(seed, 'fig09', net))\n"
+    )
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.in_scope(ctx.config.sim_scope)
+
+    # -- seed sources --------------------------------------------------------
+
+    def param(self, scope: Scope, name: str, annotation: ast.expr | None) -> Value:
+        if _is_seed_name(name):
+            return frozenset({SEED})
+        return EMPTY
+
+    def constant(self, node: ast.Constant) -> Value:
+        if isinstance(node.value, (int, float)) and not isinstance(node.value, bool):
+            return frozenset({LITERAL})
+        return EMPTY
+
+    def attribute_load(self, node: ast.Attribute, base: Value, resolved: str | None) -> Value:
+        if _is_seed_name(node.attr.lstrip("_")):
+            return frozenset({SEED})
+        return EMPTY
+
+    def binop(self, node: ast.BinOp, left: Value, right: Value) -> Value:
+        # Hash mixing: arithmetic over seed material stays seed material.
+        if SEED in left or SEED in right:
+            return frozenset({SEED})
+        if LITERAL in left and LITERAL in right:
+            return frozenset({LITERAL})
+        return EMPTY
+
+    # -- calls ---------------------------------------------------------------
+
+    def call(self, node, target, base, args, keywords) -> Value:
+        values = [value for _, value in args] + [value for _, _, value in keywords]
+        # Builtins never resolve through the import map.
+        if isinstance(node.func, ast.Name) and node.func.id in _PASSTHROUGH and values:
+            return values[0]
+        if target is not None:
+            tail = target.rsplit(".", 1)[-1]
+            if tail == "derive_seed" or target.endswith(".derive_seed"):
+                return frozenset({SEED})
+            if tail == "RngStreams" or target.endswith(".RngStreams"):
+                self._check_seed_args(node, args, keywords, what="RngStreams")
+                return frozenset({STREAMS})
+            if target == "numpy.random.SeedSequence":
+                self._check_seed_args(node, args, keywords, what="np.random.SeedSequence")
+                return frozenset({SEED})
+            if target in _PASSTHROUGH and values:
+                return values[0]
+            if target.startswith("numpy.random.") and tail in _GENERATOR_CTORS:
+                self._check_seed_args(node, args, keywords, what=f"np.random.{tail}")
+                return frozenset({SEED})  # generator from a vetted/unknown seed
+        if isinstance(node.func, ast.Attribute):
+            if STREAMS in base and node.func.attr == "get":
+                return frozenset({SEED})
+            if STREAMS in base and node.func.attr == "spawn":
+                return frozenset({STREAMS})
+        return EMPTY
+
+    def _check_seed_args(self, node: ast.Call, args, keywords, what: str) -> None:
+        seed_args = [(n, v) for n, v in args] + [
+            (value_node, value) for name, value_node, value in keywords if _is_seed_name(name)
+        ]
+        for value_node, value in seed_args:
+            if LITERAL in value and SEED not in value:
+                self.report(
+                    f"{what}(...) seeded with a hardcoded constant; derive the seed "
+                    "via repro.runner.derive_seed or take a named RngStreams stream",
+                    node,
+                )
+                return

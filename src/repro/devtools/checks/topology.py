@@ -96,6 +96,15 @@ class TopologyDirtyCheck(Check):
     code = "F005"
     name = "topology-dirty"
     description = "topology-affecting writes must raise the executor's dirty flag"
+    example_bad = (
+        "def retarget(self, path):\n"
+        "    self.path = path              # cached equilibrium now stale\n"
+    )
+    example_good = (
+        "def retarget(self, path):\n"
+        "    self.path = path\n"
+        "    self._mark_dirty()            # next step re-solves the topology\n"
+    )
 
     def enabled_for(self, ctx: ModuleContext) -> bool:
         return ctx.in_scope(ctx.config.topology_modules)

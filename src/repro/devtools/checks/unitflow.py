@@ -1,0 +1,303 @@
+"""F010 — dimensional consistency by dataflow (units propagate, mixes flag).
+
+F004 polices *literals*; this check polices *flows*.  Values built by
+the :mod:`repro.units` constructors carry a dimension-and-scale tag —
+``gbps(10)`` is a rate in bps, ``gigabytes(1)`` a size in bytes,
+``milliseconds(30)`` a time in seconds, ``seconds_to_ms(t)`` a time in
+**milliseconds** — and so do names with a unit suffix (``rate_bps``,
+``gap_s``, ``size_bytes``) or a well-known physical name (``dt``,
+``rtt``, ``now``).  The tags propagate through assignments, branches,
+and arithmetic; the check flags the operations where the HARP-style
+mixed-unit bugs live:
+
+* ``+``/``-``/comparisons between different dimensions or scales
+  (seconds vs milliseconds, bps vs B/s — the Mbps/MB-per-s trap);
+* dividing a byte size by a *bit* rate (the silent 8x bug) and
+  vice versa;
+* double conversion: feeding an already unit-tagged value back into a
+  units constructor, or a non-bps value into ``bps_to_gbps``;
+* raw magnitude literals (``>= 1e6`` or ``10**9``-style) flowing into a
+  unit-suffixed keyword parameter instead of a constructor.
+
+Unknown values never flag: the analysis is conservative, and division
+by an untagged operand simply drops the tag.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.dataflow import EMPTY, DataflowCheck, Scope, Value
+from repro.devtools.framework import ModuleContext, register
+
+# -- the tag vocabulary ------------------------------------------------------
+# ``u:<dimension>:<scale>``: dimension in {time, rate, size}, scale the
+# concrete unit.  Dimensionless results are untagged (EMPTY).
+
+TIME_S = "u:time:s"
+TIME_MS = "u:time:ms"
+TIME_US = "u:time:us"
+RATE_BPS = "u:rate:bps"
+RATE_BYTES_PS = "u:rate:Bps"
+RATE_GBPS = "u:rate:gbps"
+RATE_MBPS = "u:rate:mbps"
+SIZE_BYTES = "u:size:bytes"
+SIZE_BITS = "u:size:bits"
+
+#: repro.units constructors/converters -> tag of their result.
+_UNIT_CALLS = {
+    "kilobytes": SIZE_BYTES, "megabytes": SIZE_BYTES, "gigabytes": SIZE_BYTES,
+    "kibibytes": SIZE_BYTES, "mebibytes": SIZE_BYTES, "gibibytes": SIZE_BYTES,
+    "kbps": RATE_BPS, "mbps": RATE_BPS, "gbps": RATE_BPS,
+    "bits_per_second": RATE_BPS, "bytes_per_second": RATE_BYTES_PS,
+    "bps_to_gbps": RATE_GBPS, "bps_to_mbps": RATE_MBPS,
+    "milliseconds": TIME_S, "microseconds": TIME_S, "minutes": TIME_S, "hours": TIME_S,
+    "seconds_to_ms": TIME_MS, "seconds_to_us": TIME_US,
+}
+
+#: Converters whose *argument* must already carry the given tag.
+_CONVERTER_INPUT = {
+    "bps_to_gbps": RATE_BPS, "bps_to_mbps": RATE_BPS,
+    "bytes_per_second": RATE_BPS, "bits_per_second": RATE_BYTES_PS,
+    "seconds_to_ms": TIME_S, "seconds_to_us": TIME_S,
+}
+
+#: Constructors taking a dimensionless magnitude (double-conversion trap).
+_MAGNITUDE_CTORS = frozenset(
+    {"kilobytes", "megabytes", "gigabytes", "kibibytes", "mebibytes", "gibibytes",
+     "kbps", "mbps", "gbps", "milliseconds", "microseconds", "minutes", "hours"}
+)
+
+#: repro.units magnitude constants: multiplying by one imprints the unit.
+_UNIT_CONSTANTS = {
+    "KB": SIZE_BYTES, "MB": SIZE_BYTES, "GB": SIZE_BYTES, "TB": SIZE_BYTES,
+    "KiB": SIZE_BYTES, "MiB": SIZE_BYTES, "GiB": SIZE_BYTES, "TiB": SIZE_BYTES,
+    "Kbps": RATE_BPS, "Mbps": RATE_BPS, "Gbps": RATE_BPS,
+}
+
+#: Name suffixes that imprint a unit on parameters, variables, attributes.
+_SUFFIX_TAGS = (
+    ("_seconds", TIME_S), ("_secs", TIME_S), ("_sec", TIME_S), ("_s", TIME_S),
+    ("_ms", TIME_MS), ("_us", TIME_US),
+    ("_gbps", RATE_GBPS), ("_mbps", RATE_MBPS), ("_bps", RATE_BPS), ("_Bps", RATE_BYTES_PS),
+    ("_bytes", SIZE_BYTES), ("_bits", SIZE_BITS), ("_rtt", TIME_S),
+)
+
+#: Whole names with an unambiguous physical meaning in this codebase
+#: (all simulator time is seconds; see repro/units.py).
+_KNOWN_NAMES = {
+    "dt": TIME_S, "rtt": TIME_S, "now": TIME_S, "deadline": TIME_S,
+    "timeout": TIME_S, "duration": TIME_S,
+}
+
+#: Raw literals at or above this magnitude inside a unit-suffixed
+#: keyword are suspicious (mirrors F004's threshold).
+_LITERAL_MAGNITUDE = 1e6
+
+#: Division algebra: (numerator tag, denominator tag) -> result tag.
+_DIV_RULES = {
+    (SIZE_BYTES, TIME_S): RATE_BYTES_PS,
+    (SIZE_BITS, TIME_S): RATE_BPS,
+    (SIZE_BYTES, RATE_BYTES_PS): TIME_S,
+    (SIZE_BITS, RATE_BPS): TIME_S,
+}
+
+#: Division mismatches worth their own message (the 8x bug).
+_DIV_MISMATCH = {
+    (SIZE_BYTES, RATE_BPS): "dividing a byte size by a bit rate (off by 8x); "
+    "convert with units.bytes_per_second first",
+    (SIZE_BITS, RATE_BYTES_PS): "dividing a bit size by a byte rate (off by 8x); "
+    "convert with units.bits_per_second first",
+}
+
+#: Multiplication algebra.
+_MULT_RULES = {
+    (TIME_S, RATE_BPS): SIZE_BITS,
+    (TIME_S, RATE_BYTES_PS): SIZE_BYTES,
+}
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def name_tag(name: str | None) -> str | None:
+    """Unit tag implied by a name's suffix or well-known meaning."""
+    if not name:
+        return None
+    if name in _KNOWN_NAMES:
+        return _KNOWN_NAMES[name]
+    for suffix, tag in _SUFFIX_TAGS:
+        if name.endswith(suffix):
+            return tag
+    return None
+
+
+def _single(value: Value) -> str | None:
+    """The value's unit tag, when it carries exactly one (else None)."""
+    tags = [t for t in value if t.startswith("u:")]
+    return tags[0] if len(tags) == 1 else None
+
+
+def _describe(tag: str) -> str:
+    _, dim, scale = tag.split(":")
+    return f"{dim} [{scale}]"
+
+
+def _is_magnitude_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        node = node.operand
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return not isinstance(node.value, bool) and abs(float(node.value)) >= _LITERAL_MAGNITUDE
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+        return (
+            isinstance(node.left, ast.Constant)
+            and isinstance(node.right, ast.Constant)
+            and node.left.value in (2, 10)
+        )
+    return False
+
+
+@register
+class UnitFlowCheck(DataflowCheck):
+    """Propagates repro.units dimensions and flags mixed-unit operations."""
+
+    code = "F010"
+    name = "unit-propagation"
+    description = "mixed-dimension arithmetic/comparisons and raw literals in unit positions"
+    example_bad = (
+        "def eta(size_bytes, rate_bps):\n"
+        "    return size_bytes / rate_bps  # bytes / bits-per-second: off by 8x\n"
+    )
+    example_good = (
+        "def eta(size_bytes, rate_bps):\n"
+        "    return size_bytes / units.bytes_per_second(rate_bps)\n"
+    )
+
+    def enabled_for(self, ctx: ModuleContext) -> bool:
+        return ctx.in_scope(ctx.config.sim_scope) or ctx.in_scope(ctx.config.unitflow_extra_scope)
+
+    # -- sources -------------------------------------------------------------
+
+    def param(self, scope: Scope, name: str, annotation: ast.expr | None) -> Value:
+        return self.name_fallback(name)
+
+    def name_fallback(self, name: str) -> Value:
+        tag = name_tag(name)
+        return frozenset({tag}) if tag else EMPTY
+
+    def attribute_load(self, node: ast.Attribute, base: Value, resolved: str | None) -> Value:
+        if resolved is not None and resolved.startswith("repro.units."):
+            constant = _UNIT_CONSTANTS.get(resolved.rsplit(".", 1)[-1])
+            if constant is not None:
+                return frozenset({f"mag:{constant}"})
+        tag = name_tag(node.attr)
+        return frozenset({tag}) if tag else EMPTY
+
+    def subscript_load(self, node: ast.Subscript, base: Value) -> Value:
+        # Indexing keeps the unit: rates[w] is still a rate.
+        return base
+
+    def iterate(self, node: ast.expr, iterable: Value) -> Value:
+        return iterable
+
+    # -- calls ---------------------------------------------------------------
+
+    def call(self, node, target, base, args, keywords) -> Value:
+        self._check_unit_keywords(keywords)
+        if target is None or not target.startswith("repro.units."):
+            return EMPTY
+        fn = target.rsplit(".", 1)[-1]
+        arg_value = args[0][1] if args else (keywords[0][2] if keywords else EMPTY)
+        arg_tag = _single(arg_value)
+        expected = _CONVERTER_INPUT.get(fn)
+        if expected is not None and arg_tag is not None and arg_tag != expected:
+            self.report(
+                f"units.{fn}() expects {_describe(expected)} but receives "
+                f"{_describe(arg_tag)} — double conversion or wrong quantity",
+                node,
+            )
+        elif fn in _MAGNITUDE_CTORS and arg_tag is not None:
+            self.report(
+                f"units.{fn}() applied to a value already tagged {_describe(arg_tag)}; "
+                "constructors take dimensionless magnitudes",
+                node,
+            )
+        return frozenset({_UNIT_CALLS[fn]}) if fn in _UNIT_CALLS else EMPTY
+
+    def _check_unit_keywords(self, keywords) -> None:
+        for name, value_node, value in keywords:
+            expected = name_tag(name)
+            if expected is None:
+                continue
+            if _is_magnitude_literal(value_node):
+                self.report(
+                    f"raw magnitude literal flowing into unit-suffixed parameter "
+                    f"{name!r}; build it with the repro.units constructors",
+                    value_node,
+                )
+                continue
+            got = _single(value)
+            if got is not None and got != expected:
+                self.report(
+                    f"passing {_describe(got)} into parameter {name!r} which expects "
+                    f"{_describe(expected)}",
+                    value_node,
+                )
+
+    # -- operators -----------------------------------------------------------
+
+    def binop(self, node: ast.BinOp, left: Value, right: Value) -> Value:
+        lt, rt = _single(left), _single(right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if lt is not None and rt is not None:
+                if lt != rt:
+                    self.report(
+                        f"mixed units in '{'+' if isinstance(node.op, ast.Add) else '-'}': "
+                        f"{_describe(lt)} vs {_describe(rt)}",
+                        node,
+                    )
+                    return EMPTY
+                return frozenset({lt})
+            return frozenset({lt or rt}) if (lt or rt) else EMPTY
+        if isinstance(node.op, ast.Mult):
+            lmag = next((t[4:] for t in left if t.startswith("mag:")), None)
+            rmag = next((t[4:] for t in right if t.startswith("mag:")), None)
+            if lmag is not None and rt is None:
+                return frozenset({lmag})
+            if rmag is not None and lt is None:
+                return frozenset({rmag})
+            if lt is not None and rt is not None:
+                pair = _MULT_RULES.get((lt, rt)) or _MULT_RULES.get((rt, lt))
+                if pair is not None:
+                    return frozenset({pair})
+            return EMPTY
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if lt is not None and rt is not None:
+                if lt == rt:
+                    return EMPTY  # ratio: dimensionless
+                mismatch = _DIV_MISMATCH.get((lt, rt))
+                if mismatch is not None:
+                    self.report(mismatch, node)
+                    return EMPTY
+                rule = _DIV_RULES.get((lt, rt))
+                if rule is not None:
+                    return frozenset({rule})
+            if lt is not None and rt is None and not any(t.startswith("mag:") for t in right):
+                # Dividing a tagged value by an unknown scalar keeps the
+                # dimension (rates / n is still a rate); dividing by a
+                # magnitude constant is display conversion — drop it.
+                return frozenset({lt})
+            return EMPTY
+        if isinstance(node.op, ast.Mod) and lt is not None and rt is not None and lt == rt:
+            return frozenset({lt})
+        return EMPTY
+
+    def compare(self, node: ast.Compare, pairs) -> None:
+        for op, left, right in pairs:
+            if not isinstance(op, _COMPARE_OPS):
+                continue
+            lt, rt = _single(left), _single(right)
+            if lt is not None and rt is not None and lt != rt:
+                self.report(
+                    f"comparison across units: {_describe(lt)} vs {_describe(rt)}",
+                    node,
+                )

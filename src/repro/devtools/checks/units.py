@@ -49,6 +49,8 @@ class UnitHygieneCheck(Check):
     code = "F004"
     name = "unit-hygiene"
     description = "raw 10**9-style magnitude literals outside repro.units"
+    example_bad = "capacity = 10 * 10**9         # bits? bytes? per second?\n"
+    example_good = "capacity = 10 * units.Gbps    # named, dimensioned constant\n"
 
     def enabled_for(self, ctx: ModuleContext) -> bool:
         return ctx.module.startswith("repro/") and not ctx.in_scope(

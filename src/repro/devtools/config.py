@@ -31,6 +31,8 @@ SIM_SCOPE = (
     "repro/baselines/",
     "repro/service/",
     "repro/faults/",
+    # The linter holds itself to the determinism bar it enforces.
+    "repro/devtools/",
 )
 
 
@@ -86,6 +88,53 @@ class LintConfig:
         "repro.runner.task.task",
         "repro.runner.SimTask",
         "repro.runner.task.SimTask",
+    )
+    #: Modules under BatchStore view-aliasing discipline (F009).
+    alias_scope: tuple[str, ...] = (
+        "repro/transfer/",
+        "repro/sim/",
+        "repro/faults/",
+        "repro/service/",
+    )
+    #: Session attributes that are BatchStore-adopted views (F009).
+    adopted_fields: tuple[str, ...] = (
+        "rates",
+        "file_size",
+        "file_done",
+        "gap_left",
+        "stall_left",
+        "attempts",
+        "has_file",
+    )
+    #: Functions allowed to rebind adopted arrays (F009): they re-gather
+    #: or hand out copies, and raise the topology-dirty flag.
+    detach_points: tuple[str, ...] = (
+        "__init__",
+        "adopt_state",
+        "detach",
+        "_resize_workers",
+    )
+    #: Class names whose instances are transfer sessions (F009).
+    session_classes: tuple[str, ...] = ("TransferSession",)
+    #: Modules outside the sim scope that still get unit-propagation
+    #: checking (F010) — presentation layers that format physical
+    #: quantities.
+    unitflow_extra_scope: tuple[str, ...] = (
+        "repro/obs/",
+        "repro/testbeds/",
+    )
+    #: Call-target prefixes that count as simulation inputs (F012): a
+    #: wall-clock/environment-derived value reaching one is a finding.
+    taint_sink_prefixes: tuple[str, ...] = (
+        "repro.sim.",
+        "repro.network.",
+        "repro.transfer.",
+        "repro.storage.",
+        "repro.hosts.",
+        "repro.core.",
+        "repro.baselines.",
+        "repro.service.",
+        "repro.faults.",
     )
 
     def with_(self, **kwargs: Any) -> "LintConfig":

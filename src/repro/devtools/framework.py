@@ -168,6 +168,10 @@ class Check:
     code: str = "F000"
     name: str = "base"
     description: str = ""
+    #: Minimal violating / conforming snippets, rendered into the
+    #: generated code catalog (``docs/lint.md``) and SARIF rule help.
+    example_bad: str = ""
+    example_good: str = ""
 
     def enabled_for(self, ctx: ModuleContext) -> bool:
         """Whether this check applies to the module at all."""

@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format GitHub code scanning, VS Code's SARIF viewer, and most CI
+dashboards ingest.  One ``run`` per invocation; the rule table is
+built from the check registry so rule metadata (name, description,
+help text with examples) travels with the results.
+
+The output is deterministic: rules are sorted by code, results keep
+the runner's path/line ordering, and no timestamps or absolute paths
+are embedded — two runs over the same tree produce byte-identical
+files, which keeps SARIF artifacts diffable and cacheable in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.devtools.findings import Finding
+from repro.devtools.framework import REGISTRY
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+#: Reserved code for unparseable files (not in the registry).
+_PARSE_ERROR = "F000"
+
+
+def _rule(code: str) -> dict[str, Any]:
+    """SARIF ``reportingDescriptor`` for one check code."""
+    if code == _PARSE_ERROR:
+        return {
+            "id": code,
+            "name": "parse-error",
+            "shortDescription": {"text": "file could not be parsed"},
+        }
+    check = REGISTRY[code]
+    rule: dict[str, Any] = {
+        "id": code,
+        "name": check.name,
+        "shortDescription": {"text": check.description},
+    }
+    help_parts = []
+    bad = getattr(check, "example_bad", "")
+    good = getattr(check, "example_good", "")
+    if bad:
+        help_parts.append(f"Bad:\n{bad.rstrip()}")
+    if good:
+        help_parts.append(f"Good:\n{good.rstrip()}")
+    if help_parts:
+        rule["help"] = {"text": "\n\n".join(help_parts)}
+    return rule
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict[str, Any]:
+    region: dict[str, Any] = {"startLine": finding.line}
+    if finding.col:
+        region["startColumn"] = finding.col + 1  # SARIF columns are 1-based
+    if finding.end_line and finding.end_line >= finding.line:
+        region["endLine"] = finding.end_line
+    return {
+        "ruleId": finding.code,
+        "ruleIndex": rule_index[finding.code],
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": region,
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(findings: list[Finding], tool_version: str = "0") -> dict[str, Any]:
+    """The SARIF log object (a plain dict; serialise with render_sarif)."""
+    codes = sorted({f.code for f in findings} | set(REGISTRY))
+    rule_index = {code: i for i, code in enumerate(codes)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": tool_version,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": [_rule(code) for code in codes],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(findings: list[Finding], tool_version: str = "0") -> str:
+    """Serialised SARIF log, stable across runs for identical findings."""
+    return json.dumps(to_sarif(findings, tool_version), indent=2, sort_keys=True)

@@ -99,6 +99,8 @@ class FaultInjector:
         self.plan = plan
         self.service = service
         self.recorder = recorder
+        # repro: lint-ok[F011]: seed-0 fallback for standalone use; real runs
+        # pass the experiment's RngStreams and golden tests pin this stream.
         self.rng = ChaosRng(streams if streams is not None else RngStreams(0))
         self.log: list[FaultRecord] = []
         self._armed = False

@@ -17,7 +17,7 @@ scenario costs milliseconds; a timer pair costs ~100 ns).
 
 from __future__ import annotations
 
-# repro: lint-ok-file[F001]: this module's entire purpose is wall-clock
+# repro: lint-ok-file[F001,F012]: this module's entire purpose is wall-clock
 # measurement; it observes the simulator and never feeds sim state.
 
 import time

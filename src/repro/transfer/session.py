@@ -384,7 +384,7 @@ class TransferSession:
             Simulation time at the *start* of the step.
         """
         self.current_loss = loss_rate
-        self.rates = self.tcp.advance_rates(self.rates, targets, self._path_rtt, dt)
+        self.rates[:] = self.tcp.advance_rates(self.rates, targets, self._path_rtt, dt)
 
         # Consume injected stalls first (hung workers move nothing), then
         # gaps; remaining time per worker is what's left of dt.  The
@@ -396,10 +396,10 @@ class TransferSession:
             self.stalled_seconds += float(stall_used.sum())
             budget = dt - stall_used
             time_left = np.maximum(0.0, budget - self.gap_left)
-            self.gap_left = np.maximum(0.0, self.gap_left - budget)
+            self.gap_left[:] = np.maximum(0.0, self.gap_left - budget)
         else:
             time_left = np.maximum(0.0, dt - self.gap_left)
-            self.gap_left = np.maximum(0.0, self.gap_left - dt)
+            self.gap_left[:] = np.maximum(0.0, self.gap_left - dt)
 
         goodput_factor = 1.0 - loss_rate
         good_rate_Bps = self.rates * goodput_factor / 8.0

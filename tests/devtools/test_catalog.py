@@ -1,0 +1,43 @@
+"""The generated lint catalog (docs/lint.md) stays in sync with the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.catalog import main, render_catalog
+from repro.devtools.framework import REGISTRY
+
+
+def test_catalog_lists_every_check():
+    rendered = render_catalog()
+    for code, cls in REGISTRY.items():
+        assert f"## {code} — {cls.name}" in rendered
+        assert cls.description in rendered
+
+
+def test_catalog_includes_examples():
+    rendered = render_catalog()
+    assert "session.rates = np.concatenate" in rendered  # F009 example_bad
+    assert "derive_seed" in rendered  # F011 example_good
+
+
+def test_committed_catalog_is_in_sync(repo_root, capsys):
+    doc = repo_root / "docs" / "lint.md"
+    if not doc.is_file():
+        pytest.skip("docs/ not available (installed package?)")
+    assert main(["--check", "--path", str(doc)]) == 0
+    capsys.readouterr()
+
+
+def test_catalog_check_detects_drift(tmp_path, capsys):
+    stale = tmp_path / "lint.md"
+    stale.write_text("# stale\n", encoding="utf-8")
+    assert main(["--check", "--path", str(stale)]) == 1
+    capsys.readouterr()
+
+
+def test_catalog_write_then_check_roundtrip(tmp_path, capsys):
+    doc = tmp_path / "lint.md"
+    assert main(["--write", "--path", str(doc)]) == 0
+    assert main(["--check", "--path", str(doc)]) == 0
+    capsys.readouterr()

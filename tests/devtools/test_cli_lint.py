@@ -79,3 +79,80 @@ def test_renderers_round_trip():
         "line": 3,
         "col": 4,
     }
+
+
+def test_sarif_output_file(tmp_path, capsys):
+    bad = write_bad_module(tmp_path)
+    sarif_path = tmp_path / "out.sarif"
+    assert main(["lint", str(bad), "--no-config", "--sarif", str(sarif_path)]) == 1
+    capsys.readouterr()
+    log = json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert log["version"] == "2.1.0"
+    run_obj = log["runs"][0]
+    assert run_obj["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in run_obj["tool"]["driver"]["rules"]]
+    for code in ("F001", "F009", "F010", "F011", "F012"):
+        assert code in rule_ids
+    results = run_obj["results"]
+    assert [r["ruleId"] for r in results] == ["F001", "F004"]
+    assert results[0]["locations"][0]["physicalLocation"]["region"]["startLine"] == 1
+
+
+def test_sarif_rules_carry_examples(tmp_path, capsys):
+    bad = write_bad_module(tmp_path)
+    sarif_path = tmp_path / "out.sarif"
+    main(["lint", str(bad), "--no-config", "--sarif", str(sarif_path)])
+    capsys.readouterr()
+    log = json.loads(sarif_path.read_text(encoding="utf-8"))
+    rules = {r["id"]: r for r in log["runs"][0]["tool"]["driver"]["rules"]}
+    assert "Bad:" in rules["F009"]["help"]["text"]
+    assert "Good:" in rules["F009"]["help"]["text"]
+
+
+def test_sarif_is_deterministic(tmp_path, capsys):
+    bad = write_bad_module(tmp_path)
+    a, b = tmp_path / "a.sarif", tmp_path / "b.sarif"
+    main(["lint", str(bad), "--no-config", "--sarif", str(a)])
+    main(["lint", str(bad), "--no-config", "--sarif", str(b)])
+    capsys.readouterr()
+    assert a.read_text(encoding="utf-8") == b.read_text(encoding="utf-8")
+
+
+def test_baseline_update_then_filter(tmp_path, capsys):
+    bad = write_bad_module(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(bad), "--no-config", "--update-baseline", str(baseline)]) == 0
+    assert "recorded 2 findings" in capsys.readouterr().out
+
+    assert main(["lint", str(bad), "--no-config", "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "clean: no findings" in out
+    assert "2 accepted findings hidden" in out
+
+
+def test_baseline_fails_on_new_findings_only(tmp_path, capsys):
+    bad = write_bad_module(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    main(["lint", str(bad), "--no-config", "--update-baseline", str(baseline)])
+    capsys.readouterr()
+
+    bad.write_text(
+        bad.read_text(encoding="utf-8") + "import secrets\n", encoding="utf-8"
+    )
+    assert main(["lint", str(bad), "--no-config", "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "secrets" in out or "F001" in out
+    assert "2 accepted findings hidden" in out
+
+
+def test_baseline_is_line_shift_tolerant(tmp_path, capsys):
+    bad = write_bad_module(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    main(["lint", str(bad), "--no-config", "--update-baseline", str(baseline)])
+    capsys.readouterr()
+
+    # Prepending harmless lines shifts every finding; fingerprints are
+    # line-independent so the baseline still covers them.
+    bad.write_text('"""doc."""\nX = 1\n' + bad.read_text(encoding="utf-8"), encoding="utf-8")
+    assert main(["lint", str(bad), "--no-config", "--baseline", str(baseline)]) == 0
+    capsys.readouterr()

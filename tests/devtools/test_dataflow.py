@@ -1,0 +1,262 @@
+"""The dataflow layer: scope trees, def-use chains, abstract interpretation."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.config import LintConfig
+from repro.devtools.dataflow import (
+    EMPTY,
+    DataflowEngine,
+    Domain,
+    Scope,
+    Value,
+    build_scope_tree,
+    def_use,
+    dotted_module,
+    iter_code_scopes,
+    join_values,
+)
+from repro.devtools.framework import ModuleContext
+
+
+def make_ctx(src: str, path: str = "repro/sim/example.py") -> ModuleContext:
+    source = textwrap.dedent(src).lstrip("\n")
+    return ModuleContext(path, source, ast.parse(source), LintConfig())
+
+
+# ---------------------------------------------------------------------------
+# Scope resolution.
+# ---------------------------------------------------------------------------
+
+
+def test_scope_tree_shapes():
+    root = build_scope_tree(
+        ast.parse(
+            textwrap.dedent(
+                """
+                def top():
+                    def inner():
+                        pass
+
+                class Widget:
+                    def method(self):
+                        pass
+                """
+            )
+        )
+    )
+    assert root.kind == "module"
+    assert root.name == "<module>"
+    assert set(root.functions) == {"top"}
+    assert set(root.classes) == {"Widget"}
+
+    top = root.children[0]
+    assert (top.kind, top.name, top.owner_class) == ("function", "top", None)
+    inner = top.children[0]
+    assert inner.name == "inner"
+    assert inner.parent is top
+
+    widget = root.children[1]
+    assert widget.kind == "class"
+    method = widget.children[0]
+    assert (method.kind, method.name, method.owner_class) == ("function", "method", "Widget")
+
+
+def test_enclosing_function_walks_up():
+    root = build_scope_tree(
+        ast.parse("def outer():\n    class Inner:\n        x = 1\n")
+    )
+    outer = root.children[0]
+    inner_class = outer.children[0]
+    assert inner_class.enclosing_function() is outer
+    assert root.enclosing_function() is None
+
+
+def test_lookup_local_def_sees_enclosing_scopes():
+    root = build_scope_tree(
+        ast.parse("def helper():\n    pass\n\ndef caller():\n    helper()\n")
+    )
+    caller = root.children[1]
+    assert caller.lookup_local_def("helper") is root.functions["helper"]
+    assert caller.lookup_local_def("missing") is None
+
+
+def test_iter_code_scopes_skips_class_bodies():
+    root = build_scope_tree(
+        ast.parse(
+            "def f():\n    pass\n\nclass C:\n    def m(self):\n        pass\n"
+        )
+    )
+    kinds = [(s.kind, s.name) for s in iter_code_scopes(root)]
+    # The class body executes inline in the module walk; only the module
+    # and the two function scopes are independent units of analysis.
+    assert kinds == [("module", "<module>"), ("function", "f"), ("function", "m")]
+
+
+def test_dotted_module():
+    assert dotted_module("repro/transfer/session.py") == "repro.transfer.session"
+    assert dotted_module("repro/sim/__init__.py") == "repro.sim"
+
+
+# ---------------------------------------------------------------------------
+# Def-use chains.
+# ---------------------------------------------------------------------------
+
+
+def test_def_use_straight_line():
+    chains = def_use(make_ctx("x = 1\ny = x + 1\n"))
+    assert chains[("x", 2)] == (1,)
+
+
+def test_def_use_reassignment_kills_old_def():
+    chains = def_use(make_ctx("x = 1\nx = 2\ny = x\n"))
+    assert chains[("x", 3)] == (2,)
+
+
+def test_def_use_joins_branches():
+    chains = def_use(
+        make_ctx(
+            """
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+    )
+    # Both branch assignments (lines 3 and 5) may reach the use on line 6.
+    assert chains[("x", 6)] == (3, 5)
+
+
+def test_def_use_loop_carried():
+    chains = def_use(
+        make_ctx(
+            """
+            def f(items):
+                x = 0
+                for item in items:
+                    y = x
+                    x = item
+                return x
+            """
+        )
+    )
+    # Inside the loop, ``x`` may come from the init (line 2) or the
+    # previous iteration (line 5); the loop-exit use sees both too.
+    assert chains[("x", 4)] == (2, 5)
+    assert chains[("x", 6)] == (2, 5)
+
+
+def test_def_use_params_are_definitions():
+    chains = def_use(make_ctx("def f(a):\n    return a\n"))
+    assert chains[("a", 2)] == (1,)
+
+
+# ---------------------------------------------------------------------------
+# The abstract interpreter, driven by a tiny tracking domain.
+# ---------------------------------------------------------------------------
+
+
+class TagDomain(Domain):
+    """Sources values from ``tagged()`` calls; records every attr store."""
+
+    def __init__(self) -> None:
+        self.stores: list[tuple[str, frozenset]] = []
+
+    def call(self, node, target, base, args, keywords) -> Value:
+        if isinstance(node.func, ast.Name) and node.func.id == "tagged":
+            return frozenset({"T"})
+        merged = base
+        for _, value in args:
+            merged = join_values(merged, value)
+        return merged
+
+    def store_attr(self, stmt, target, base, value, aug):
+        self.stores.append((target.attr, value))
+
+
+def interpret(src: str) -> TagDomain:
+    ctx = make_ctx(src)
+    domain = TagDomain()
+    DataflowEngine(ctx, domain).run()
+    return domain
+
+
+def test_values_flow_through_assignments():
+    domain = interpret("x = tagged()\ny = x\nobj.field = y\n")
+    assert domain.stores == [("field", frozenset({"T"}))]
+
+
+def test_branch_join_is_may_analysis():
+    domain = interpret(
+        """
+        def f(flag, obj):
+            if flag:
+                x = tagged()
+            else:
+                x = 0
+            obj.field = x
+        """
+    )
+    # The tag *may* reach the store: joins are unions.
+    assert domain.stores == [("field", frozenset({"T"}))]
+
+
+def test_loop_carried_facts_reach_fixpoint():
+    domain = interpret(
+        """
+        def f(items, obj):
+            x = 0
+            for item in items:
+                obj.field = x
+                x = tagged()
+        """
+    )
+    # First pass stores EMPTY; the second pass (loop rerun) sees the
+    # tag assigned at the end of iteration one.
+    assert (("field", frozenset({"T"}))) in domain.stores
+
+
+def test_calls_merge_argument_values():
+    domain = interpret("x = tagged()\ny = wrap(x)\nobj.field = y\n")
+    assert domain.stores == [("field", frozenset({"T"}))]
+
+
+def test_fstrings_propagate():
+    domain = interpret('x = tagged()\nobj.field = f"{x}"\n')
+    assert domain.stores == [("field", frozenset({"T"}))]
+
+
+def test_function_scopes_are_isolated():
+    # A tag created in one function does not leak into a sibling.
+    domain = interpret(
+        """
+        def a():
+            x = tagged()
+
+        def b(obj):
+            x = 0
+            obj.field = x
+        """
+    )
+    assert domain.stores == [("field", EMPTY)]
+
+
+def test_augassign_reads_then_stores():
+    domain = interpret(
+        """
+        def f(obj):
+            obj.field += tagged()
+        """
+    )
+    # Aug-stores still hit the sink (with the combined value).
+    assert len(domain.stores) == 1
+
+
+def test_tuple_unpack_spreads_value():
+    domain = interpret("a, b = tagged(), 0\nobj.field = a\n")
+    assert domain.stores == [("field", frozenset({"T"}))]

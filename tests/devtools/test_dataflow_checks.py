@@ -1,0 +1,431 @@
+"""Positive/negative fixtures for the dataflow checks (F009-F012)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools import LintConfig, lint_source
+
+SIM = "repro/sim/example.py"
+TRANSFER = "repro/transfer/example.py"
+ANALYSIS = "repro/analysis/example.py"
+
+
+def run(src: str, path: str = SIM, config: LintConfig | None = None):
+    return lint_source(textwrap.dedent(src), path=path, config=config)
+
+
+def codes(src: str, path: str = SIM, config: LintConfig | None = None):
+    return [f.code for f in run(src, path, config)]
+
+
+def only(code: str) -> LintConfig:
+    return LintConfig(select=(code,))
+
+
+# ---------------------------------------------------------------------------
+# F009 — view-aliasing discipline.
+# ---------------------------------------------------------------------------
+
+F009 = only("F009")
+
+
+def test_f009_flags_rebind_of_adopted_array_on_session_param():
+    src = """
+        def grow(session, extra):
+            session.rates = extra
+    """
+    assert codes(src, TRANSFER, F009) == ["F009"]
+
+
+def test_f009_flags_rebind_via_annotation():
+    src = """
+        def grow(sess_obj: TransferSession, extra):
+            sess_obj.gap_left = extra
+    """
+    assert codes(src, TRANSFER, F009) == ["F009"]
+
+
+def test_f009_flags_rebind_on_self_in_session_class():
+    src = """
+        class TransferSession:
+            def shuffle(self, order):
+                self.rates = self.rates[order]
+    """
+    assert codes(src, TRANSFER, F009) == ["F009"]
+
+
+def test_f009_flags_rebind_when_iterating_sessions():
+    src = """
+        def tick(self, dt):
+            for s in self.sessions:
+                s.stall_left = 0.0
+    """
+    assert codes(src, TRANSFER, F009) == ["F009"]
+
+
+def test_f009_flags_session_from_constructor_call():
+    src = """
+        from repro.transfer.session import TransferSession
+
+        def build(params):
+            s = TransferSession(params)
+            s.rates = params.initial
+            return s
+    """
+    assert codes(src, TRANSFER, F009) == ["F009"]
+
+
+def test_f009_allows_inplace_writes():
+    src = """
+        def throttle(session, cap):
+            session.rates[:] = cap
+            session.rates[0] = cap
+            session.gap_left -= 0.1
+            session.stall_left[2:] = 0.0
+    """
+    assert codes(src, TRANSFER, F009) == []
+
+
+def test_f009_allows_rebind_inside_detach_points():
+    src = """
+        class TransferSession:
+            def __init__(self, n):
+                self.rates = zeros(n)
+
+            def adopt_state(self, rates):
+                self.rates = rates
+
+            def detach(self):
+                self.rates = self.rates.copy()
+
+            def _resize_workers(self, n):
+                self.rates = zeros(n)
+    """
+    assert codes(src, TRANSFER, F009) == []
+
+
+def test_f009_ignores_non_adopted_attributes_and_unknown_objects():
+    src = """
+        def f(session, widget):
+            session.name = "a"        # not an adopted field
+            widget.rates = [1, 2]     # not provably a session
+    """
+    assert codes(src, TRANSFER, F009) == []
+
+
+def test_f009_only_runs_in_alias_scope():
+    src = """
+        def grow(session, extra):
+            session.rates = extra
+    """
+    assert codes(src, "repro/analysis/example.py", F009) == []
+
+
+# ---------------------------------------------------------------------------
+# F010 — unit propagation.
+# ---------------------------------------------------------------------------
+
+F010 = only("F010")
+
+
+def test_f010_flags_bytes_over_bit_rate():
+    src = """
+        def eta(size_bytes, rate_bps):
+            return size_bytes / rate_bps
+    """
+    findings = run(src, SIM, F010)
+    assert [f.code for f in findings] == ["F010"]
+    assert "8x" in findings[0].message
+
+
+def test_f010_accepts_converted_division():
+    src = """
+        from repro import units
+
+        def eta(size_bytes, rate_bps):
+            return size_bytes / units.bytes_per_second(rate_bps)
+    """
+    assert codes(src, SIM, F010) == []
+
+
+def test_f010_flags_mixed_dimension_addition():
+    src = """
+        def f(dt, rate_bps):
+            return dt + rate_bps
+    """
+    assert codes(src, SIM, F010) == ["F010"]
+
+
+def test_f010_flags_mixed_scale_addition():
+    src = """
+        def f(delay_ms, dt):
+            return delay_ms + dt
+    """
+    assert codes(src, SIM, F010) == ["F010"]
+
+
+def test_f010_flags_cross_unit_comparison():
+    src = """
+        def f(dt, size_bytes):
+            if dt > size_bytes:
+                return 1
+    """
+    assert codes(src, SIM, F010) == ["F010"]
+
+
+def test_f010_tags_flow_through_assignment():
+    src = """
+        def f(rate_bps, dt):
+            r = rate_bps
+            window = dt
+            return r + window
+    """
+    assert codes(src, SIM, F010) == ["F010"]
+
+
+def test_f010_flags_double_conversion():
+    src = """
+        from repro.units import gbps
+
+        def f():
+            return gbps(gbps(10))
+    """
+    assert codes(src, SIM, F010) == ["F010"]
+
+
+def test_f010_flags_raw_literal_into_unit_keyword():
+    src = """
+        def f(configure):
+            configure(timeout_s=5_000_000)
+    """
+    assert codes(src, SIM, F010) == ["F010"]
+
+
+def test_f010_allows_same_unit_arithmetic():
+    src = """
+        def f(dt, rtt, size_bytes, chunk_bytes):
+            total = dt + rtt
+            left = size_bytes - chunk_bytes
+            ratio = size_bytes / chunk_bytes
+            return total, left, ratio
+    """
+    assert codes(src, SIM, F010) == []
+
+
+def test_f010_dividing_by_unknown_scalar_keeps_unit():
+    src = """
+        def f(rate_bps, n, dt):
+            share = rate_bps / n
+            return share + dt
+    """
+    assert codes(src, SIM, F010) == ["F010"]
+
+
+def test_f010_multiplication_algebra_time_times_rate():
+    src = """
+        def f(dt, rate_bps, size_bytes):
+            moved_bits = dt * rate_bps
+            return moved_bits + size_bytes
+    """
+    # bits + bytes: the algebra produced a bit size and the add mixes it.
+    assert codes(src, SIM, F010) == ["F010"]
+
+
+def test_f010_runs_in_extra_scope_but_not_elsewhere():
+    src = """
+        def f(dt, rate_bps):
+            return dt + rate_bps
+    """
+    assert codes(src, "repro/obs/example.py", F010) == ["F010"]
+    assert codes(src, "repro/analysis/example.py", F010) == []
+
+
+# ---------------------------------------------------------------------------
+# F011 — RNG provenance.
+# ---------------------------------------------------------------------------
+
+F011 = only("F011")
+
+
+def test_f011_flags_hardcoded_seed():
+    src = """
+        import numpy as np
+        rng = np.random.default_rng(42)
+    """
+    assert codes(src, SIM, F011) == ["F011"]
+
+
+def test_f011_flags_literal_flowing_through_variable():
+    src = """
+        import numpy as np
+
+        def f():
+            chosen = 1234
+            return np.random.default_rng(chosen)
+    """
+    assert codes(src, SIM, F011) == ["F011"]
+
+
+def test_f011_flags_literal_through_int_and_seedsequence():
+    src = """
+        import numpy as np
+
+        def f():
+            return np.random.SeedSequence(int(7))
+    """
+    assert codes(src, SIM, F011) == ["F011"]
+
+
+def test_f011_accepts_derive_seed():
+    src = """
+        import numpy as np
+        from repro.runner.seeds import derive_seed
+
+        def f(seed, name):
+            return np.random.default_rng(derive_seed(seed, name))
+    """
+    assert codes(src, SIM, F011) == []
+
+
+def test_f011_accepts_caller_supplied_seed_params():
+    src = """
+        import numpy as np
+
+        def f(seed, worker_seed):
+            a = np.random.default_rng(seed)
+            b = np.random.default_rng(worker_seed * 2 + 1)
+            return a, b
+    """
+    assert codes(src, SIM, F011) == []
+
+
+def test_f011_accepts_seed_attributes():
+    src = """
+        import numpy as np
+
+        def f(cfg):
+            return np.random.default_rng(cfg.seed)
+    """
+    assert codes(src, SIM, F011) == []
+
+
+def test_f011_flags_rngstreams_with_literal():
+    src = """
+        from repro.sim.rng import RngStreams
+        streams = RngStreams(123)
+    """
+    assert codes(src, SIM, F011) == ["F011"]
+
+
+def test_f011_accepts_rngstreams_from_seed():
+    src = """
+        from repro.sim.rng import RngStreams
+
+        def f(seed):
+            return RngStreams(seed)
+    """
+    assert codes(src, SIM, F011) == []
+
+
+def test_f011_unknown_values_do_not_flag():
+    src = """
+        import numpy as np
+
+        def f(source):
+            return np.random.default_rng(source())
+    """
+    assert codes(src, SIM, F011) == []
+
+
+def test_f011_only_runs_in_sim_scope():
+    src = """
+        import numpy as np
+        rng = np.random.default_rng(42)
+    """
+    assert codes(src, "repro/analysis/example.py", F011) == []
+
+
+# ---------------------------------------------------------------------------
+# F012 — environment taint.
+# ---------------------------------------------------------------------------
+
+F012 = only("F012")
+
+
+def test_f012_flags_wall_clock_stored_into_sim_state():
+    src = """
+        import time
+
+        class Engine:
+            def poke(self):
+                self._jitter = time.time() % 1.0
+    """
+    assert codes(src, SIM, F012) == ["F012"]
+
+
+def test_f012_flags_environ_reaching_sim_element():
+    src = """
+        import os
+
+        def f(table):
+            table["host"] = os.environ["HOST"]
+    """
+    assert codes(src, SIM, F012) == ["F012"]
+
+
+def test_f012_flags_tainted_argument_into_sim_call():
+    src = """
+        import time
+        from repro.sim.engine import schedule
+
+        def f():
+            wall = time.perf_counter()
+            schedule(wall * 2)
+    """
+    assert codes(src, ANALYSIS, F012) == ["F012"]
+
+
+def test_f012_flags_taint_through_fstring_keyword():
+    src = """
+        import os
+        from repro.transfer.session import TransferSession
+
+        def f():
+            tag = f"run-{os.getpid()}"
+            return TransferSession(name=tag)
+    """
+    assert codes(src, ANALYSIS, F012) == ["F012"]
+
+
+def test_f012_allows_profiling_that_stays_in_reports():
+    src = """
+        import time
+
+        def f(report):
+            wall = time.perf_counter()
+            report["wall_s"] = wall
+            return report
+    """
+    assert codes(src, ANALYSIS, F012) == []
+
+
+def test_f012_allows_untainted_sim_inputs():
+    src = """
+        from repro.sim.engine import schedule
+
+        def f(dt):
+            schedule(dt + 1.0)
+    """
+    assert codes(src, ANALYSIS, F012) == []
+
+
+def test_f012_attribute_reads_keep_taint():
+    src = """
+        import os
+
+        def f(engine):
+            st = os.stat("data.bin")
+            engine.offset = st.st_size
+    """
+    assert codes(src, SIM, F012) == ["F012"]

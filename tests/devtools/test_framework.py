@@ -21,9 +21,10 @@ def codes(findings):
 # ---------------------------------------------------------------------------
 
 
-def test_all_eight_checks_registered():
+def test_all_twelve_checks_registered():
     assert set(REGISTRY) == {
         "F001", "F002", "F003", "F004", "F005", "F006", "F007", "F008",
+        "F009", "F010", "F011", "F012",
     }
 
 

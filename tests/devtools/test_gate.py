@@ -145,3 +145,66 @@ def test_planted_unitless_duration_in_faults_is_caught(package_root):
     )
     findings = lint_source(mutated, path=str(plan), config=config)
     assert [f.code for f in findings] == ["F008"]
+
+
+def test_planted_session_array_rebind_is_caught(package_root):
+    # The F009 acceptance canary: a deliberate rebind of an adopted
+    # session array in real source must be flagged at the right line.
+    session = package_root / "transfer" / "session.py"
+    source = session.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(session), config=config) == []
+
+    mutated = source + (
+        "\n\ndef _sneak_grow(session, extra):\n"
+        "    session.rates = np.concatenate([session.rates, extra])\n"
+    )
+    findings = lint_source(mutated, path=str(session), config=config)
+    assert [f.code for f in findings] == ["F009"]
+    assert findings[0].line == source.count("\n") + 4
+
+
+def test_planted_unit_mismatch_in_tcp_is_caught(package_root):
+    # F010: a bytes/bps division (the 8x bug) planted in the TCP model.
+    tcp = package_root / "network" / "tcp.py"
+    source = tcp.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(tcp), config=config) == []
+
+    mutated = source + (
+        "\n\ndef _sneak_eta(size_bytes, rate_bps):\n"
+        "    return size_bytes / rate_bps\n"
+    )
+    findings = lint_source(mutated, path=str(tcp), config=config)
+    assert [f.code for f in findings] == ["F010"]
+
+
+def test_planted_hardcoded_seed_in_rng_is_caught(package_root):
+    # F011: F001 accepts any seeded generator, so a literal seed must be
+    # caught by the provenance check instead.
+    rng = package_root / "sim" / "rng.py"
+    source = rng.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(rng), config=config) == []
+
+    mutated = source + "\n_AMBIENT = np.random.default_rng(1234)\n"
+    findings = lint_source(mutated, path=str(rng), config=config)
+    assert [f.code for f in findings] == ["F011"]
+    assert findings[0].line == source.count("\n") + 2
+
+
+def test_planted_wall_clock_store_in_engine_is_caught(package_root):
+    # F012: wall-clock taint flowing into engine state.  F001 also flags
+    # the raw read; the taint check must flag the *store*.
+    engine = package_root / "sim" / "engine.py"
+    source = engine.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(engine), config=config) == []
+
+    mutated = source + (
+        "\nimport time\n\n"
+        "def _sneak_jitter(engine):\n"
+        "    engine._jitter = time.time() % 1.0\n"
+    )
+    findings = lint_source(mutated, path=str(engine), config=config)
+    assert sorted(f.code for f in findings) == ["F001", "F012"]
