@@ -1,0 +1,167 @@
+"""Control-plane overhead benchmark at 1k queued jobs.
+
+What the control plane *adds* over direct ``FalconService.submit`` is
+exactly its decision machinery: per-job admission (breaker check,
+quota bucket, degradation/bound checks, enqueue) and per-job
+scheduling (priority scan + weighted deficit round-robin pick).  The
+launch, transfer, and completion paths are byte-for-byte the same
+code.  So the benchmark times those two paths in isolation over a
+1000-job queue — microsecond-scale work that measures stably — and
+expresses the total as a fraction of the direct leg's end-to-end wall
+time on the same workload:
+
+* **direct** — 1000 one-file jobs through ``submit()`` to completion
+  (the denominator; simulation dominates);
+* **admission** — 1000 ``ControlPlane.submit`` calls into a held
+  queue (4-tenant mix) minus the cost of the same 1000 direct
+  ``submit`` enqueues;
+* **scheduling** — 1000 WDRR picks draining that queue.
+
+Acceptance budget: admission + scheduling ≤ 5% of the direct leg
+(asserted here and in the CI smoke).  An end-to-end control-plane leg
+is deliberately *not* the budget metric: at ~0.4 s per run this
+container's timer noise is ±30%, far coarser than the effect.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full run
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI-sized
+
+Writes ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path as FsPath
+
+from repro.service import (
+    ControlPlane,
+    ControlPolicy,
+    FalconService,
+    JobState,
+    Priority,
+    TenantSpec,
+)
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import GB, MB
+
+#: Acceptance budget: control machinery as a fraction of the direct leg.
+BUDGET = 0.05
+
+TENANT_NAMES = ("t0", "t1", "t2", "t3")
+
+
+def _fresh(max_active: int) -> tuple[SimulationEngine, FalconService]:
+    engine = SimulationEngine(dt=0.1)
+    network = FluidTransferNetwork(engine)
+    service = FalconService(engine=engine, network=network, max_active=max_active, seed=0)
+    return engine, service
+
+
+def direct_leg(jobs: int) -> float:
+    """Wall seconds for ``jobs`` one-file jobs through plain submit()."""
+    engine, service = _fresh(max_active=4)
+    tb = hpclab()
+    datasets = [uniform_dataset(1, 64 * MB) for _ in range(jobs)]
+    t0 = time.perf_counter()
+    for i, dataset in enumerate(datasets):
+        service.submit(tb, dataset, name=f"j{i}")
+    while service.running():
+        engine.run_until(engine.now + 50.0)
+    wall = time.perf_counter() - t0
+    completed = sum(1 for j in service.jobs if j.state is JobState.COMPLETED)
+    if completed != jobs:
+        raise AssertionError(f"direct leg finished {completed}/{jobs} jobs")
+    return wall
+
+
+def machinery(jobs: int) -> tuple[float, float, float]:
+    """(admission, scheduling, direct-enqueue) seconds for ``jobs`` jobs.
+
+    One huge job pins the single slot so nothing launches: the timed
+    loops exercise pure decision machinery against a queue that grows
+    to ``jobs`` deep, then drains through 1000 WDRR picks.
+    """
+    tb = hpclab()
+    datasets = [uniform_dataset(1, 64 * MB) for _ in range(jobs)]
+
+    engine, service = _fresh(max_active=1)
+    service.submit(tb, uniform_dataset(1, 512 * GB), name="plug")
+    plane = ControlPlane(service, ControlPolicy(max_queue=2 * jobs, preemption=False))
+    for name in TENANT_NAMES:
+        plane.register_tenant(TenantSpec(name, priority=Priority.NORMAL))
+    t0 = time.perf_counter()
+    for i, dataset in enumerate(datasets):
+        plane.submit(tb, dataset, TENANT_NAMES[i % len(TENANT_NAMES)], name=f"j{i}")
+    admission = time.perf_counter() - t0
+    if plane.depth != jobs:
+        raise AssertionError(f"queue held {plane.depth}/{jobs} jobs")
+    t0 = time.perf_counter()
+    for _ in range(jobs):
+        plane._pick()
+    scheduling = time.perf_counter() - t0
+
+    engine, service = _fresh(max_active=1)
+    service.submit(tb, uniform_dataset(1, 512 * GB), name="plug")
+    t0 = time.perf_counter()
+    for i, dataset in enumerate(datasets):
+        service.submit(tb, dataset, name=f"j{i}")
+    enqueue = time.perf_counter() - t0
+    return admission, scheduling, enqueue
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="short CI run, no JSON output")
+    parser.add_argument("--jobs", type=int, default=1000, help="queued jobs per leg")
+    parser.add_argument("--repeats", type=int, default=3, help="take the best of N runs")
+    parser.add_argument("--out", default="BENCH_service.json", help="output path")
+    args = parser.parse_args(argv)
+
+    jobs = 200 if args.smoke else args.jobs
+    repeats = 2 if args.smoke else args.repeats
+    machinery(min(jobs, 50))  # warm allocator and imports
+    direct = min(direct_leg(jobs) for _ in range(repeats))
+    admission = scheduling = enqueue = float("inf")
+    for _ in range(repeats):
+        a, s, e = machinery(jobs)
+        admission, scheduling, enqueue = (
+            min(admission, a),
+            min(scheduling, s),
+            min(enqueue, e),
+        )
+    added = max(admission - enqueue, 0.0) + scheduling
+    overhead = added / direct
+    per_job_us = added / jobs * 1e6
+    print(
+        f"{jobs} jobs: direct end-to-end {direct:.3f}s; control machinery "
+        f"{added * 1e3:.2f}ms ({per_job_us:.1f}us/job) = {overhead:.2%} of direct "
+        f"(budget {BUDGET:.0%})"
+    )
+    if args.smoke:
+        return 0 if overhead < BUDGET else 1
+
+    payload = {
+        "scenario": {"jobs": jobs, "max_active": 4, "file_mb": 64, "tenants": len(TENANT_NAMES)},
+        "direct_wall_seconds": round(direct, 4),
+        "admission_seconds": round(admission, 5),
+        "scheduling_seconds": round(scheduling, 5),
+        "direct_enqueue_seconds": round(enqueue, 5),
+        "machinery_per_job_us": round(per_job_us, 2),
+        "overhead": round(overhead, 4),
+        "budget": BUDGET,
+        "within_budget": overhead < BUDGET,
+    }
+    FsPath(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if overhead < BUDGET else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ DEFAULT_DOCS = (
     "ROADMAP.md",
     "docs/events.md",
     "docs/observability.md",
+    "docs/service.md",
 )
 
 #: ``[text](target)`` with an optional ``#anchor`` suffix.

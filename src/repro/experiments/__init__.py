@@ -34,6 +34,7 @@ REGISTRY: dict[str, str] = {
     "robustness": "repro.experiments.robustness",
     "overhead": "repro.experiments.overhead",
     "fault-tolerance": "repro.experiments.fault_tolerance",
+    "open-workload": "repro.experiments.open_workload",
 }
 
 from repro.experiments import common  # noqa: E402  (registry first: suite imports it)

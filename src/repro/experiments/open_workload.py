@@ -1,0 +1,347 @@
+"""Open workload: Poisson multi-tenant traffic through the control plane.
+
+Everything else in this repo submits a fixed batch of jobs; real
+transfer services face an *open* arrival process — jobs keep coming
+whether or not the system keeps up.  This experiment (beyond the
+paper; the regime of the hybrid-RL elastic-transfer line of work in
+PAPERS.md) drives the :class:`~repro.service.control.ControlPlane`
+with Poisson arrivals from four synthetic tenants and heavy-tailed
+job sizes, across three legs:
+
+* **nominal** — offered load ~= achievable capacity (``rho=1``);
+* **overload-2x** — twice capacity: the interesting regime, where the
+  bounded queue, degradation mode, and priority shedding define
+  behavior instead of an unbounded backlog;
+* **flaky-network** — nominal load under the PR 3 ``flaky-network``
+  chaos preset (link outages + loss bursts) with retries enabled.
+
+Tenant mix (arrival share / weight / class / quota):
+
+====       =====  ======  ===========  ======================
+tenant     share  weight  class        quota
+====       =====  ======  ===========  ======================
+gold       0.2    3       HIGH         unlimited
+silver     0.3    2       NORMAL       unlimited
+bronze     0.3    1       NORMAL       unlimited
+scavenger  0.2    1       BEST_EFFORT  0.5 jobs/s, burst 4
+====       =====  ======  ===========  ======================
+
+Reported per tenant and leg: completion counts, shed counts by typed
+reason, p50/p99 job *slowdown* (sojourn time over ideal lone-job
+service time), and the leg's Jain fairness index over weight-normalised
+goodput.  Every draw comes from named :class:`~repro.sim.rng.RngStreams`
+streams, so same-seed reruns are byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.fairness import jain_index
+from repro.analysis.tables import format_table
+from repro.experiments.common import make_context
+from repro.faults import ChaosRng, FaultInjector, chaos_plan
+from repro.runner import run_tasks, task
+from repro.service import (
+    ControlPlane,
+    ControlPolicy,
+    FalconService,
+    JobState,
+    Priority,
+    RetryPolicy,
+    TenantSpec,
+)
+from repro.testbeds.presets import hpclab
+from repro.transfer.dataset import Dataset
+from repro.units import format_size
+
+#: (name, arrival share, weight, priority, quota jobs/s, quota burst).
+TENANTS: tuple[tuple[str, float, float, Priority, float, int], ...] = (
+    ("gold", 0.2, 3.0, Priority.HIGH, math.inf, 8),
+    ("silver", 0.3, 2.0, Priority.NORMAL, math.inf, 8),
+    ("bronze", 0.3, 1.0, Priority.NORMAL, math.inf, 8),
+    ("scavenger", 0.2, 1.0, Priority.BEST_EFFORT, 0.5, 4),
+)
+
+#: (leg name, load multiple of achievable capacity, chaos preset or "").
+LEGS: tuple[tuple[str, float, str], ...] = (
+    ("nominal", 1.0, ""),
+    ("overload-2x", 2.0, ""),
+    ("flaky-network", 1.0, "flaky-network"),
+)
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's outcome in one leg."""
+
+    tenant: str
+    priority: str
+    submitted: int
+    completed: int
+    unfinished: int
+    shed_quota: int
+    shed_queue_full: int
+    shed_degraded: int
+    shed_breaker: int
+    bytes_moved: float
+    preemptions: int
+    p50_slowdown: float
+    p99_slowdown: float
+
+    @property
+    def shed_total(self) -> int:
+        """All rejections for this tenant (count)."""
+        return self.shed_quota + self.shed_queue_full + self.shed_degraded + self.shed_breaker
+
+
+@dataclass(frozen=True)
+class OpenWorkloadRun:
+    """One leg of the open workload."""
+
+    leg: str
+    rho: float
+    preset: str
+    jobs_submitted: int
+    jobs_completed: int
+    jobs_shed: int
+    jain_fairness: float
+    tenants: tuple[TenantStats, ...]
+
+    def render(self) -> str:
+        """Per-tenant table for this leg."""
+        header = (
+            f"[{self.leg}] rho={self.rho:g} preset={self.preset or 'none'} "
+            f"submitted={self.jobs_submitted} completed={self.jobs_completed} "
+            f"shed={self.jobs_shed} jain={self.jain_fairness:.4f}"
+        )
+        body = format_table(
+            ["Tenant", "Class", "Jobs", "Done", "Shed(q/f/d/b)", "Moved", "Preempt", "p50 slow", "p99 slow"],
+            [
+                (
+                    t.tenant,
+                    t.priority,
+                    t.submitted,
+                    t.completed,
+                    f"{t.shed_quota}/{t.shed_queue_full}/{t.shed_degraded}/{t.shed_breaker}",
+                    format_size(t.bytes_moved),
+                    t.preemptions,
+                    f"{t.p50_slowdown:.2f}",
+                    f"{t.p99_slowdown:.2f}",
+                )
+                for t in self.tenants
+            ],
+        )
+        return header + "\n" + body
+
+
+@dataclass(frozen=True)
+class OpenWorkloadResult:
+    """All legs, same seed."""
+
+    runs: tuple[OpenWorkloadRun, ...]
+
+    def render(self) -> str:
+        """All leg tables, separated by blank lines."""
+        return "\n\n".join(r.render() for r in self.runs)
+
+
+def _percentile(values: list, q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def workload_run(
+    leg: str,
+    seed: int,
+    horizon: float,
+    rate_per_hour: float,
+    rho: float,
+    preset: str,
+    max_active: int,
+) -> OpenWorkloadRun:
+    """Task unit: one leg of the open workload.
+
+    ``horizon`` bounds the arrival window in simulated seconds; the
+    run then drains (no new arrivals) for up to three more horizons so
+    queued work gets its chance to finish.  ``rho`` scales total
+    offered bytes to that multiple of the testbed's achievable
+    capacity over the window.
+    """
+    ctx = make_context(seed)
+    tb = hpclab()
+    service = FalconService(
+        engine=ctx.engine,
+        network=ctx.network,
+        max_active=max_active,
+        seed=seed,
+        fault_policy=RetryPolicy(),
+    )
+    plane = ControlPlane(service, ControlPolicy(max_queue=32))
+    for name, _share, weight, priority, quota_rate, quota_burst in TENANTS:
+        plane.register_tenant(
+            TenantSpec(
+                name,
+                weight=weight,
+                quota_rate=quota_rate,
+                quota_burst=quota_burst,
+                priority=priority,
+            )
+        )
+
+    # -- arrival process: Poisson per tenant, heavy-tailed sizes ------------
+    # Sizes are drawn as log-uniform relative factors spanning ~400x,
+    # then scaled so the leg's total offered bytes equal
+    # rho * achievable-capacity * horizon.
+    arrivals: list[tuple[float, int, str, int]] = []
+    factors: dict[tuple[str, int], float] = {}
+    file_counts: dict[tuple[str, int], int] = {}
+    seq = 0
+    for name, share, _w, _p, _qr, _qb in TENANTS:
+        lam = share * rate_per_hour / 3600.0
+        rng = ctx.rng(f"workload/arrivals/{name}")
+        t = float(rng.exponential(1.0 / lam))
+        i = 0
+        while t < horizon:
+            arrivals.append((t, seq, name, i))
+            u = float(rng.random())
+            factors[(name, i)] = 0.05 * (20.0 / 0.05) ** u
+            file_counts[(name, i)] = 1 + int(rng.integers(0, 4))
+            seq += 1
+            i += 1
+            t += float(rng.exponential(1.0 / lam))
+    arrivals.sort()
+    total_factor = sum(factors.values())
+    capacity_bytes = tb.max_throughput() / 8.0 * horizon
+    scale = rho * capacity_bytes / total_factor if total_factor > 0.0 else 0.0
+
+    jobs: dict[str, list] = {name: [] for name, *_ in TENANTS}
+
+    def make_submit(when: float, tenant: str, idx: int):
+        total = factors[(tenant, idx)] * scale
+        files = file_counts[(tenant, idx)]
+        sizes = [total / files] * files
+
+        def arrive() -> None:
+            dataset = Dataset(sizes, name=f"{tenant}-{idx}")
+            job = plane.submit(tb, dataset, tenant, name=f"{tenant}-{idx}")
+            jobs[tenant].append(job)
+
+        ctx.engine.schedule_at(when, arrive, name=f"arrive:{tenant}-{idx}")
+
+    for when, _seq, tenant, idx in arrivals:
+        make_submit(when, tenant, idx)
+
+    if preset:
+        plan = chaos_plan(preset, horizon=horizon, rng=ChaosRng(ctx.streams))
+        FaultInjector(
+            ctx.engine,
+            ctx.network,
+            plan,
+            streams=ctx.streams,
+            service=service,
+            recorder=ctx.recorder,
+        ).arm()
+    ctx.engine.run_until(horizon)
+    # Drain: no new arrivals; give queued work up to 3 more horizons.
+    deadline = 4.0 * horizon
+    while ctx.engine.now < deadline and (plane.depth > 0 or service.running()):
+        ctx.engine.run_until(min(deadline, ctx.engine.now + 0.25 * horizon))
+
+    # -- summarize ----------------------------------------------------------
+    ideal_bps = tb.max_throughput()
+    stats: list[TenantStats] = []
+    goodput: list[float] = []
+    for name, _share, weight, priority, _qr, _qb in TENANTS:
+        tenant_jobs = jobs[name]
+        shed = {"quota": 0, "queue-full": 0, "degraded": 0, "breaker-open": 0}
+        slowdowns: list[float] = []
+        completed = 0
+        unfinished = 0
+        moved = 0.0
+        preemptions = 0
+        for job in tenant_jobs:
+            preemptions += job.preemptions
+            if job.state is JobState.REJECTED:
+                shed[job.rejection_reason] += 1
+            elif job.state is JobState.COMPLETED:
+                completed += 1
+                moved += job.report.bytes_moved
+                ideal = max(job.dataset.total_bytes * 8.0 / ideal_bps, 1e-9)
+                slowdowns.append((job.finished_at - job.submitted_at) / ideal)
+            elif job.state.is_terminal:
+                if job.report is not None:
+                    moved += job.report.bytes_moved
+            else:
+                unfinished += 1
+        stats.append(
+            TenantStats(
+                tenant=name,
+                priority=priority.label,
+                submitted=len(tenant_jobs),
+                completed=completed,
+                unfinished=unfinished,
+                shed_quota=shed["quota"],
+                shed_queue_full=shed["queue-full"],
+                shed_degraded=shed["degraded"],
+                shed_breaker=shed["breaker-open"],
+                bytes_moved=moved,
+                preemptions=preemptions,
+                p50_slowdown=_percentile(slowdowns, 50.0),
+                p99_slowdown=_percentile(slowdowns, 99.0),
+            )
+        )
+        goodput.append(moved / weight)
+    return OpenWorkloadRun(
+        leg=leg,
+        rho=rho,
+        preset=preset,
+        jobs_submitted=sum(s.submitted for s in stats),
+        jobs_completed=sum(s.completed for s in stats),
+        jobs_shed=sum(s.shed_total for s in stats),
+        jain_fairness=jain_index(np.array(goodput)),
+        tenants=tuple(stats),
+    )
+
+
+def run(
+    seed: int = 0,
+    horizon: float = 360.0,
+    rate_per_hour: float = 10000.0,
+    max_active: int = 8,
+) -> OpenWorkloadResult:
+    """All three legs at ``rate_per_hour`` arrivals (10k/h default)."""
+    results = run_tasks(
+        [
+            task(
+                workload_run,
+                leg=leg,
+                seed=seed,
+                horizon=horizon,
+                rate_per_hour=rate_per_hour,
+                rho=rho,
+                preset=preset,
+                max_active=max_active,
+                label=leg,
+            )
+            for leg, rho, preset in LEGS
+        ]
+    )
+    return OpenWorkloadResult(runs=tuple(results))
+
+
+def main() -> None:
+    """Print the per-leg tenant tables."""
+    result = run()
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

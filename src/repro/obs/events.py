@@ -365,3 +365,62 @@ class WatchdogKilled(TraceEvent):
 
     job: str = unit_field("-", "job whose worker was killed", "")
     worker: int = unit_field("-", "worker slot index", 0)
+
+
+# ---------------------------------------------------------------------------
+# Control-plane events (admission, scheduling, overload).
+# ---------------------------------------------------------------------------
+
+
+@event("job.admit", emitted_by="repro.service.control.ControlPlane.submit")
+class JobAdmitted(TraceEvent):
+    """The control plane accepted a job into a tenant queue."""
+
+    tenant: str = unit_field("-", "submitting tenant", "")
+    job: str = unit_field("-", "job name", "")
+    job_id: int = unit_field("-", "service-assigned job id", 0)
+    priority: str = unit_field("-", "scheduling class (best-effort/normal/high)", "")
+    queue_depth: int = unit_field("-", "control-plane queue depth after admission", 0)
+
+
+@event("job.shed", emitted_by="repro.service.control.ControlPlane._shed")
+class JobShed(TraceEvent):
+    """The control plane rejected a job with a typed overload reason."""
+
+    tenant: str = unit_field("-", "submitting tenant", "")
+    job: str = unit_field("-", "job name", "")
+    job_id: int = unit_field("-", "service-assigned job id", 0)
+    priority: str = unit_field("-", "scheduling class of the shed job", "")
+    reason: str = unit_field(
+        "-", "typed cause: quota / queue-full / breaker-open / degraded", ""
+    )
+
+
+@event("quota.exhausted", emitted_by="repro.service.control.ControlPlane.submit")
+class QuotaExhausted(TraceEvent):
+    """A tenant's admission token bucket ran dry at submit time."""
+
+    tenant: str = unit_field("-", "tenant whose bucket ran dry", "")
+    job: str = unit_field("-", "job that was refused a token", "")
+    rate: float = unit_field("jobs/s", "sustained refill rate of the bucket", 0.0)
+
+
+@event("breaker.state", emitted_by="repro.service.control.ControlPlane._breaker")
+class BreakerStateChanged(TraceEvent):
+    """A per-testbed circuit breaker changed state."""
+
+    testbed: str = unit_field("-", "testbed the breaker guards", "")
+    old_state: str = unit_field("-", "state before (closed/open/half-open)", "")
+    new_state: str = unit_field("-", "state after (closed/open/half-open)", "")
+    failures: int = unit_field("-", "consecutive failures on this testbed", 0)
+
+
+@event("job.preempt", emitted_by="repro.service.control.ControlPlane._preempt_one")
+class JobPreempted(TraceEvent):
+    """A running job was suspended for a higher-priority arrival."""
+
+    tenant: str = unit_field("-", "tenant of the preempted job", "")
+    job: str = unit_field("-", "preempted job name", "")
+    job_id: int = unit_field("-", "service-assigned job id", 0)
+    priority: str = unit_field("-", "class of the preempted job", "")
+    by_priority: str = unit_field("-", "class of the arrival that displaced it", "")

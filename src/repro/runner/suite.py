@@ -47,6 +47,9 @@ QUICK_PROFILE: dict[str, dict[str, Any]] = {
     "robustness": {"cycle": 60.0, "cycles": 2},
     "overhead": {"duration": 120.0},
     "fault-tolerance": {"files": 120, "horizon": 200.0},
+    # Horizon stays >= 120 s: shorter windows can draw an empty seed-0
+    # chaos plan, and the quick flaky-network leg must actually flake.
+    "open-workload": {"horizon": 120.0, "rate_per_hour": 2400.0},
 }
 
 

@@ -6,10 +6,32 @@ is that deployment story as a library: a :class:`FalconService` accepts
 transfer *jobs* (dataset + endpoints), runs at most ``max_active`` at a
 time (FIFO queue), drives each with its own Falcon agent, and produces
 a completion report per job.
+
+For multi-tenant traffic, wrap the service in a
+:class:`~repro.service.control.ControlPlane`: per-tenant admission
+quotas, weighted fair scheduling, priority preemption, circuit
+breakers, and bounded-queue load shedding with typed rejections.  The
+control plane is opt-in — a bare service behaves exactly as before.
 """
 
-from repro.service.jobs import JobState, TransferJob, TransferReport
+from repro.service.breaker import BreakerState, CircuitBreaker
+from repro.service.control import ControlPlane, ControlPolicy
+from repro.service.jobs import JobState, Priority, TransferJob, TransferReport
 from repro.service.policy import RetryPolicy
 from repro.service.service import FalconService
+from repro.service.tenancy import TenantSpec, TokenBucket
 
-__all__ = ["FalconService", "JobState", "RetryPolicy", "TransferJob", "TransferReport"]
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "ControlPlane",
+    "ControlPolicy",
+    "FalconService",
+    "JobState",
+    "Priority",
+    "RetryPolicy",
+    "TenantSpec",
+    "TokenBucket",
+    "TransferJob",
+    "TransferReport",
+]

@@ -1,0 +1,140 @@
+"""Per-testbed circuit breaker: stop feeding jobs to a failing endpoint.
+
+A testbed that fails ``threshold`` jobs in a row is probably down, not
+unlucky — every further job sent there burns a slot for the whole
+retry/restart budget before failing too.  The breaker cuts that off:
+
+* **CLOSED** — healthy; jobs flow normally.  ``threshold`` consecutive
+  FAILED jobs trip it to OPEN.
+* **OPEN** — no admissions for ``cooldown_s`` simulated seconds; jobs
+  bound for this testbed are shed at submit time with reason
+  ``breaker-open``.
+* **HALF_OPEN** — after the cooldown, exactly one *probe* job is let
+  through.  Success closes the breaker; failure re-opens it for
+  another full cooldown.
+
+All clocking is simulation time passed in by the caller, so the
+breaker is as deterministic as the engine driving it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+
+class BreakerState(enum.Enum):
+    """Health gate for one testbed."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probes.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive FAILED jobs (count) that trip CLOSED -> OPEN.
+    cooldown_s:
+        Simulated seconds an OPEN breaker rejects before allowing a
+        probe.
+    on_change:
+        Optional ``(old, new, now)`` callback fired on every state
+        change (the control plane emits a typed event from it).
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_s: float,
+        on_change: Optional[Callable[[BreakerState, BreakerState, float], None]] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown_s <= 0.0:
+            raise ValueError("cooldown_s must be positive")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.on_change = on_change
+        self.state = BreakerState.CLOSED
+        #: Consecutive failures since the last success (count).
+        self.failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    # -- queries ---------------------------------------------------------------
+
+    def admits(self, now: float) -> bool:
+        """Non-consuming check: could a job for this testbed queue now?
+
+        False only while hard-OPEN inside the cooldown window.  A
+        breaker whose cooldown has elapsed admits the job — dispatch
+        will consume the probe via :meth:`allow`.
+        """
+        if self.state is not BreakerState.OPEN:
+            return True
+        return now - self._opened_at >= self.cooldown_s
+
+    def allow(self, now: float) -> bool:
+        """Consuming check at dispatch time: may this job start?
+
+        OPEN past its cooldown transitions to HALF_OPEN and admits the
+        caller as the single probe; HALF_OPEN with a probe already in
+        flight refuses.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at < self.cooldown_s:
+                return False
+            self._set(BreakerState.HALF_OPEN, now)
+            self._probe_in_flight = True
+            return True
+        # HALF_OPEN: one probe at a time.
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    # -- outcomes --------------------------------------------------------------
+
+    def record(self, now: float, failed: bool, probe: bool = False) -> None:
+        """Account one finished job (COMPLETED or FAILED) for this testbed.
+
+        In HALF_OPEN only the *probe* job's verdict moves the state —
+        a straggler admitted before the breaker opened must not close
+        (or re-open) it on the probe's behalf.
+        """
+        if failed:
+            self.failures += 1
+            if self.state is BreakerState.HALF_OPEN and probe:
+                # Probe failed: back to a full cooldown.
+                self._probe_in_flight = False
+                self._set(BreakerState.OPEN, now)
+                self._opened_at = now
+            elif self.state is BreakerState.CLOSED and self.failures >= self.threshold:
+                self._set(BreakerState.OPEN, now)
+                self._opened_at = now
+        else:
+            self.failures = 0
+            if self.state is BreakerState.HALF_OPEN and probe:
+                self._probe_in_flight = False
+                self._set(BreakerState.CLOSED, now)
+                self._opened_at = None
+
+    def release_probe(self) -> None:
+        """The in-flight probe ended without a verdict (cancelled/preempted)."""
+        self._probe_in_flight = False
+
+    # -- internals -------------------------------------------------------------
+
+    def _set(self, state: BreakerState, now: float) -> None:
+        old = self.state
+        if old is state:
+            return
+        self.state = state
+        if self.on_change is not None:
+            self.on_change(old, state, now)

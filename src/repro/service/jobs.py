@@ -21,6 +21,39 @@ class JobState(enum.Enum):
     #: Terminal: retries/restarts exhausted; ``report`` covers the
     #: partial progress made before the service gave up.
     FAILED = "failed"
+    #: Terminal: the control plane shed this job at admission or
+    #: dispatch time; ``rejection_reason`` carries the typed cause
+    #: (quota, queue-full, breaker-open, degraded) and the job never
+    #: moved a byte.
+    REJECTED = "rejected"
+
+    @property
+    def is_terminal(self) -> bool:
+        """True for states no transition ever leaves."""
+        return self in _TERMINAL_STATES
+
+
+_TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.CANCELLED, JobState.FAILED, JobState.REJECTED}
+)
+
+
+class Priority(enum.IntEnum):
+    """Scheduling class of a job; higher classes go first and preempt.
+
+    The control plane serves classes strictly in descending order and,
+    under overload, sheds strictly in ascending order — BEST_EFFORT
+    traffic is the first to go and HIGH traffic the last.
+    """
+
+    BEST_EFFORT = 0
+    NORMAL = 1
+    HIGH = 2
+
+    @property
+    def label(self) -> str:
+        """Wire/report name (``best-effort``, ``normal``, ``high``)."""
+        return self.name.lower().replace("_", "-")
 
 
 @dataclass(frozen=True)
@@ -64,6 +97,9 @@ class TransferReport:
     failed_files:
         Files that exhausted their attempt budget (nonzero only on
         FAILED jobs).
+    preemptions:
+        Times the control plane suspended the job to make room for a
+        higher-priority one (each resume kept the remaining files).
     """
 
     bytes_moved: float
@@ -80,6 +116,7 @@ class TransferReport:
     worker_crashes: int = 0
     stalled_seconds: float = 0.0
     failed_files: int = 0
+    preemptions: int = 0
 
     def summary(self) -> str:
         """One-line human-readable report."""
@@ -116,6 +153,12 @@ class TransferJob:
     retries: int = 0
     restarts: int = 0
     failed_files: int = 0
+    #: Control-plane fields; all stay at their defaults when jobs go
+    #: through the plain ``FalconService.submit`` path.
+    tenant: Optional[str] = None
+    priority: Priority = Priority.NORMAL
+    rejection_reason: Optional[str] = None
+    preemptions: int = 0
     #: Timestamped lifecycle events: ``(time, kind, detail)`` for
     #: retries, watchdog kills, restarts, and the final failure reason.
     events: list = field(default_factory=list, repr=False)

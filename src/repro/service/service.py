@@ -43,7 +43,7 @@ from repro.obs.events import (
     WatchdogKilled,
 )
 from repro.obs.tracer import current_tracer
-from repro.service.jobs import JobState, TransferJob, TransferReport
+from repro.service.jobs import JobState, Priority, TransferJob, TransferReport
 from repro.service.policy import RetryPolicy
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RngStreams
@@ -89,6 +89,13 @@ class FalconService:
     fault_policy:
         Retry/watchdog/restart behaviour; ``None`` reproduces the
         legacy service exactly (no retries, crashes are fatal).
+    on_terminal:
+        External-scheduler hook: called with each job the moment it
+        reaches a terminal state (COMPLETED/FAILED/CANCELLED/REJECTED),
+        after the internal FIFO dispatch has run.  ``None`` (the
+        default) keeps the service fully self-contained — the
+        control plane (:class:`repro.service.control.ControlPlane`)
+        installs itself here.
     """
 
     engine: SimulationEngine
@@ -98,6 +105,7 @@ class FalconService:
     utility: UtilityFunction = field(default_factory=NonlinearPenaltyUtility)
     seed: int = 0
     fault_policy: RetryPolicy | None = None
+    on_terminal: Callable[[TransferJob], None] | None = None
 
     _jobs: list[TransferJob] = field(default_factory=list)
     _queue: deque = field(default_factory=deque)
@@ -116,24 +124,111 @@ class FalconService:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, testbed: Testbed, dataset: Dataset, name: str | None = None) -> TransferJob:
-        """Queue a transfer; it starts when a slot is free."""
+    def register(
+        self,
+        testbed: Testbed,
+        dataset: Dataset,
+        name: str | None = None,
+        tenant: str | None = None,
+        priority: Priority = Priority.NORMAL,
+    ) -> TransferJob:
+        """Create and record a job without queueing it.
+
+        This is the control-plane entry point: an external scheduler
+        owns admission and ordering, so the job must exist (id, events,
+        ``JobSubmitted`` record) before any admission decision — a shed
+        job still has a full audit trail.  Plain ``submit()`` is
+        ``register()`` + FIFO enqueue.
+        """
         job = TransferJob(
             job_id=self._next_id,
             name=name or f"job-{self._next_id}",
             testbed=testbed,
             dataset=dataset,
             submitted_at=self.engine.now,
+            tenant=tenant,
+            priority=Priority(priority),
         )
         self._next_id += 1
         self._jobs.append(job)
-        self._queue.append(job)
         tracer = current_tracer()
         if tracer is not None:
             tracer.emit(JobSubmitted, job=job.name, job_id=job.job_id)
             tracer.metrics.inc("jobs.submitted")
+        return job
+
+    def submit(self, testbed: Testbed, dataset: Dataset, name: str | None = None) -> TransferJob:
+        """Queue a transfer; it starts when a slot is free."""
+        job = self.register(testbed, dataset, name=name)
+        self._queue.append(job)
         self._dispatch()
         return job
+
+    # -- external-scheduler surface ---------------------------------------------
+    #
+    # The control plane (repro.service.control) owns admission and
+    # ordering; these methods let it drive the job lifecycle directly
+    # without going through the internal FIFO.  None of them touch
+    # ``_queue``, so plain ``submit()`` traffic is unaffected.
+
+    @property
+    def has_slot(self) -> bool:
+        """True while another job could start right now."""
+        return len(self._active) < self.max_active
+
+    def start_job(self, job: TransferJob) -> None:
+        """Start a registered job immediately (control-plane dispatch).
+
+        The job must be QUEUED and a slot free.  A previously preempted
+        job resumes from its stashed file queue, so files it already
+        delivered are not moved again.
+        """
+        if job.state is not JobState.QUEUED:
+            raise ValueError(f"cannot start {job}: not queued")
+        if not self.has_slot:
+            raise ValueError(f"cannot start {job}: no free slot")
+        queue = job._extras.pop("resume_queue", None)
+        self._transition(job, JobState.RUNNING)
+        if job.started_at is None:
+            job.started_at = self.engine.now
+        self._active.append(job)
+        self._launch(job, queue=queue)
+
+    def reject(self, job: TransferJob, reason: str) -> None:
+        """Shed a queued job with a typed reason (control-plane overload)."""
+        if job.state is not JobState.QUEUED:
+            raise ValueError(f"cannot reject {job}: not queued")
+        if job in self._queue:
+            self._queue.remove(job)
+        job._extras.pop("watchdog", None)
+        job.rejection_reason = reason
+        job.note(self.engine.now, "rejected", reason)
+        self._transition(job, JobState.REJECTED)
+        job.finished_at = self.engine.now
+        self._notify_terminal(job)
+
+    def preempt(self, job: TransferJob) -> None:
+        """Suspend a running job so a higher-priority one can take the slot.
+
+        Teardown matches a job crash — in-flight files return to the
+        queue with progress kept — but the job transitions back to
+        QUEUED with its file queue stashed, so a later
+        :meth:`start_job` resumes where it stopped.  Does *not*
+        dispatch: the caller is about to start its own pick.
+        """
+        if job.state is not JobState.RUNNING:
+            raise ValueError(f"cannot preempt {job}: not running")
+        session = job._extras["session"]
+        agent: FalconAgent = job._extras["agent"]
+        self._teardown_session(session)
+        self._accumulate_carry(job, session, agent)
+        job.preemptions += 1
+        job._extras["resume_queue"] = session.queue
+        job._extras.pop("watchdog", None)
+        job._extras.pop("watch", None)
+        job.note(self.engine.now, "preempted", f"#{job.preemptions}")
+        self._transition(job, JobState.QUEUED)
+        self._active.remove(job)
 
     def cancel(self, job: TransferJob) -> None:
         """Cancel a queued or running job.
@@ -144,18 +239,25 @@ class FalconService:
         :class:`TransferReport` covering the work done so far.
         """
         if job.state is JobState.QUEUED:
-            self._queue.remove(job)
+            # A control-plane job waits in the control plane's own
+            # queues, not in ``_queue``; tolerate either home.
+            if job in self._queue:
+                self._queue.remove(job)
+            job._extras.pop("watchdog", None)
             self._transition(job, JobState.CANCELLED)
             job.finished_at = self.engine.now
+            self._notify_terminal(job)
         elif job.state is JobState.RUNNING:
             session = job._extras["session"]
             agent: FalconAgent = job._extras["agent"]
             self._teardown_session(session)
+            job._extras.pop("watchdog", None)
             self._transition(job, JobState.CANCELLED)
             job.finished_at = self.engine.now
             job.report = self._partial_report(job, session, agent, completed=False)
             self._active.remove(job)
             self._dispatch()
+            self._notify_terminal(job)
 
     def crash_job(self, job: TransferJob) -> None:
         """Kill a running job's whole process tree (fault injection).
@@ -239,6 +341,8 @@ class FalconService:
         into the replacement session (job resume).
         """
         suffix = f"+r{job.restarts}" if job.restarts else ""
+        if job.preemptions:
+            suffix += f"+p{job.preemptions}"
         session = job.testbed.new_session(
             job.dataset, name=f"{job.name}{suffix}", queue=queue
         )
@@ -259,7 +363,7 @@ class FalconService:
                 )
             )
             if "watchdog" not in job._extras:
-                job._extras["watchdog"] = self._schedule_watchdog(job)
+                self._schedule_watchdog(job)
         self.network.add_session(session)
         # De-phase decision clocks across jobs (see experiments.common).
         interval = job.testbed.sample_interval * (1.0 + float(rng.uniform(-0.08, 0.08)))
@@ -314,6 +418,13 @@ class FalconService:
         queue.hold()
 
         def requeue() -> None:
+            # Inert after a terminal transition: the job's report is
+            # sealed and nothing will ever consume the queue again, so
+            # the callback must not resurrect work.  A *preempted* job
+            # is QUEUED (not terminal) and its queue is stashed for
+            # resume — the retry must still land there.
+            if job.state.is_terminal:
+                return
             queue.release()
             queue.push_back(size, done, failed)
 
@@ -325,12 +436,21 @@ class FalconService:
         """Periodic no-progress check; kills workers stuck past the timeout.
 
         The tick re-reads the session from the job's extras each time,
-        so one watchdog follows the job across restarts; it retires
-        itself when the job reaches a terminal state.
+        so one watchdog follows the job across restarts.  It retires by
+        token: the tick keeps running only while *this* arming's token
+        is still installed in ``job._extras["watchdog"]`` and the job
+        is RUNNING.  Terminal transitions and preemption pop the key,
+        so a pending tick after either is inert — and a preempted job
+        that resumes gets a *fresh* watchdog without ever having two
+        live at once.
         """
         policy = self.fault_policy
+        token = object()
+        job._extras["watchdog"] = token
 
         def tick() -> None:
+            if job._extras.get("watchdog") is not token:
+                raise StopIteration
             if job.state is not JobState.RUNNING:
                 raise StopIteration
             session = job._extras["session"]
@@ -379,7 +499,7 @@ class FalconService:
                 streak[w] = 0.0
                 session.crash_worker(w)
 
-        return self.engine.schedule_every(
+        self.engine.schedule_every(
             policy.watchdog_interval, tick, name=f"watchdog:{job.name}"
         )
 
@@ -388,12 +508,14 @@ class FalconService:
     def _finish(self, job: TransferJob) -> None:
         session = job._extras["session"]
         agent: FalconAgent = job._extras["agent"]
+        job._extras.pop("watchdog", None)
         self._transition(job, JobState.COMPLETED)
         job.finished_at = self.engine.now
         job.report = self._partial_report(job, session, agent, completed=True)
         if job in self._active:
             self._active.remove(job)
         self._dispatch()
+        self._notify_terminal(job)
 
     def _fail(self, job: TransferJob, reason: str = "") -> None:
         """Terminal failure: partial report, slot freed, no hang."""
@@ -403,6 +525,7 @@ class FalconService:
         agent: FalconAgent = job._extras["agent"]
         if session.finished_at is None:
             self._teardown_session(session)
+        job._extras.pop("watchdog", None)
         self._transition(job, JobState.FAILED)
         job.finished_at = self.engine.now
         job.note(self.engine.now, "failed", reason)
@@ -410,6 +533,12 @@ class FalconService:
         if job in self._active:
             self._active.remove(job)
         self._dispatch()
+        self._notify_terminal(job)
+
+    def _notify_terminal(self, job: TransferJob) -> None:
+        """Tell the external scheduler, if any, that ``job`` just ended."""
+        if self.on_terminal is not None:
+            self.on_terminal(job)
 
     # -- reporting ----------------------------------------------------------------
 
@@ -448,4 +577,5 @@ class FalconService:
             worker_crashes=carry["crashes"] + session.worker_crashes,
             stalled_seconds=carry["stalled"] + session.stalled_seconds,
             failed_files=job.failed_files,
+            preemptions=job.preemptions,
         )

@@ -1,0 +1,93 @@
+"""Tenants and admission quotas for the control plane.
+
+A *tenant* is one bandwidth customer: a science collaboration, a
+portal, a batch pipeline.  Its :class:`TenantSpec` fixes three things
+the scheduler needs — a weight (long-run share under contention), a
+priority class (who preempts whom), and an admission quota (how fast
+it may *submit*, enforced by a token bucket before a job ever
+queues).
+
+The token bucket runs on simulation time supplied by the caller, so
+quota decisions replay deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.service.jobs import Priority
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative per-tenant policy.
+
+    Parameters
+    ----------
+    name:
+        Unique tenant id (registration order is the scheduler's
+        deterministic tie-break, so order of ``register_tenant`` calls
+        matters and must itself be deterministic).
+    weight:
+        Relative long-run share under weighted deficit round-robin
+        (dimensionless, >= 1 recommended; byte-denominated deficits
+        accrue proportionally).
+    quota_rate:
+        Sustained admission rate in jobs per simulated second
+        (``math.inf`` disables the quota).
+    quota_burst:
+        Bucket depth in jobs: how many submissions can arrive
+        back-to-back before the rate limit bites.
+    priority:
+        Scheduling class for every job this tenant submits.
+    """
+
+    name: str
+    weight: float = 1.0
+    quota_rate: float = math.inf
+    quota_burst: int = 8
+    priority: Priority = Priority.NORMAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0.0:
+            raise ValueError("weight must be positive")
+        if self.quota_rate <= 0.0:
+            raise ValueError("quota_rate must be positive (use math.inf to disable)")
+        if self.quota_burst < 1:
+            raise ValueError("quota_burst must be >= 1")
+
+
+class TokenBucket:
+    """Sim-clock token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    Starts full.  ``try_take`` refills lazily from the elapsed
+    simulated time and consumes one token if available — no engine
+    callbacks, no wall clock, fully deterministic.
+    """
+
+    def __init__(self, rate: float, burst: int, now: float) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = now
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token at simulated time ``now`` if one is available."""
+        if math.isinf(self.rate):
+            return True
+        elapsed = now - self._stamp
+        self._stamp = now
+        if elapsed > 0.0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available as of the last :meth:`try_take` (jobs)."""
+        return self._tokens

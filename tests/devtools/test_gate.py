@@ -193,6 +193,41 @@ def test_planted_hardcoded_seed_in_rng_is_caught(package_root):
     assert findings[0].line == source.count("\n") + 2
 
 
+def test_planted_random_tiebreak_in_control_plane_is_caught(package_root):
+    # The control plane's scheduler tie-breaks (ring order, job id) must
+    # stay deterministic; a stdlib-random pick planted in real source
+    # has to trip F001 — service/ is part of the sim scope.
+    control = package_root / "service" / "control.py"
+    source = control.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(control), config=config) == []
+
+    mutated = source + (
+        "\nimport random\n\n"
+        "def _sneak_pick(plane):\n"
+        "    return random.choice(plane.queued())\n"
+    )
+    findings = lint_source(mutated, path=str(control), config=config)
+    assert [f.code for f in findings] == ["F001", "F001"]
+    assert findings[0].line == source.count("\n") + 2
+
+
+def test_planted_reentrant_dispatch_in_control_plane_is_caught(package_root):
+    # A dispatch hook that re-enters the run loop would deadlock the
+    # engine mid-pump; F006 must cover the control plane too.
+    control = package_root / "service" / "control.py"
+    source = control.read_text(encoding="utf-8")
+    config = load_config(package_root)
+    assert lint_source(source, path=str(control), config=config) == []
+
+    mutated = source + (
+        "\n\ndef _bad_wait(engine):\n"
+        "    engine.schedule_in(1.0, lambda: engine.run_for(1.0))\n"
+    )
+    findings = lint_source(mutated, path=str(control), config=config)
+    assert [f.code for f in findings] == ["F006"]
+
+
 def test_planted_wall_clock_store_in_engine_is_caught(package_root):
     # F012: wall-clock taint flowing into engine state.  F001 also flags
     # the raw read; the taint check must flag the *store*.

@@ -1,0 +1,76 @@
+"""Open-workload experiment: replay determinism and overload contract.
+
+Runs the CI-sized (quick-profile) parameterisation twice and checks the
+two promises the experiment makes:
+
+* same seed => byte-identical rendering, including the chaos leg (the
+  fault plan, arrivals, sizes, and scheduler are all RngStreams-fed);
+* under 2x overload the control plane degrades *gracefully*: no HIGH
+  job is shed while best-effort traffic still completed, and every
+  shed job carries a typed reason that the per-tenant accounting
+  reconciles exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.open_workload import LEGS, run
+from repro.runner.suite import QUICK_PROFILE
+
+QUICK = QUICK_PROFILE["open-workload"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(seed=0, **QUICK)
+
+
+class TestReplayDeterminism:
+    def test_same_seed_is_byte_identical(self, result):
+        again = run(seed=0, **QUICK)
+        assert again.render() == result.render()
+
+    def test_legs_cover_nominal_overload_and_chaos(self, result):
+        assert [r.leg for r in result.runs] == [leg for leg, _, _ in LEGS]
+        assert result.runs[1].rho == 2.0
+        assert result.runs[2].preset == "flaky-network"
+
+    def test_chaos_leg_actually_flakes(self, result):
+        # Identical output would mean the quick horizon drew an empty
+        # fault plan and the "chaos replay" smoke tests nothing.
+        nominal, _, flaky = result.runs
+        assert flaky.render() != nominal.render()
+
+
+class TestOverloadContract:
+    def test_no_high_job_shed_while_best_effort_ran(self, result):
+        overload = result.runs[1]
+        by_class = {t.tenant: t for t in overload.tenants}
+        gold = by_class["gold"]
+        scavenger = by_class["scavenger"]
+        assert scavenger.completed > 0  # best-effort still got service
+        assert gold.shed_total == 0  # ...so HIGH never paid for overload
+        assert gold.completed == gold.submitted
+
+    def test_every_shed_has_a_typed_reason(self, result):
+        for leg in result.runs:
+            for t in leg.tenants:
+                # shed_total sums the four typed reasons; an untyped
+                # rejection would leave submitted unaccounted for.
+                assert t.submitted == t.completed + t.unfinished + t.shed_total
+            assert leg.jobs_shed == sum(t.shed_total for t in leg.tenants)
+
+    def test_overload_sheds_only_best_effort(self, result):
+        overload = result.runs[1]
+        for t in overload.tenants:
+            if t.priority != "best-effort":
+                assert t.shed_degraded == 0
+
+    def test_fairness_and_slowdowns_reported(self, result):
+        for leg in result.runs:
+            assert 0.0 < leg.jain_fairness <= 1.0
+            for t in leg.tenants:
+                if t.completed:
+                    assert t.p50_slowdown >= 1.0
+                    assert t.p99_slowdown >= t.p50_slowdown

@@ -1,0 +1,393 @@
+"""Control-plane tests: admission, quotas, WDRR, preemption, breakers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.service import (
+    BreakerState,
+    ControlPlane,
+    ControlPolicy,
+    FalconService,
+    JobState,
+    Priority,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.service.control import (
+    SHED_BREAKER,
+    SHED_DEGRADED,
+    SHED_QUEUE_FULL,
+    SHED_QUOTA,
+)
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import GB, MB
+
+
+def make_rig(max_active=4, policy=None, seed=0):
+    engine = SimulationEngine(dt=0.1)
+    network = FluidTransferNetwork(engine)
+    service = FalconService(engine=engine, network=network, max_active=max_active, seed=seed)
+    plane = ControlPlane(service, policy)
+    return engine, service, plane
+
+
+def plug_slots(service, tb, n=None):
+    """Occupy slots with huge direct-submit jobs so plane jobs queue."""
+    n = service.max_active if n is None else n
+    return [service.submit(tb, uniform_dataset(4, 100 * GB), name=f"plug{i}") for i in range(n)]
+
+
+class TestValidation:
+    def test_policy_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ControlPolicy(max_queue=0)
+        with pytest.raises(ValueError):
+            ControlPolicy(quantum_bytes=0.0)
+        with pytest.raises(ValueError):
+            ControlPolicy(breaker_threshold=0)
+        with pytest.raises(ValueError):
+            ControlPolicy(breaker_cooldown_s=0.0)
+        with pytest.raises(ValueError):
+            ControlPolicy(degrade_at=0.0)
+        with pytest.raises(ValueError):
+            ControlPolicy(degrade_at=1.5)
+
+    def test_tenant_spec_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            TenantSpec("")
+        with pytest.raises(ValueError):
+            TenantSpec("t", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", quota_rate=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", quota_burst=0)
+
+    def test_duplicate_tenant_rejected(self):
+        _, _, plane = make_rig()
+        plane.register_tenant(TenantSpec("a"))
+        with pytest.raises(ValueError):
+            plane.register_tenant(TenantSpec("a"))
+
+    def test_unknown_tenant_rejected(self):
+        _, _, plane = make_rig()
+        with pytest.raises(KeyError):
+            plane.submit(hpclab(), uniform_dataset(2, 1 * GB), "ghost")
+
+    def test_on_terminal_hook_must_be_free(self):
+        _, service, _ = make_rig()
+        with pytest.raises(ValueError):
+            ControlPlane(service)
+
+    def test_token_bucket_refills_on_sim_clock(self):
+        bucket = TokenBucket(rate=1.0, burst=2, now=0.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(1.5)
+        assert not bucket.try_take(1.5)
+        assert bucket.tokens < 1.0
+        inf_bucket = TokenBucket(rate=math.inf, burst=1, now=0.0)
+        assert all(inf_bucket.try_take(0.0) for _ in range(100))
+
+
+class TestAdmission:
+    def test_admitted_job_starts_when_slot_free(self):
+        _, _, plane = make_rig()
+        plane.register_tenant(TenantSpec("a"))
+        job = plane.submit(hpclab(), uniform_dataset(2, 1 * GB), "a")
+        assert job.state is JobState.RUNNING
+        assert job.tenant == "a"
+
+    def test_quota_burst_then_shed_then_refill(self):
+        engine, service, plane = make_rig(max_active=1)
+        plane.register_tenant(TenantSpec("a", quota_rate=0.1, quota_burst=2))
+        tb = hpclab()
+        plug_slots(service, tb)
+        first = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        second = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        third = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        assert first.state is JobState.QUEUED
+        assert second.state is JobState.QUEUED
+        assert third.state is JobState.REJECTED
+        assert third.rejection_reason == SHED_QUOTA
+        assert plane.depth == 2
+        engine.run_until(15.0)  # 0.1 jobs/s * 15 s -> one token back
+        fourth = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        assert fourth.state is JobState.QUEUED
+
+    def test_degradation_sheds_best_effort_only(self):
+        _, service, plane = make_rig(
+            max_active=1, policy=ControlPolicy(max_queue=4, degrade_at=0.5)
+        )
+        plane.register_tenant(TenantSpec("pay", priority=Priority.NORMAL))
+        plane.register_tenant(TenantSpec("scav", priority=Priority.BEST_EFFORT))
+        tb = hpclab()
+        plug_slots(service, tb)
+        early = plane.submit(tb, uniform_dataset(2, 1 * GB), "scav")
+        assert early.state is JobState.QUEUED  # below the watermark
+        plane.submit(tb, uniform_dataset(2, 1 * GB), "pay")
+        assert plane.depth == 2  # == degrade_at * max_queue
+        shed = plane.submit(tb, uniform_dataset(2, 1 * GB), "scav")
+        kept = plane.submit(tb, uniform_dataset(2, 1 * GB), "pay")
+        assert shed.state is JobState.REJECTED
+        assert shed.rejection_reason == SHED_DEGRADED
+        assert kept.state is JobState.QUEUED
+
+    def test_full_queue_sheds_arrival_of_equal_class(self):
+        _, service, plane = make_rig(max_active=1, policy=ControlPolicy(max_queue=2))
+        plane.register_tenant(TenantSpec("a"))
+        tb = hpclab()
+        plug_slots(service, tb)
+        plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        overflow = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        assert overflow.state is JobState.REJECTED
+        assert overflow.rejection_reason == SHED_QUEUE_FULL
+        assert plane.depth == 2
+
+    def test_full_queue_evicts_newest_lower_class_job(self):
+        _, service, plane = make_rig(
+            max_active=1, policy=ControlPolicy(max_queue=2, degrade_at=1.0)
+        )
+        plane.register_tenant(TenantSpec("scav", priority=Priority.BEST_EFFORT))
+        plane.register_tenant(TenantSpec("gold", priority=Priority.HIGH))
+        tb = hpclab()
+        plug_slots(service, tb)
+        older = plane.submit(tb, uniform_dataset(2, 1 * GB), "scav")
+        newer = plane.submit(tb, uniform_dataset(2, 1 * GB), "scav")
+        vip = plane.submit(tb, uniform_dataset(2, 1 * GB), "gold")
+        assert vip.state is JobState.QUEUED
+        assert newer.state is JobState.REJECTED
+        assert newer.rejection_reason == SHED_QUEUE_FULL
+        assert older.state is JobState.QUEUED
+        assert plane.depth == 2
+
+    def test_shed_jobs_are_audited_and_cost_no_slot(self):
+        _, service, plane = make_rig(max_active=1, policy=ControlPolicy(max_queue=1))
+        plane.register_tenant(TenantSpec("a"))
+        tb = hpclab()
+        plug_slots(service, tb)
+        plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        running_before = len(service.running())
+        overflow = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        assert overflow in plane.shed
+        assert overflow in service.jobs  # registered: full audit trail
+        assert overflow.finished_at is not None
+        assert len(service.running()) == running_before
+        assert all(j.rejection_reason for j in plane.shed)
+
+
+class TestScheduling:
+    def pick_tenants(self, plane, n):
+        return [plane._pick().tenant for _ in range(n)]
+
+    def test_wdrr_weight_ratio_within_class(self):
+        _, service, plane = make_rig(
+            max_active=1, policy=ControlPolicy(quantum_bytes=1 * GB)
+        )
+        plane.register_tenant(TenantSpec("a", weight=2.0))
+        plane.register_tenant(TenantSpec("b", weight=1.0))
+        tb = hpclab()
+        plug_slots(service, tb)
+        for i in range(4):
+            plane.submit(tb, uniform_dataset(1, 1 * GB), "a", name=f"a{i}")
+            plane.submit(tb, uniform_dataset(1, 1 * GB), "b", name=f"b{i}")
+        assert self.pick_tenants(plane, 6) == ["a", "a", "b", "a", "a", "b"]
+
+    def test_wdrr_is_byte_denominated(self):
+        # Equal weights, 2x job sizes: per round each tenant moves the
+        # same bytes, so the small-job tenant serves twice as often.
+        _, service, plane = make_rig(
+            max_active=1, policy=ControlPolicy(quantum_bytes=2 * GB)
+        )
+        plane.register_tenant(TenantSpec("big"))
+        plane.register_tenant(TenantSpec("small"))
+        tb = hpclab()
+        plug_slots(service, tb)
+        for i in range(4):
+            plane.submit(tb, uniform_dataset(1, 2 * GB), "big", name=f"big{i}")
+            plane.submit(tb, uniform_dataset(2, 500 * MB), "small", name=f"s{2 * i}")
+            plane.submit(tb, uniform_dataset(2, 500 * MB), "small", name=f"s{2 * i + 1}")
+        assert self.pick_tenants(plane, 6) == ["big", "small", "small", "big", "small", "small"]
+
+    def test_classes_served_strictly_high_to_low(self):
+        _, service, plane = make_rig(max_active=1)
+        plane.register_tenant(TenantSpec("scav", priority=Priority.BEST_EFFORT))
+        plane.register_tenant(TenantSpec("norm", priority=Priority.NORMAL))
+        plane.register_tenant(TenantSpec("gold", priority=Priority.HIGH))
+        tb = hpclab()
+        plug_slots(service, tb)
+        plane.submit(tb, uniform_dataset(1, 1 * GB), "scav")
+        plane.submit(tb, uniform_dataset(1, 1 * GB), "norm")
+        plane.submit(tb, uniform_dataset(1, 1 * GB), "gold")
+        assert self.pick_tenants(plane, 3) == ["gold", "norm", "scav"]
+
+    def test_idle_queue_forfeits_deficit(self):
+        _, service, plane = make_rig(
+            max_active=1, policy=ControlPolicy(quantum_bytes=1 * GB)
+        )
+        plane.register_tenant(TenantSpec("a", weight=4.0))
+        plane.register_tenant(TenantSpec("b"))
+        tb = hpclab()
+        plug_slots(service, tb)
+        plane.submit(tb, uniform_dataset(1, 1 * GB), "a", name="a0")
+        plane.submit(tb, uniform_dataset(1, 1 * GB), "b", name="b0")
+        assert self.pick_tenants(plane, 2) == ["a", "b"]
+        # Tenant a banked 3 GB of deficit, then went idle: new work
+        # must not burst through on stale credit.
+        assert plane._tenants["a"].deficit == 0.0
+
+
+class TestPreemption:
+    def make_two_class_rig(self, **policy_kw):
+        engine, service, plane = make_rig(max_active=1, policy=ControlPolicy(**policy_kw))
+        plane.register_tenant(TenantSpec("scav", priority=Priority.BEST_EFFORT))
+        plane.register_tenant(TenantSpec("gold", priority=Priority.HIGH))
+        return engine, service, plane
+
+    def test_high_class_preempts_and_victim_resumes_exactly_once(self):
+        engine, service, plane = self.make_two_class_rig()
+        tb = hpclab()
+        victim = plane.submit(tb, uniform_dataset(10, 500 * MB), "scav")
+        assert victim.state is JobState.RUNNING
+        vip = plane.submit(tb, uniform_dataset(4, 500 * MB), "gold")
+        assert vip.state is JobState.RUNNING
+        assert victim.state is JobState.QUEUED
+        assert victim.preemptions == 1
+        engine.run_until(400.0)
+        assert vip.state is JobState.COMPLETED
+        assert victim.state is JobState.COMPLETED
+        # Files delivered exactly once across the suspend/resume.
+        assert victim.report.files == 10
+        assert victim.report.bytes_moved == pytest.approx(10 * 500 * MB, rel=1e-3)
+        assert victim.report.preemptions == 1
+        # The high job never waited behind best-effort work.
+        assert vip.finished_at < victim.finished_at
+
+    def test_same_class_never_preempts(self):
+        engine, service, plane = make_rig(max_active=1)
+        plane.register_tenant(TenantSpec("a"))
+        plane.register_tenant(TenantSpec("b"))
+        tb = hpclab()
+        first = plane.submit(tb, uniform_dataset(4, 1 * GB), "a")
+        second = plane.submit(tb, uniform_dataset(4, 1 * GB), "b")
+        assert first.state is JobState.RUNNING
+        assert second.state is JobState.QUEUED
+        assert first.preemptions == 0
+
+    def test_preemption_can_be_disabled(self):
+        engine, service, plane = self.make_two_class_rig(preemption=False)
+        tb = hpclab()
+        victim = plane.submit(tb, uniform_dataset(10, 1 * GB), "scav")
+        vip = plane.submit(tb, uniform_dataset(4, 1 * GB), "gold")
+        assert victim.state is JobState.RUNNING
+        assert vip.state is JobState.QUEUED
+
+    def test_direct_submissions_are_never_preempted(self):
+        engine, service, plane = self.make_two_class_rig()
+        tb = hpclab()
+        legacy = service.submit(tb, uniform_dataset(10, 1 * GB), name="legacy")
+        vip = plane.submit(tb, uniform_dataset(4, 1 * GB), "gold")
+        assert legacy.state is JobState.RUNNING
+        assert vip.state is JobState.QUEUED
+
+
+class TestCircuitBreaker:
+    def make_flaky_rig(self):
+        engine, service, plane = make_rig(
+            max_active=2,
+            policy=ControlPolicy(breaker_threshold=2, breaker_cooldown_s=10.0),
+        )
+        plane.register_tenant(TenantSpec("a"))
+        return engine, service, plane, hpclab()
+
+    def trip(self, service, plane, tb):
+        for _ in range(2):
+            job = plane.submit(tb, uniform_dataset(4, 10 * GB), "a")
+            assert job.state is JobState.RUNNING
+            service.crash_job(job)  # no fault policy -> FAILED
+            assert job.state is JobState.FAILED
+
+    def test_consecutive_failures_open_then_shed(self):
+        engine, service, plane, tb = self.make_flaky_rig()
+        self.trip(service, plane, tb)
+        assert plane.breaker_state(tb) is BreakerState.OPEN
+        shed = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        assert shed.state is JobState.REJECTED
+        assert shed.rejection_reason == SHED_BREAKER
+
+    def test_half_open_admits_single_probe(self):
+        engine, service, plane, tb = self.make_flaky_rig()
+        self.trip(service, plane, tb)
+        engine.run_until(11.0)
+        probe = plane.submit(tb, uniform_dataset(2, 100 * MB), "a")
+        assert probe.state is JobState.RUNNING
+        assert plane.breaker_state(tb) is BreakerState.HALF_OPEN
+        rival = plane.submit(tb, uniform_dataset(2, 100 * MB), "a")
+        assert rival.state is JobState.REJECTED  # one probe at a time
+        assert rival.rejection_reason == SHED_BREAKER
+
+    def test_probe_success_closes(self):
+        engine, service, plane, tb = self.make_flaky_rig()
+        self.trip(service, plane, tb)
+        engine.run_until(11.0)
+        probe = plane.submit(tb, uniform_dataset(2, 100 * MB), "a")
+        engine.run_until(120.0)
+        assert probe.state is JobState.COMPLETED
+        assert plane.breaker_state(tb) is BreakerState.CLOSED
+        healthy = plane.submit(tb, uniform_dataset(2, 100 * MB), "a")
+        assert healthy.state is JobState.RUNNING
+
+    def test_probe_failure_reopens_for_full_cooldown(self):
+        engine, service, plane, tb = self.make_flaky_rig()
+        self.trip(service, plane, tb)
+        engine.run_until(11.0)
+        probe = plane.submit(tb, uniform_dataset(4, 10 * GB), "a")
+        service.crash_job(probe)
+        assert plane.breaker_state(tb) is BreakerState.OPEN
+        shed = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        assert shed.rejection_reason == SHED_BREAKER
+        engine.run_until(22.0)
+        retry = plane.submit(tb, uniform_dataset(2, 100 * MB), "a")
+        assert retry.state is JobState.RUNNING
+
+    def test_cancelled_probe_releases_the_breaker(self):
+        engine, service, plane, tb = self.make_flaky_rig()
+        self.trip(service, plane, tb)
+        engine.run_until(11.0)
+        probe = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        service.cancel(probe)
+        assert plane.breaker_state(tb) is BreakerState.HALF_OPEN
+        next_probe = plane.submit(tb, uniform_dataset(2, 100 * MB), "a")
+        assert next_probe.state is JobState.RUNNING  # probe slot was released
+
+
+class TestCancellation:
+    def test_cancel_queued_plane_job_cleans_queue(self):
+        _, service, plane = make_rig(max_active=1)
+        plane.register_tenant(TenantSpec("a"))
+        tb = hpclab()
+        plug_slots(service, tb)
+        job = plane.submit(tb, uniform_dataset(2, 1 * GB), "a")
+        assert job.state is JobState.QUEUED
+        service.cancel(job)
+        assert job.state is JobState.CANCELLED
+        assert plane.depth == 0
+        assert plane.queued() == []
+
+    def test_terminal_jobs_free_slots_for_queued_work(self):
+        engine, service, plane = make_rig(max_active=1)
+        plane.register_tenant(TenantSpec("a"))
+        tb = hpclab()
+        first = plane.submit(tb, uniform_dataset(2, 500 * MB), "a")
+        second = plane.submit(tb, uniform_dataset(2, 500 * MB), "a")
+        assert second.state is JobState.QUEUED
+        engine.run_until(200.0)
+        assert first.state is JobState.COMPLETED
+        assert second.state is JobState.COMPLETED

@@ -1,0 +1,142 @@
+"""Property-based churn: the control plane never leaks or double-ends jobs.
+
+Hypothesis drives random interleavings of submit / cancel / crash /
+time-advance against a small control plane, then drains.  Whatever the
+schedule, the invariants hold:
+
+* every job reaches **exactly one** terminal state (the sum of the
+  per-state counts equals the job count — no job terminal twice, none
+  stuck non-terminal after the drain);
+* every REJECTED job carries a typed reason from the closed vocabulary;
+* the service's FIFO ``_queue`` never holds control-plane jobs, and
+  ``_active`` / the plane's queues are empty once drained;
+* the plane's running ``depth`` counter always equals the sum of its
+  tenant queues (checked after every operation, not just at the end).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.service import (  # noqa: E402
+    ControlPlane,
+    ControlPolicy,
+    FalconService,
+    JobState,
+    Priority,
+    RetryPolicy,
+    TenantSpec,
+)
+from repro.service.control import (  # noqa: E402
+    SHED_BREAKER,
+    SHED_DEGRADED,
+    SHED_QUEUE_FULL,
+    SHED_QUOTA,
+)
+from repro.sim.engine import SimulationEngine  # noqa: E402
+from repro.testbeds.presets import hpclab  # noqa: E402
+from repro.transfer.dataset import uniform_dataset  # noqa: E402
+from repro.transfer.executor import FluidTransferNetwork  # noqa: E402
+from repro.units import MB  # noqa: E402
+
+REASONS = {SHED_QUOTA, SHED_QUEUE_FULL, SHED_DEGRADED, SHED_BREAKER}
+
+#: (op, arg) pairs; args index into tenants / live jobs deterministically.
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["submit", "cancel", "crash", "advance"]),
+        st.integers(min_value=0, max_value=5),
+    ),
+    max_size=30,
+)
+
+
+def make_rig():
+    engine = SimulationEngine(dt=0.1)
+    network = FluidTransferNetwork(engine)
+    service = FalconService(
+        engine=engine,
+        network=network,
+        max_active=2,
+        seed=0,
+        fault_policy=RetryPolicy(max_restarts=1),
+    )
+    plane = ControlPlane(
+        service,
+        ControlPolicy(max_queue=4, degrade_at=0.5, breaker_threshold=2, breaker_cooldown_s=5.0),
+    )
+    plane.register_tenant(TenantSpec("scav", priority=Priority.BEST_EFFORT))
+    plane.register_tenant(TenantSpec("norm", quota_rate=0.5, quota_burst=3))
+    plane.register_tenant(TenantSpec("gold", weight=2.0, priority=Priority.HIGH))
+    return engine, service, plane
+
+
+def check_depth(plane):
+    actual = sum(len(t.queue) for t in plane._tenants.values())
+    assert plane.depth == actual
+    assert all(j.state is JobState.QUEUED for j in plane.queued())
+
+
+@settings(deadline=None, max_examples=25)
+@given(ops=OPS)
+def test_churn_preserves_lifecycle_invariants(ops):
+    engine, service, plane = make_rig()
+    tb = hpclab()
+    tenants = ["scav", "norm", "gold"]
+    jobs = []
+    for op, arg in ops:
+        if op == "submit":
+            jobs.append(
+                plane.submit(
+                    tb,
+                    uniform_dataset(1 + arg % 3, 50 * MB),
+                    tenants[arg % 3],
+                    name=f"j{len(jobs)}",
+                )
+            )
+        elif op == "cancel":
+            live = [j for j in jobs if not j.state.is_terminal]
+            if live:
+                service.cancel(live[arg % len(live)])
+        elif op == "crash":
+            running = service.running()
+            if running:
+                service.crash_job(running[arg % len(running)])
+        else:  # advance
+            engine.run_until(engine.now + 0.5 * (1 + arg))
+        check_depth(plane)
+        assert not any(j.tenant is not None for j in service._queue)
+    # Drain: no new arrivals, bounded wait.
+    for _ in range(60):
+        if plane.depth == 0 and not service.running():
+            break
+        engine.run_until(engine.now + 30.0)
+    assert plane.depth == 0
+    assert service.running() == []
+    assert service.queued() == []
+    check_depth(plane)
+    # Exactly one terminal state each.
+    for job in jobs:
+        assert job.state.is_terminal, job
+        assert job.finished_at is not None
+        if job.state is JobState.REJECTED:
+            assert job.rejection_reason in REASONS
+        else:
+            assert job.rejection_reason is None
+    terminal_counts = sum(
+        [
+            sum(1 for j in jobs if j.state is s)
+            for s in (
+                JobState.COMPLETED,
+                JobState.FAILED,
+                JobState.CANCELLED,
+                JobState.REJECTED,
+            )
+        ]
+    )
+    assert terminal_counts == len(jobs)
+    assert all(any(s is j for j in jobs) for s in plane.shed)
+    assert all(j.state is JobState.REJECTED for j in plane.shed)

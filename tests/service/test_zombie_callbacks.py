@@ -1,0 +1,197 @@
+"""Zombie-callback regressions: timers pending at job end must be inert.
+
+The service arms three kinds of deferred work per job — retry timers
+(``schedule_in``), the no-progress watchdog (``schedule_every``), and
+the agent's decision tick.  Each can still be sitting in the engine's
+event heap when the job is cancelled, crashes, finishes, or is
+preempted; a stale firing must never resurrect work, double-deliver a
+file, or kill a worker of a job that already sealed its report.
+"""
+
+from __future__ import annotations
+
+from repro.faults import FaultInjector, FaultPlan, JobCrash, WorkerCrash
+from repro.service import (
+    ControlPlane,
+    FalconService,
+    JobState,
+    Priority,
+    RetryPolicy,
+    TenantSpec,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngStreams
+from repro.testbeds.presets import hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import GB, MB
+
+
+def make_rig(policy=None, seed=0, max_active=4):
+    engine = SimulationEngine(dt=0.1)
+    net = FluidTransferNetwork(engine)
+    service = FalconService(
+        engine=engine, network=net, max_active=max_active, seed=seed, fault_policy=policy
+    )
+    return engine, net, service
+
+
+def slow_retry_policy(**kw):
+    """A retry policy whose backoff leaves a long-pending timer."""
+    return RetryPolicy(backoff_base=30.0, backoff_jitter=0.0, **kw)
+
+
+class TestPendingRetryTimers:
+    def arm_crash(self, engine, net, service, job, at=5.0):
+        plan = FaultPlan(events=(WorkerCrash(at=at, session=job.name, worker=0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+
+    def test_retry_inert_after_cancel(self):
+        engine, net, service = make_rig(policy=slow_retry_policy())
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB))
+        self.arm_crash(engine, net, service, job)
+        engine.run_until(6.0)
+        assert job.retries == 1  # the 30 s timer is now pending
+        service.cancel(job)
+        report = job.report
+        assert job.state is JobState.CANCELLED
+        assert net.sessions == []
+        engine.run_until(120.0)  # timer fires into a cancelled job
+        assert job.state is JobState.CANCELLED
+        assert job.report is report  # nothing re-opened the job
+        assert net.sessions == []  # ...and nothing re-attached work
+
+    def test_retry_inert_after_failure(self):
+        # The job dies (no restarts left) while a file retry is pending;
+        # the late requeue must not push work into the sealed queue.
+        engine, net, service = make_rig(policy=slow_retry_policy(max_restarts=0))
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB))
+        self.arm_crash(engine, net, service, job)
+        plan = FaultPlan(events=(JobCrash(at=8.0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(1), service=service).arm()
+        engine.run_until(9.0)
+        assert job.state is JobState.FAILED
+        files_at_failure = job.report.files
+        engine.run_until(120.0)
+        assert job.state is JobState.FAILED
+        assert job.report.files == files_at_failure
+
+    def test_retry_survives_job_restart_exactly_once(self):
+        # The file queue object outlives the crashed incarnation, so a
+        # pending retry must land in the replacement session and the
+        # file still moves exactly once.
+        engine, net, service = make_rig(policy=slow_retry_policy(max_restarts=1))
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB))
+        self.arm_crash(engine, net, service, job)
+        plan = FaultPlan(events=(JobCrash(at=8.0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(1), service=service).arm()
+        engine.run_until(300.0)
+        assert job.state is JobState.COMPLETED
+        assert job.report.restarts == 1
+        assert job.report.retries == 1
+        assert job.report.files == 40
+
+    def test_retry_lands_in_stashed_queue_across_preemption(self):
+        # Preempted is QUEUED, not terminal: a retry scheduled before
+        # the preemption must still deliver its file after resume.
+        engine, net, service = make_rig(policy=slow_retry_policy(), max_active=1)
+        plane = ControlPlane(service)
+        plane.register_tenant(TenantSpec("scav", priority=Priority.BEST_EFFORT))
+        plane.register_tenant(TenantSpec("gold", priority=Priority.HIGH))
+        tb = hpclab()
+        victim = plane.submit(tb, uniform_dataset(40, 200 * MB), "scav")
+        self.arm_crash(engine, net, service, victim, at=2.0)
+        engine.run_until(3.0)
+        assert victim.retries == 1
+        vip = plane.submit(tb, uniform_dataset(4, 200 * MB), "gold")
+        assert victim.state is JobState.QUEUED
+        assert vip.state is JobState.RUNNING
+        engine.run_until(400.0)
+        assert victim.state is JobState.COMPLETED
+        assert victim.report.files == 40  # retried file moved exactly once
+
+
+class TestWatchdogLifecycle:
+    def test_watchdog_token_retires_after_cancel(self):
+        policy = RetryPolicy(watchdog_interval=2.0, stall_timeout=4.0)
+        engine, net, service = make_rig(policy=policy)
+        job = service.submit(hpclab(), uniform_dataset(10, 1 * GB))
+        assert "watchdog" in job._extras
+        engine.run_until(1.0)
+        service.cancel(job)
+        assert "watchdog" not in job._extras
+        engine.run_until(60.0)  # pending ticks fire and retire silently
+        assert job.state is JobState.CANCELLED
+        assert not any(kind == "watchdog-kill" for _, kind, _ in job.events)
+
+    def test_watchdog_token_retires_after_completion(self):
+        policy = RetryPolicy(watchdog_interval=2.0)
+        engine, net, service = make_rig(policy=policy)
+        job = service.submit(hpclab(), uniform_dataset(5, 100 * MB))
+        engine.run_until(120.0)
+        assert job.state is JobState.COMPLETED
+        assert "watchdog" not in job._extras
+
+    def test_one_watchdog_across_restart(self):
+        # A restart reuses the incarnation-following watchdog instead of
+        # arming a second one; the token installed before the crash is
+        # still the live one after it.
+        policy = RetryPolicy(watchdog_interval=2.0, max_restarts=1)
+        engine, net, service = make_rig(policy=policy)
+        job = service.submit(hpclab(), uniform_dataset(40, 1 * GB))
+        token = job._extras["watchdog"]
+        plan = FaultPlan(events=(JobCrash(at=6.0),))
+        FaultInjector(engine, net, plan, streams=RngStreams(0), service=service).arm()
+        engine.run_until(10.0)
+        assert job.restarts == 1
+        assert job._extras["watchdog"] is token
+
+    def test_fresh_watchdog_after_preempt_resume(self):
+        policy = RetryPolicy(watchdog_interval=2.0)
+        engine, net, service = make_rig(policy=policy, max_active=1)
+        plane = ControlPlane(service)
+        plane.register_tenant(TenantSpec("scav", priority=Priority.BEST_EFFORT))
+        plane.register_tenant(TenantSpec("gold", priority=Priority.HIGH))
+        tb = hpclab()
+        victim = plane.submit(tb, uniform_dataset(10, 500 * MB), "scav")
+        stale = victim._extras["watchdog"]
+        vip = plane.submit(tb, uniform_dataset(4, 500 * MB), "gold")
+        assert victim.state is JobState.QUEUED
+        assert "watchdog" not in victim._extras  # suspended: no live timer
+        engine.run_until(400.0)
+        assert vip.state is JobState.COMPLETED
+        assert victim.state is JobState.COMPLETED
+        # The resume armed a fresh token (never two live at once), and
+        # the healthy run saw no spurious kills from the stale timer.
+        assert not any(kind == "watchdog-kill" for _, kind, _ in victim.events)
+        assert stale is not None
+
+
+class TestAgentTickLifecycle:
+    def test_agent_ticks_stop_driving_finished_sessions(self):
+        # The decision tick holds the session, not the job; after the
+        # job ends, its session is torn down and out of the network, so
+        # a live tick must not resize or re-add it.
+        engine, net, service = make_rig(policy=None)
+        job = service.submit(hpclab(), uniform_dataset(5, 100 * MB))
+        engine.run_until(120.0)
+        assert job.state is JobState.COMPLETED
+        session = job._extras["session"]
+        workers = session.params.concurrency
+        engine.run_until(240.0)
+        assert net.sessions == []
+        assert session.params.concurrency == workers
+
+    def test_cancelled_job_session_stays_torn_down(self):
+        engine, net, service = make_rig(policy=None)
+        job = service.submit(hpclab(), uniform_dataset(20, 1 * GB))
+        engine.run_until(5.0)
+        service.cancel(job)
+        session = job._extras["session"]
+        report = job.report
+        workers = session.params.concurrency
+        assert session.finished_at is not None
+        engine.run_until(120.0)
+        assert net.sessions == []
+        assert job.report is report  # nothing re-sealed the job
+        assert session.params.concurrency == workers  # no zombie resize
