@@ -8,7 +8,9 @@ invariants:
 
 * **topology cache** — outages and brownouts change allocation inputs
   that the executor caches, so every such transition calls
-  ``network.invalidate_topology()``;
+  ``network.invalidate_topology()``; loss bursts change only link loss
+  state, so they bump the executor's epoch-keyed equilibrium cache via
+  ``network.note_link_fault()`` instead;
 * **sample validity** — an outage makes throughput samples meaningless,
   so the monitors of affected sessions are tainted for the outage
   window (plus the straddling interval) and the agent skips them;
@@ -243,7 +245,11 @@ class FaultInjector:
             self._record("burst-skip", ev.link or "<bottleneck>", "no eligible link")
             return
         # Bursts stack additively; loss_rate clamps the sum at 1.0.
+        # Loss changes don't touch capacities, so no topology rebuild —
+        # but the executor's epoch-keyed equilibrium cache must see the
+        # new fault state (losses are part of the cached pair).
         link.extra_loss += ev.loss
+        self.network.note_link_fault()
         self._record("loss-burst", link.name, f"+{ev.loss:.1%} for {ev.duration:g}s")
         self.engine.schedule_in(
             ev.duration, lambda: self._end_burst(link, ev.loss), name="fault:burst-end"
@@ -251,6 +257,7 @@ class FaultInjector:
 
     def _end_burst(self, link: Link, loss: float) -> None:
         link.extra_loss = max(0.0, link.extra_loss - loss)
+        self.network.note_link_fault()
         self._record("loss-burst-end", link.name)
 
     def _begin_brownout(self, ev: StorageBrownout) -> None:

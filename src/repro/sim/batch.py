@@ -31,8 +31,10 @@ hold:
 
 * every elementwise update uses the same expression as the per-session
   code, with per-session scalars (loss goodput factor, TCP ramp blend)
-  expanded via ``np.repeat`` — IEEE elementwise ops are value-identical
-  whether the operand is a broadcast scalar or a repeated array;
+  expanded per worker through the precomputed session-index gather
+  (``v[self._expand]``, built once per topology epoch and
+  value-identical to ``np.repeat(v, counts)`` — IEEE elementwise ops
+  don't care whether the operand is broadcast, repeated, or gathered);
 * per-session reductions are contiguous-slice ``.sum()`` calls, which
   numpy's pairwise summation resolves identically to the session's own
   standalone array of the same length (``np.add.reduceat`` does *not*
@@ -102,7 +104,13 @@ class BatchStore:
         #: Per-session TCP ramp time constants (fixed for a session's
         #: lifetime: path RTT and transport are frozen at construction).
         self._tau = [float(s.tcp.ramp_tau(s.path_rtt)) for s in self.sessions]
-        self._blend_cache: dict[float, np.ndarray] = {}
+        #: Session index of each worker row: the expansion gather that
+        #: turns a per-session vector into a per-worker one.  Fixed for
+        #: the store's lifetime (one topology epoch), so per-step
+        #: ``np.repeat(per_session, counts)`` calls become plain fancy
+        #: indexing — value-identical, repeat(v, c) == v[expand].
+        self._expand = np.repeat(np.arange(len(self.sessions), dtype=np.intp), self.counts)
+        self._blend_cache: dict[float, tuple[np.ndarray, np.ndarray]] = {}
 
     # -- view management -----------------------------------------------------
 
@@ -134,23 +142,38 @@ class BatchStore:
 
     # -- the batched advance --------------------------------------------------
 
-    def _blend_for(self, dt: float) -> np.ndarray:
-        """Per-worker TCP ramp blend ``1 - exp(-dt / tau)``.
+    #: Distinct step lengths memoized before the blend cache resets.
+    #: Fixed-dt runs see a handful of neighbouring floats; adaptive runs
+    #: add one entry per distinct grid step (still few) — the cap only
+    #: guards pathological callers that sweep dt continuously.
+    _BLEND_CACHE_MAX = 256
+
+    def _blends_for(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        """``(per_session, per_worker)`` TCP ramp blends ``1 - exp(-dt / tau)``.
 
         Computed from per-session *scalar* exponentials (bit-identical
         to :meth:`TcpModel.advance_rates`) and expanded per worker;
         memoized per exact ``dt`` value — the engine's accumulated clock
         makes the step size wobble between a handful of neighbouring
         float values, so a dict (not a last-value slot) is what keeps
-        the hit rate near 100%.
+        the hit rate near 100%.  The key is the *actual* step length:
+        adaptive jumps advance on the same grid as fixed-dt stepping but
+        event clamping still produces variable spans, and a blend for
+        the wrong dt would silently skew every ramp.
         """
-        blend = self._blend_cache.get(dt)
-        if blend is None:
+        entry = self._blend_cache.get(dt)
+        if entry is None:
+            if len(self._blend_cache) >= self._BLEND_CACHE_MAX:
+                self._blend_cache.clear()
             per_session = np.array(
                 [1.0 - float(np.exp(-dt / tau)) for tau in self._tau]
             )
-            blend = self._blend_cache[dt] = np.repeat(per_session, self.counts)
-        return blend
+            entry = self._blend_cache[dt] = (per_session, per_session[self._expand])
+        return entry
+
+    def _blend_for(self, dt: float) -> np.ndarray:
+        """Per-worker TCP ramp blend (see :meth:`_blends_for`)."""
+        return self._blends_for(dt)[1]
 
     def step(self, dt: float, targets: np.ndarray, losses: np.ndarray, now: float) -> None:
         """Advance every session by ``dt`` in one vectorized pass.
@@ -170,7 +193,7 @@ class BatchStore:
         offsets = self.offsets
 
         goodput = 1.0 - losses
-        gf_w = np.repeat(goodput, self.counts)
+        gf_w = goodput[self._expand]
 
         # TCP dynamics: instant decrease, exponential relaxation up —
         # the same expression as TcpModel.advance_rates, in place.
@@ -260,3 +283,123 @@ class BatchStore:
             sent = good / gf if gf > 0 else good
             s.current_loss = float(losses[i])
             s._finish_step(good, sent, dt, now, idle_workers=bool(busy[i] < counts[i]))
+
+    # -- adaptive stepping -----------------------------------------------------
+
+    def next_transition(
+        self, now: float, targets: np.ndarray, losses: np.ndarray
+    ) -> float:
+        """Absolute time of the earliest future per-worker transition.
+
+        Under a frozen equilibrium (``targets`` per worker, ``losses``
+        per session) the discrete transitions the fluid state can hit
+        are (a) a moving worker finishing its file and (b) an idle
+        worker's stall/gap budget expiring, at which point it starts
+        moving.  The completion bound uses the *allocated* rate: actual
+        rates only ever ramp up toward the allocation from below
+        (decreases snap instantly), so ``need / (target * gf / 8)`` is
+        the earliest the file can possibly complete — conservative for
+        jump planning.  TCP ramp convergence is deliberately *not* a
+        transition: :meth:`jump` reproduces the oracle's discretized
+        ramp in closed form, converged or not.  Returns ``inf`` when
+        nothing bounds the span (e.g. every remaining worker is
+        fileless and demands nothing).
+        """
+        gf_w = (1.0 - losses)[self._expand]
+        good_rate_Bps = targets * gf_w / 8.0
+        idle_time = self.stall_left + self.gap_left
+        bound = np.inf
+        movers = self.has_file & (idle_time <= 0.0) & (good_rate_Bps > 1e-9)
+        if movers.any():
+            need = self.file_size[movers] - self.file_done[movers]
+            bound = float((need / good_rate_Bps[movers]).min())
+        waking = self.has_file & (idle_time > 0.0)
+        if waking.any():
+            bound = min(bound, float(idle_time[waking].min()))
+        return now + bound
+
+    def jump(
+        self, h: float, n: int, targets: np.ndarray, losses: np.ndarray, now: float
+    ) -> None:
+        """Advance every session by ``n`` grid steps of size ``h`` at once.
+
+        Closed-form equivalent of ``n`` consecutive :meth:`step` calls
+        under a frozen equilibrium — constant ``targets``/``losses`` and
+        no worker starting, finishing, or acquiring a file inside the
+        window, which is exactly what the executor's jump planner
+        proves before calling.  Per grid step the oracle ramps
+        ``r_i = T - (T - r_{i-1}) * q`` with ``q = 1 - blend(h)`` and
+        then moves ``r_i * gf / 8 * h`` bytes, so after ``n`` steps::
+
+            r_n   = T - (T - r_0) * q^n
+            bytes = gf/8 * h * (T*n - (T - r_0) * q * (1 - q^n) / (1 - q))
+
+        evaluated here directly.  The only divergence from the iterated
+        oracle is float round-off: the geometric series is summed in
+        closed form instead of accumulated step by step.  Throughput
+        monitors receive one record covering the whole span (totals are
+        preserved; tail-windowed samples see coarser granularity, but
+        agent sample boundaries are engine events, which bound jumps).
+        """
+        sessions = self.sessions
+        n_sess = len(sessions)
+        offsets = self.offsets
+        span = h * n
+
+        goodput = 1.0 - losses
+        gf_w = goodput[self._expand]
+
+        blend_s, _ = self._blends_for(h)
+        q_s = 1.0 - blend_s
+        qn_s = q_s**n
+        # sum_{i=1..n} q^i with the q == 1 limit (tau >> h) -> n.
+        safe_blend = np.where(blend_s > 0.0, blend_s, 1.0)
+        series_s = np.where(blend_s > 0.0, (q_s - q_s * qn_s) / safe_blend, float(n))
+        qn_w = qn_s[self._expand]
+        series_w = series_s[self._expand]
+
+        rates = self.rates
+        # Ramp gap toward the allocation; zero for workers snapping down
+        # (the oracle's instant decrease lands them on target in step 1).
+        ramp_gap = np.maximum(targets - rates, 0.0)
+        new_rates = targets - ramp_gap * qn_w
+
+        # Stall/gap budgets drain linearly and sequentially, so the
+        # n-step drain equals one span-sized drain (same expressions as
+        # :meth:`step` with dt = span).
+        if self.stall_left.any():
+            stall_used = np.minimum(self.stall_left, span)
+            self.stall_left -= stall_used
+            consumed = np.add.reduceat(stall_used, offsets[:-1])
+            for i in np.flatnonzero(consumed > 0.0).tolist():
+                lo, hi = offsets[i], offsets[i + 1]
+                sessions[i].stalled_seconds += float(stall_used[lo:hi].sum())
+            budget = span - stall_used
+            time_left = np.maximum(0.0, budget - self.gap_left)
+            self.gap_left[:] = np.maximum(0.0, self.gap_left - budget)
+        else:
+            time_left = np.maximum(0.0, span - self.gap_left)
+            self.gap_left[:] = np.maximum(0.0, self.gap_left - span)
+
+        # Bytes over the window from the ramp series above.  The planner
+        # guarantees movers are full-span movers (no mid-window wake-ups
+        # or completions), so time_left is binary: span or 0.
+        moved_w = gf_w / 8.0 * h * (targets * float(n) - ramp_gap * series_w)
+        good_totals = [0.0] * n_sess
+        moving = np.flatnonzero(self.has_file & (time_left > 1e-12))
+        if moving.size:
+            moved = moved_w[moving]
+            self.file_done[moving] += moved
+            bounds = np.searchsorted(moving, offsets)
+            for i in np.flatnonzero(np.diff(bounds)).tolist():
+                good_totals[i] = float(moved[bounds[i] : bounds[i + 1]].sum())
+        rates[:] = new_rates
+
+        busy = self.busy_counts()
+        counts = self.counts
+        for i, s in enumerate(sessions):
+            gf = float(goodput[i])
+            good = good_totals[i]
+            sent = good / gf if gf > 0 else good
+            s.current_loss = float(losses[i])
+            s._finish_step(good, sent, span, now, idle_workers=bool(busy[i] < counts[i]))

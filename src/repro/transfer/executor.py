@@ -30,6 +30,7 @@ unreported changes.  See DESIGN.md "Performance".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable
@@ -111,6 +112,15 @@ class _Topology:
     memo_loss_final: np.ndarray | None = None
     memo_loss_state: tuple | None = None
     memo_losses: np.ndarray | None = None
+    #: Equilibrium epoch the memoized (final, losses) pair was computed
+    #: at: ``(demand_epoch, link_epoch)``.  While the executor's live
+    #: epoch pair still equals this key, nothing that feeds the
+    #: allocation has changed and the step can skip ``_demand_caps`` /
+    #: ``_waterfill`` / ``_session_losses`` entirely — the incremental
+    #: counterpart of the array-compare memos above, which still cover
+    #: the recompute path (e.g. a loss burst bumps the link epoch but
+    #: leaves demands untouched, so the waterfill memo still hits).
+    memo_key: tuple | None = None
     #: Batched state store (None when the executor runs the per-session
     #: path).  Rebuilt with the topology: sessions hold views into it.
     batch: BatchStore | None = None
@@ -125,6 +135,26 @@ class FluidTransferNetwork:
     paths are bit-identical (pinned by the batch parity test) — the
     per-session path exists as the parity reference and for
     worker-state layouts the store cannot host (none today).
+
+    ``adaptive=True`` (requires ``batched``) additionally flips the
+    engine into event-driven stepping: between discrete transitions the
+    allocation is provably constant, so the executor's jump planner
+    (:meth:`_plan_jump`) bounds how many grid steps are transition-free
+    and :meth:`_fluid_jump` covers them with one closed-form
+    :meth:`BatchStore.jump`.  Fixed-dt remains the oracle; adaptive
+    runs match it to float round-off (rtol-pinned by the adaptive
+    parity tests).
+
+    Incremental equilibrium: the converged (allocation, losses) pair is
+    a pure function of the demand-cap vector, the topology, and the
+    links' fault state.  Two counters — a *demand epoch* bumped by the
+    session hooks whenever a worker gains/loses a file, and a *link
+    epoch* bumped by the fault injector on loss-state changes — key the
+    cached pair (``_Topology.memo_key``); topology rebuilds discard it
+    wholesale.  Steady-state steps on both paths skip the waterfill
+    pipeline entirely.  Callers that mutate link fault state directly
+    (outside the injector) must call :meth:`note_link_fault`, exactly
+    as capacity mutators must call :meth:`invalidate_topology`.
     """
 
     def __init__(
@@ -132,14 +162,27 @@ class FluidTransferNetwork:
         engine: SimulationEngine,
         config: SimConfig = DEFAULT_CONFIG,
         batched: bool = True,
+        adaptive: bool = False,
     ):
         self.engine = engine
         self.config = config
         self.batched = batched
+        if adaptive and not batched:
+            raise ValueError("adaptive stepping requires the batched executor")
+        self.adaptive = adaptive
         self.sessions: list[TransferSession] = []
         self._topo: _Topology | None = None
         self._dirty = True
+        # Equilibrium epochs: bumped by the demand/fault hooks; the
+        # cached allocation is valid while the pair is unchanged.
+        self._demand_epoch = 0
+        self._link_epoch = 0
         engine.fluid_step = self.fluid_step
+        if batched:
+            engine.jump_planner = self._plan_jump
+            engine.fluid_jump = self._fluid_jump
+        if adaptive:
+            engine.adaptive = True
 
     # -- session management ----------------------------------------------------
 
@@ -150,6 +193,7 @@ class FluidTransferNetwork:
         session.started_at = self.engine.now
         session.assign_files()
         session.on_topology_change = self.invalidate_topology
+        session.on_demand_change = self.note_demand_change
         self.sessions.append(session)
         self._dirty = True
         tracer = current_tracer()
@@ -166,6 +210,7 @@ class FluidTransferNetwork:
         """Detach a session (finished or cancelled)."""
         self.sessions.remove(session)
         session.on_topology_change = None
+        session.on_demand_change = None
         topo = self._topo
         if topo is not None and topo.batch is not None and session in topo.sessions:
             # Freeze the departing session's state into standalone copies
@@ -181,6 +226,25 @@ class FluidTransferNetwork:
         resources in place can request a rebuild explicitly.
         """
         self._dirty = True
+
+    def note_demand_change(self) -> None:
+        """A worker gained or lost a file: the demand-cap vector moved.
+
+        Installed as every attached session's ``on_demand_change`` hook;
+        invalidates the epoch-keyed equilibrium cache without forcing a
+        topology rebuild.
+        """
+        self._demand_epoch += 1
+
+    def note_link_fault(self) -> None:
+        """A link's fault state (``available``/``extra_loss``) changed.
+
+        Called by the fault injector on loss bursts, which mutate links
+        without touching capacities (outages and brownouts go through
+        :meth:`invalidate_topology` instead).  Public for exotic callers
+        that flip link fault state directly.
+        """
+        self._link_epoch += 1
 
     def active_sessions(self) -> list[TransferSession]:
         """Sessions that still have work."""
@@ -210,13 +274,31 @@ class FluidTransferNetwork:
 
         # Wall-clock reads below are profiling-only: they feed the
         # optional PerfCounters report and never influence sim state.
+        # Each subsystem is timed over exactly its own call, so the
+        # attributions are exclusive and sum to less than the wall time.
+        prof = self.engine.profile
+        key = (self._demand_epoch, self._link_epoch)
         t0 = perf_counter()  # repro: lint-ok[F001]
-        demand_cap = self._demand_caps(topo)
-        t1 = perf_counter()  # repro: lint-ok[F001]
-        final = self._waterfill(demand_cap, topo)
-        t2 = perf_counter()  # repro: lint-ok[F001]
-        losses = self._session_losses(topo, final)
-        t3 = perf_counter()  # repro: lint-ok[F001]
+        if topo.memo_key == key and topo.memo_final is not None:
+            # Epoch hit: nothing feeding the equilibrium changed since
+            # the memoized pair was computed — replay it outright.
+            final = topo.memo_final
+            losses = topo.memo_losses
+            if prof is not None:
+                prof.add("equilibrium_cache", perf_counter() - t0)  # repro: lint-ok[F001]
+        else:
+            demand_cap = self._demand_caps(topo)
+            t1 = perf_counter()  # repro: lint-ok[F001]
+            final = self._waterfill(demand_cap, topo)
+            t2 = perf_counter()  # repro: lint-ok[F001]
+            losses = self._session_losses(topo, final)
+            topo.memo_key = key
+            if prof is not None:
+                t3 = perf_counter()  # repro: lint-ok[F001]
+                prof.add("demand_caps", t1 - t0)
+                prof.add("waterfill", t2 - t1)
+                prof.add("loss", t3 - t2)
+        assert losses is not None
 
         tracer = current_tracer()
         if tracer is not None:
@@ -226,11 +308,12 @@ class FluidTransferNetwork:
                 FluidRebalance,
                 sessions=len(sessions),
                 workers=topo.total,
-                demand_bps=float(demand_cap.sum()),
+                demand_bps=float(topo.memo_demand_cap.sum()),
                 allocated_bps=float(final.sum()),
             )
             tracer.metrics.set("fluid.active_sessions", len(sessions))
 
+        t4 = perf_counter()  # repro: lint-ok[F001]
         if topo.batch is not None:
             topo.batch.step(dt, final, losses, now)
             for s in sessions:
@@ -243,14 +326,80 @@ class FluidTransferNetwork:
                 s.step(dt, targets, float(losses[i]), now)
                 if not s.active and s in self.sessions:
                     self.remove_session(s)
-        t4 = perf_counter()  # repro: lint-ok[F001]
-
-        prof = self.engine.profile
         if prof is not None:
-            prof.add("demand_caps", t1 - t0)
-            prof.add("waterfill", t2 - t1)
-            prof.add("loss", t3 - t2)
-            prof.add("session_step", t4 - t3)
+            prof.add("session_step", perf_counter() - t4)  # repro: lint-ok[F001]
+
+    # -- adaptive jumps ----------------------------------------------------------
+
+    def _plan_jump(self, now: float, h: float, max_steps: int) -> int:
+        """How many grid steps of size ``h`` one jump may cover (engine hook).
+
+        Returns 1 (take a normal step) unless the epoch-keyed
+        equilibrium is provably current, in which case the bound is the
+        earliest per-worker transition from
+        :meth:`BatchStore.next_transition`.  Runs the start-of-step file
+        assignment first — the same scan :meth:`fluid_step` would do at
+        this timestamp — so a pending assignment bumps the demand epoch
+        *before* the freshness check and falls back to a normal step.
+        """
+        sessions = self.active_sessions()
+        if not sessions:
+            return max_steps
+        topo = self._topology(sessions)
+        batch = topo.batch
+        if batch is None:
+            return 1
+        if topo.total == 0:
+            return max_steps
+        busy = batch.busy_counts()
+        for i in np.flatnonzero(busy < batch.counts).tolist():
+            topo.sessions[i].assign_files()
+        key = (self._demand_epoch, self._link_epoch)
+        if topo.memo_key != key or topo.memo_final is None:
+            return 1
+        t_next = batch.next_transition(now, topo.memo_final, topo.memo_losses)
+        if not math.isfinite(t_next):
+            return max_steps
+        return max(1, min(max_steps, int((t_next - now) / h)))
+
+    def _fluid_jump(self, now: float, h: float, n: int) -> None:
+        """Advance the batched store by ``n`` grid steps (engine hook).
+
+        Only ever invoked immediately after :meth:`_plan_jump` returned
+        ``n`` in the same engine iteration — no events fire in between —
+        so the epoch-fresh equilibrium the planner validated is still
+        current and is replayed without recomputation.
+        """
+        sessions = self.active_sessions()
+        if not sessions:
+            return
+        topo = self._topology(sessions)
+        batch = topo.batch
+        if batch is None or topo.total == 0:
+            return
+        final = topo.memo_final
+        losses = topo.memo_losses
+        assert final is not None and losses is not None
+        prof = self.engine.profile
+        t0 = perf_counter()  # repro: lint-ok[F001]
+
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(
+                FluidRebalance,
+                sessions=len(sessions),
+                workers=topo.total,
+                demand_bps=float(topo.memo_demand_cap.sum()),
+                allocated_bps=float(final.sum()),
+            )
+            tracer.metrics.set("fluid.active_sessions", len(sessions))
+
+        batch.jump(h, n, final, losses, now)
+        for s in sessions:
+            if not s.active and s in self.sessions:
+                self.remove_session(s)
+        if prof is not None:
+            prof.add("session_step", perf_counter() - t0)  # repro: lint-ok[F001]
 
     # -- topology cache ----------------------------------------------------------
 

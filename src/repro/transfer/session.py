@@ -116,6 +116,11 @@ class TransferSession:
         # Set by the executor; invoked whenever worker count or stream
         # layout changes so it can invalidate its cached topology.
         self.on_topology_change: Optional[Callable[[], None]] = None
+        # Set by the executor; invoked whenever a worker gains or loses
+        # a file (assignment, queue exhaustion, crash) — the only
+        # per-step state changes that move the demand-cap vector, and
+        # therefore the executor's cached equilibrium allocation.
+        self.on_demand_change: Optional[Callable[[], None]] = None
 
         # Per-worker state (parallel arrays).
         self.rates = np.zeros(0)  # current send rate, bps
@@ -286,6 +291,8 @@ class TransferSession:
         self.stall_left[w] = 0.0
         self.attempts[w] = 0
         self.has_file[w] = False
+        if had_file:
+            self._notify_demand_change()
         if finished:
             self.files_completed += 1
         elif requeued:
@@ -320,10 +327,15 @@ class TransferSession:
         if self.on_topology_change is not None:
             self.on_topology_change()
 
+    def _notify_demand_change(self) -> None:
+        if self.on_demand_change is not None:
+            self.on_demand_change()
+
     # -- file management -----------------------------------------------------
 
     def assign_files(self) -> None:
         """Hand queued files to idle workers."""
+        assigned = False
         for w in np.flatnonzero(~self.has_file):
             item = self.queue.pop()
             if item is None:
@@ -331,6 +343,9 @@ class TransferSession:
             self.file_size[w], self.file_done[w] = item
             self.attempts[w] = self.queue.last_attempts
             self.has_file[w] = True
+            assigned = True
+        if assigned:
+            self._notify_demand_change()
 
     def per_file_gap(self) -> float:
         """Pause between consecutive files of one worker.
@@ -498,6 +513,7 @@ class TransferSession:
                     self.file_size[w] = 0.0
                     self.file_done[w] = 0.0
                     self.attempts[w] = 0
+                    self._notify_demand_change()
                     break
                 self.file_size[w], self.file_done[w] = item
                 self.attempts[w] = self.queue.last_attempts
