@@ -1,0 +1,201 @@
+"""Sharded data-plane benchmark: throughput scaling and routing cost.
+
+The sharding contract (ISSUE 10) has two measurable halves:
+
+* **scaling** — at an offered load sized to saturate several engines,
+  a 4-shard :class:`~repro.service.sharding.ShardedControlPlane` must
+  move >= 3x the admitted goodput of the identical 1-shard run over
+  the same simulated window (near-linear: each shard is an independent
+  engine, so the only loss is placement skew);
+* **routing overhead** — what the sharded plane *adds* over the
+  unsharded :class:`~repro.service.control.ControlPlane` is exactly
+  the router: the placement decision, the side-effect-free home-shard
+  verdict pre-check, and the ``job.route`` bookkeeping.  Measured in
+  isolation (bench_service's held-queue technique: a plug job pins
+  every shard's single slot so nothing launches) and expressed as a
+  fraction of the 1-shard leg's end-to-end wall time.  Budget: <= 5%.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py            # full run
+    PYTHONPATH=src python benchmarks/bench_shard.py --smoke    # CI-sized
+
+Writes ``BENCH_shard.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path as FsPath
+
+from repro.service import (
+    ControlPlane,
+    ControlPolicy,
+    FalconService,
+    JobState,
+    ShardedControlPlane,
+    TenantSpec,
+    make_shards,
+)
+from repro.sim.engine import SimulationEngine
+from repro.testbeds.presets import hpclab
+from repro.transfer.dataset import uniform_dataset
+from repro.transfer.executor import FluidTransferNetwork
+from repro.units import GB, MB
+
+#: Admitted goodput of the 4-shard run over the 1-shard run, >= this.
+SCALING_FLOOR = 3.0
+#: Routing machinery as a fraction of the 1-shard end-to-end wall.
+OVERHEAD_BUDGET = 0.05
+#: Shard count for the scaled leg (the ISSUE's 4-8 band, lower edge).
+SHARDS = 4
+#: Offered load as a multiple of the scaled fleet's aggregate capacity.
+#: The run window is 2x the arrival horizon, so one shard can drain 2
+#: capacity-units of the SHARDS * OVERSUBSCRIBE offered; this must be
+#: high enough that the 1-shard leg stays saturated through the whole
+#: window (2.4 * 4 = 9.6 units offered vs 2 drainable).
+OVERSUBSCRIBE = 2.4
+
+
+def goodput_leg(n_shards: int, jobs: int, horizon: float) -> tuple[float, int, float]:
+    """(bytes moved, jobs completed, wall seconds) for one scaling leg.
+
+    Both legs see the *same* offered load — ``OVERSUBSCRIBE`` times
+    what ``SHARDS`` engines can move in ``horizon`` — submitted at a
+    fixed cadence, then run to exactly ``2 * horizon`` of simulated
+    time.  The 1-shard run saturates (bounded queue sheds the excess);
+    the sharded run spreads it, so the completed-bytes ratio is the
+    admitted-throughput scaling factor.
+    """
+    shards = make_shards(n_shards, seed=0, max_active=8)
+    plane = ShardedControlPlane(shards, ControlPolicy(max_queue=64))
+    plane.register_tenant(TenantSpec("bench"))
+    proto = hpclab()
+    capacity_bytes = proto.max_throughput() / 8.0 * horizon * SHARDS
+    per_job = OVERSUBSCRIBE * capacity_bytes / jobs
+    interval = horizon / jobs
+    t0 = time.perf_counter()
+    for i in range(jobs):
+        plane.run_until(i * interval)
+        plane.submit(hpclab, uniform_dataset(1, per_job), "bench", name=f"j{i}")
+    plane.run_until(2.0 * horizon)
+    wall = time.perf_counter() - t0
+    moved = 0.0
+    completed = 0
+    for job in plane.jobs():
+        if job.state is JobState.COMPLETED:
+            completed += 1
+            moved += job.report.bytes_moved
+    return moved, completed, wall
+
+
+def routing_machinery(jobs: int) -> tuple[float, float]:
+    """(sharded, unsharded) admission seconds for ``jobs`` held jobs.
+
+    Every shard's single slot is pinned by a plug job submitted
+    directly to its service, so the timed loop exercises admission +
+    routing only — no launches, no simulation steps.  The unsharded
+    loop is the same admission pipeline without the router; the
+    difference is the routing cost.
+    """
+    datasets = [uniform_dataset(1, 64 * MB) for _ in range(jobs)]
+
+    shards = make_shards(SHARDS, seed=0, max_active=1)
+    plane = ShardedControlPlane(shards, ControlPolicy(max_queue=2 * jobs, preemption=False))
+    plane.register_tenant(TenantSpec("bench"))
+    for shard in shards:
+        shard.service.submit(shard.localize(hpclab), uniform_dataset(1, 512 * GB), name="plug")
+    t0 = time.perf_counter()
+    for i, dataset in enumerate(datasets):
+        plane.submit(hpclab, dataset, "bench", name=f"j{i}")
+    sharded = time.perf_counter() - t0
+    if plane.depth != jobs:
+        raise AssertionError(f"sharded queues held {plane.depth}/{jobs} jobs")
+
+    engine = SimulationEngine(dt=0.1)
+    network = FluidTransferNetwork(engine)
+    service = FalconService(engine=engine, network=network, max_active=1, seed=0)
+    tb = hpclab()
+    service.submit(tb, uniform_dataset(1, 512 * GB), name="plug")
+    flat = ControlPlane(service, ControlPolicy(max_queue=2 * jobs, preemption=False))
+    flat.register_tenant(TenantSpec("bench"))
+    t0 = time.perf_counter()
+    for i, dataset in enumerate(datasets):
+        flat.submit(tb, dataset, "bench", name=f"j{i}")
+    unsharded = time.perf_counter() - t0
+    if flat.depth != jobs:
+        raise AssertionError(f"flat queue held {flat.depth}/{jobs} jobs")
+    return sharded, unsharded
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="short CI run, no JSON output")
+    parser.add_argument("--jobs", type=int, default=600, help="jobs in the scaling legs")
+    parser.add_argument("--horizon", type=float, default=240.0, help="arrival window, sim seconds")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N for the timed loops")
+    parser.add_argument("--out", default="BENCH_shard.json", help="output path")
+    args = parser.parse_args(argv)
+
+    jobs = 200 if args.smoke else args.jobs
+    horizon = 120.0 if args.smoke else args.horizon
+    repeats = 2 if args.smoke else args.repeats
+
+    moved_1, done_1, wall_1 = goodput_leg(1, jobs, horizon)
+    moved_n, done_n, wall_n = goodput_leg(SHARDS, jobs, horizon)
+    scaling = moved_n / moved_1 if moved_1 > 0.0 else float("inf")
+    rate_n = done_n / (2.0 * horizon) * 3600.0  # completed jobs per sim-hour
+
+    routing_machinery(min(jobs, 50))  # warm allocator and imports
+    sharded = unsharded = float("inf")
+    for _ in range(repeats):
+        s, u = routing_machinery(jobs)
+        sharded, unsharded = min(sharded, s), min(unsharded, u)
+    routing = max(sharded - unsharded, 0.0)
+    overhead = routing / wall_1
+    per_job_us = routing / jobs * 1e6
+
+    print(
+        f"scaling: {SHARDS} shards moved {moved_n / GB:.1f} GB vs {moved_1 / GB:.1f} GB "
+        f"on 1 shard = {scaling:.2f}x (floor {SCALING_FLOOR:g}x); "
+        f"{done_n} jobs completed ({rate_n:,.0f}/sim-hour)"
+    )
+    print(
+        f"routing: {routing * 1e3:.2f}ms for {jobs} jobs ({per_job_us:.1f}us/job) "
+        f"= {overhead:.2%} of the 1-shard wall ({wall_1:.3f}s, budget {OVERHEAD_BUDGET:.0%})"
+    )
+    ok = scaling >= SCALING_FLOOR and overhead <= OVERHEAD_BUDGET
+    if args.smoke:
+        return 0 if ok else 1
+
+    payload = {
+        "scenario": {
+            "shards": SHARDS,
+            "jobs": jobs,
+            "horizon_s": horizon,
+            "oversubscribe": OVERSUBSCRIBE,
+            "max_active": 8,
+        },
+        "one_shard_bytes": round(moved_1, 0),
+        "sharded_bytes": round(moved_n, 0),
+        "sharded_completed": done_n,
+        "completed_per_sim_hour": round(rate_n, 0),
+        "scaling": round(scaling, 3),
+        "scaling_floor": SCALING_FLOOR,
+        "one_shard_wall_seconds": round(wall_1, 4),
+        "sharded_wall_seconds": round(wall_n, 4),
+        "routing_seconds": round(routing, 5),
+        "routing_per_job_us": round(per_job_us, 2),
+        "overhead": round(overhead, 4),
+        "budget": OVERHEAD_BUDGET,
+        "within_budget": ok,
+    }
+    FsPath(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,8 @@ DEFAULT_DOCS = (
     "DESIGN.md",
     "EXPERIMENTS.md",
     "ROADMAP.md",
+    "docs/architecture.md",
+    "docs/benchmarks.md",
     "docs/events.md",
     "docs/observability.md",
     "docs/service.md",

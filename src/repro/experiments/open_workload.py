@@ -13,7 +13,12 @@ job sizes, across three legs:
   bounded queue, degradation mode, and priority shedding define
   behavior instead of an unbounded backlog;
 * **flaky-network** — nominal load under the PR 3 ``flaky-network``
-  chaos preset (link outages + loss bursts) with retries enabled.
+  chaos preset (link outages + loss bursts) with retries enabled;
+* **sharded-4x** — 10.5x the arrival rate (100k+ jobs/sim-hour at
+  the default 10k/h base) spread across four independent data-plane
+  shards by a :class:`~repro.service.sharding.ShardedControlPlane`
+  (least-loaded placement), reporting per-shard utilization skew
+  alongside the usual tenant table.
 
 Tenant mix (arrival share / weight / class / quota):
 
@@ -52,8 +57,11 @@ from repro.service import (
     JobState,
     Priority,
     RetryPolicy,
+    ShardedControlPlane,
     TenantSpec,
+    make_shards,
 )
+from repro.sim.rng import RngStreams
 from repro.testbeds.presets import hpclab
 from repro.transfer.dataset import Dataset
 from repro.units import format_size
@@ -72,6 +80,13 @@ LEGS: tuple[tuple[str, float, str], ...] = (
     ("overload-2x", 2.0, ""),
     ("flaky-network", 1.0, "flaky-network"),
 )
+
+#: The sharded leg: (name, shard count, arrival-rate multiple of the
+#: base ``rate_per_hour``).  10.5x the 10k/h default targets ~105k
+#: jobs/sim-hour across four shards — 5% headroom so the realized
+#: Poisson draw stays above the 100k/sim-hour floor; offered bytes
+#: scale to rho=1 per shard.
+SHARD_LEG: tuple[str, int, float] = ("sharded-4x", 4, 10.5)
 
 
 @dataclass(frozen=True)
@@ -99,8 +114,25 @@ class TenantStats:
 
 
 @dataclass(frozen=True)
+class ShardStats:
+    """One data-plane shard's outcome in the sharded leg."""
+
+    shard: str
+    routed: int
+    completed: int
+    bytes_moved: float
+    utilization: float
+
+
+@dataclass(frozen=True)
 class OpenWorkloadRun:
-    """One leg of the open workload."""
+    """One leg of the open workload.
+
+    ``shards``/``skew`` are only populated by the sharded leg; the
+    defaults keep the original single-engine legs byte-identical.
+    ``skew`` is the relative spread of per-shard utilization,
+    ``(max - min) / mean`` — 0 means perfectly even placement.
+    """
 
     leg: str
     rho: float
@@ -110,9 +142,11 @@ class OpenWorkloadRun:
     jobs_shed: int
     jain_fairness: float
     tenants: tuple[TenantStats, ...]
+    shards: tuple[ShardStats, ...] = ()
+    skew: float = 0.0
 
     def render(self) -> str:
-        """Per-tenant table for this leg."""
+        """Per-tenant (and, when sharded, per-shard) table for this leg."""
         header = (
             f"[{self.leg}] rho={self.rho:g} preset={self.preset or 'none'} "
             f"submitted={self.jobs_submitted} completed={self.jobs_completed} "
@@ -135,7 +169,17 @@ class OpenWorkloadRun:
                 for t in self.tenants
             ],
         )
-        return header + "\n" + body
+        out = header + "\n" + body
+        if self.shards:
+            shard_body = format_table(
+                ["Shard", "Routed", "Done", "Moved", "Util"],
+                [
+                    (s.shard, s.routed, s.completed, format_size(s.bytes_moved), f"{s.utilization:.3f}")
+                    for s in self.shards
+                ],
+            )
+            out += f"\nper-shard (skew={self.skew:.3f}):\n" + shard_body
+        return out
 
 
 @dataclass(frozen=True)
@@ -156,6 +200,86 @@ def _percentile(values: list, q: float) -> float:
     ordered = sorted(values)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return float(ordered[rank - 1])
+
+
+def _arrival_plan(
+    streams: RngStreams, rate_per_hour: float, horizon: float
+) -> tuple[list[tuple[float, int, str, int]], dict, dict]:
+    """Poisson arrivals with heavy-tailed size factors, all tenants.
+
+    Returns ``(arrivals, factors, file_counts)`` where arrivals are
+    ``(time, seq, tenant, idx)`` sorted by time and sizes are relative
+    log-uniform factors spanning ~400x (scaled to bytes by the caller).
+    One named stream per tenant keeps the plan byte-stable across legs.
+    """
+    arrivals: list[tuple[float, int, str, int]] = []
+    factors: dict[tuple[str, int], float] = {}
+    file_counts: dict[tuple[str, int], int] = {}
+    seq = 0
+    for name, share, _w, _p, _qr, _qb in TENANTS:
+        lam = share * rate_per_hour / 3600.0
+        rng = streams.get(f"workload/arrivals/{name}")
+        t = float(rng.exponential(1.0 / lam))
+        i = 0
+        while t < horizon:
+            arrivals.append((t, seq, name, i))
+            u = float(rng.random())
+            factors[(name, i)] = 0.05 * (20.0 / 0.05) ** u
+            file_counts[(name, i)] = 1 + int(rng.integers(0, 4))
+            seq += 1
+            i += 1
+            t += float(rng.exponential(1.0 / lam))
+    arrivals.sort()
+    return arrivals, factors, file_counts
+
+
+def _tenant_summary(
+    jobs: dict[str, list], ideal_bps: float
+) -> tuple[list[TenantStats], list[float]]:
+    """Fold per-tenant job lists into stats + weight-normalised goodput."""
+    stats: list[TenantStats] = []
+    goodput: list[float] = []
+    for name, _share, weight, priority, _qr, _qb in TENANTS:
+        tenant_jobs = jobs[name]
+        shed = {"quota": 0, "queue-full": 0, "degraded": 0, "breaker-open": 0}
+        slowdowns: list[float] = []
+        completed = 0
+        unfinished = 0
+        moved = 0.0
+        preemptions = 0
+        for job in tenant_jobs:
+            preemptions += job.preemptions
+            if job.state is JobState.REJECTED:
+                shed[job.rejection_reason] += 1
+            elif job.state is JobState.COMPLETED:
+                completed += 1
+                moved += job.report.bytes_moved
+                ideal = max(job.dataset.total_bytes * 8.0 / ideal_bps, 1e-9)
+                slowdowns.append((job.finished_at - job.submitted_at) / ideal)
+            elif job.state.is_terminal:
+                if job.report is not None:
+                    moved += job.report.bytes_moved
+            else:
+                unfinished += 1
+        stats.append(
+            TenantStats(
+                tenant=name,
+                priority=priority.label,
+                submitted=len(tenant_jobs),
+                completed=completed,
+                unfinished=unfinished,
+                shed_quota=shed["quota"],
+                shed_queue_full=shed["queue-full"],
+                shed_degraded=shed["degraded"],
+                shed_breaker=shed["breaker-open"],
+                bytes_moved=moved,
+                preemptions=preemptions,
+                p50_slowdown=_percentile(slowdowns, 50.0),
+                p99_slowdown=_percentile(slowdowns, 99.0),
+            )
+        )
+        goodput.append(moved / weight)
+    return stats, goodput
 
 
 def workload_run(
@@ -200,24 +324,7 @@ def workload_run(
     # Sizes are drawn as log-uniform relative factors spanning ~400x,
     # then scaled so the leg's total offered bytes equal
     # rho * achievable-capacity * horizon.
-    arrivals: list[tuple[float, int, str, int]] = []
-    factors: dict[tuple[str, int], float] = {}
-    file_counts: dict[tuple[str, int], int] = {}
-    seq = 0
-    for name, share, _w, _p, _qr, _qb in TENANTS:
-        lam = share * rate_per_hour / 3600.0
-        rng = ctx.rng(f"workload/arrivals/{name}")
-        t = float(rng.exponential(1.0 / lam))
-        i = 0
-        while t < horizon:
-            arrivals.append((t, seq, name, i))
-            u = float(rng.random())
-            factors[(name, i)] = 0.05 * (20.0 / 0.05) ** u
-            file_counts[(name, i)] = 1 + int(rng.integers(0, 4))
-            seq += 1
-            i += 1
-            t += float(rng.exponential(1.0 / lam))
-    arrivals.sort()
+    arrivals, factors, file_counts = _arrival_plan(ctx.streams, rate_per_hour, horizon)
     total_factor = sum(factors.values())
     capacity_bytes = tb.max_throughput() / 8.0 * horizon
     scale = rho * capacity_bytes / total_factor if total_factor > 0.0 else 0.0
@@ -256,49 +363,7 @@ def workload_run(
         ctx.engine.run_until(min(deadline, ctx.engine.now + 0.25 * horizon))
 
     # -- summarize ----------------------------------------------------------
-    ideal_bps = tb.max_throughput()
-    stats: list[TenantStats] = []
-    goodput: list[float] = []
-    for name, _share, weight, priority, _qr, _qb in TENANTS:
-        tenant_jobs = jobs[name]
-        shed = {"quota": 0, "queue-full": 0, "degraded": 0, "breaker-open": 0}
-        slowdowns: list[float] = []
-        completed = 0
-        unfinished = 0
-        moved = 0.0
-        preemptions = 0
-        for job in tenant_jobs:
-            preemptions += job.preemptions
-            if job.state is JobState.REJECTED:
-                shed[job.rejection_reason] += 1
-            elif job.state is JobState.COMPLETED:
-                completed += 1
-                moved += job.report.bytes_moved
-                ideal = max(job.dataset.total_bytes * 8.0 / ideal_bps, 1e-9)
-                slowdowns.append((job.finished_at - job.submitted_at) / ideal)
-            elif job.state.is_terminal:
-                if job.report is not None:
-                    moved += job.report.bytes_moved
-            else:
-                unfinished += 1
-        stats.append(
-            TenantStats(
-                tenant=name,
-                priority=priority.label,
-                submitted=len(tenant_jobs),
-                completed=completed,
-                unfinished=unfinished,
-                shed_quota=shed["quota"],
-                shed_queue_full=shed["queue-full"],
-                shed_degraded=shed["degraded"],
-                shed_breaker=shed["breaker-open"],
-                bytes_moved=moved,
-                preemptions=preemptions,
-                p50_slowdown=_percentile(slowdowns, 50.0),
-                p99_slowdown=_percentile(slowdowns, 99.0),
-            )
-        )
-        goodput.append(moved / weight)
+    stats, goodput = _tenant_summary(jobs, tb.max_throughput())
     return OpenWorkloadRun(
         leg=leg,
         rho=rho,
@@ -311,29 +376,137 @@ def workload_run(
     )
 
 
+def sharded_run(
+    leg: str,
+    seed: int,
+    horizon: float,
+    rate_per_hour: float,
+    n_shards: int,
+    max_active: int,
+) -> OpenWorkloadRun:
+    """Task unit: the sharded leg — N data planes behind one router.
+
+    Offered bytes scale to rho=1 *per shard* (the fleet's aggregate
+    capacity), so a well-balanced router keeps every shard near its
+    single-engine operating point while the plane as a whole absorbs
+    N times the single-engine arrival rate.  Utilization is each
+    shard's moved bytes over what one engine could move in the run's
+    wall span; skew is the relative spread of those utilizations.
+    """
+    streams = RngStreams(seed)
+    shards = make_shards(
+        n_shards, seed=seed, max_active=max_active, fault_policy=RetryPolicy()
+    )
+    plane = ShardedControlPlane(
+        shards, ControlPolicy(max_queue=32), placement="least_loaded"
+    )
+    for name, _share, weight, priority, quota_rate, quota_burst in TENANTS:
+        plane.register_tenant(
+            TenantSpec(
+                name,
+                weight=weight,
+                quota_rate=quota_rate,
+                quota_burst=quota_burst,
+                priority=priority,
+            )
+        )
+
+    arrivals, factors, file_counts = _arrival_plan(streams, rate_per_hour, horizon)
+    total_factor = sum(factors.values())
+    proto = hpclab()
+    capacity_bytes = proto.max_throughput() / 8.0 * horizon * n_shards
+    scale = capacity_bytes / total_factor if total_factor > 0.0 else 0.0
+
+    # Shards own their engines, so arrivals are driven directly: advance
+    # the whole fleet to each arrival instant, then submit through the
+    # router.  Same clock discipline as schedule_at, without requiring a
+    # single shared engine.
+    jobs: dict[str, list] = {name: [] for name, *_ in TENANTS}
+    for when, _seq, tenant, idx in arrivals:
+        plane.run_until(when)
+        total = factors[(tenant, idx)] * scale
+        files = file_counts[(tenant, idx)]
+        dataset = Dataset([total / files] * files, name=f"{tenant}-{idx}")
+        jobs[tenant].append(plane.submit(hpclab, dataset, tenant, name=f"{tenant}-{idx}"))
+    plane.run_until(horizon)
+    plane.drain(4.0 * horizon, 0.25 * horizon)
+
+    stats, goodput = _tenant_summary(jobs, proto.max_throughput())
+    shard_capacity = proto.max_throughput() / 8.0 * plane.now
+    per_shard: list[ShardStats] = []
+    utils: list[float] = []
+    for shard in shards:
+        moved = sum(
+            j.report.bytes_moved for j in shard.service.jobs if j.report is not None
+        )
+        done = sum(1 for j in shard.service.jobs if j.state is JobState.COMPLETED)
+        util = moved / shard_capacity if shard_capacity > 0.0 else 0.0
+        utils.append(util)
+        per_shard.append(
+            ShardStats(
+                shard=shard.name,
+                routed=len(shard.service.jobs),
+                completed=done,
+                bytes_moved=moved,
+                utilization=util,
+            )
+        )
+    mean_util = sum(utils) / len(utils) if utils else 0.0
+    skew = (max(utils) - min(utils)) / mean_util if mean_util > 0.0 else 0.0
+    return OpenWorkloadRun(
+        leg=leg,
+        rho=1.0,
+        preset="",
+        jobs_submitted=sum(s.submitted for s in stats),
+        jobs_completed=sum(s.completed for s in stats),
+        jobs_shed=sum(s.shed_total for s in stats),
+        jain_fairness=jain_index(np.array(goodput)),
+        tenants=tuple(stats),
+        shards=tuple(per_shard),
+        skew=skew,
+    )
+
+
 def run(
     seed: int = 0,
     horizon: float = 360.0,
     rate_per_hour: float = 10000.0,
     max_active: int = 8,
 ) -> OpenWorkloadResult:
-    """All three legs at ``rate_per_hour`` arrivals (10k/h default)."""
-    results = run_tasks(
-        [
-            task(
-                workload_run,
-                leg=leg,
-                seed=seed,
-                horizon=horizon,
-                rate_per_hour=rate_per_hour,
-                rho=rho,
-                preset=preset,
-                max_active=max_active,
-                label=leg,
-            )
-            for leg, rho, preset in LEGS
-        ]
+    """Three single-engine legs at ``rate_per_hour``, plus the sharded leg.
+
+    The sharded leg multiplies the base rate by ``SHARD_LEG``'s factor
+    (100k+ jobs/sim-hour at defaults) and spreads it over its shard
+    count, so it scales with the same two knobs the other legs use.
+    """
+    shard_name, n_shards, rate_mult = SHARD_LEG
+    tasks = [
+        task(
+            workload_run,
+            leg=leg,
+            seed=seed,
+            horizon=horizon,
+            rate_per_hour=rate_per_hour,
+            rho=rho,
+            preset=preset,
+            max_active=max_active,
+            label=leg,
+        )
+        for leg, rho, preset in LEGS
+    ]
+    tasks.append(
+        task(
+            sharded_run,
+            leg=shard_name,
+            seed=seed,
+            horizon=horizon,
+            rate_per_hour=rate_per_hour * rate_mult,
+            n_shards=n_shards,
+            max_active=max_active,
+            label=shard_name,
+        )
     )
+    results = run_tasks(tasks)
     return OpenWorkloadResult(runs=tuple(results))
 
 

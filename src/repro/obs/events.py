@@ -431,6 +431,39 @@ class BreakerStateChanged(TraceEvent):
     failures: int = unit_field("-", "consecutive failures on this testbed", 0)
 
 
+@event("job.route", emitted_by="repro.service.sharding.ShardedControlPlane.submit")
+class JobRouted(TraceEvent):
+    """An admitted job was placed on a data-plane shard.
+
+    Emitted only by multi-shard planes (a 1-shard plane stays
+    trace-identical to the unsharded control plane, so routing a
+    single shard is not an event).  ``job_id`` is unique per shard
+    service, not globally — pair it with ``shard``.
+    """
+
+    tenant: str = unit_field("-", "submitting tenant", "")
+    job: str = unit_field("-", "job name", "")
+    job_id: int = unit_field("-", "shard-service job id (unique per shard)", 0)
+    shard: str = unit_field("-", "data-plane shard the job landed on", "")
+    policy: str = unit_field("-", "placement policy (by_testbed / by_tenant / least_loaded)", "")
+    queue_depth: int = unit_field("-", "chosen shard's queue depth after admission", 0)
+
+
+@event("shard.saturated", emitted_by="repro.service.sharding.ShardedControlPlane.submit")
+class ShardSaturated(TraceEvent):
+    """A job's home shard refused it at admission time.
+
+    ``rerouted_to`` names the shard that took the job instead when
+    rebalance-on-shed found one with room; empty means every candidate
+    refused and the job was shed on its home shard.
+    """
+
+    shard: str = unit_field("-", "saturated home shard", "")
+    reason: str = unit_field("-", "refusal: breaker-open / degraded / queue-full", "")
+    queue_depth: int = unit_field("-", "home shard's queue depth at refusal", 0)
+    rerouted_to: str = unit_field("-", "shard that absorbed the job ('' = shed)", "")
+
+
 @event("job.preempt", emitted_by="repro.service.control.ControlPlane._preempt_one")
 class JobPreempted(TraceEvent):
     """A running job was suspended for a higher-priority arrival."""

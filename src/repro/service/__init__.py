@@ -12,6 +12,13 @@ For multi-tenant traffic, wrap the service in a
 quotas, weighted fair scheduling, priority preemption, circuit
 breakers, and bounded-queue load shedding with typed rejections.  The
 control plane is opt-in — a bare service behaves exactly as before.
+
+To scale past one engine, shard the data plane: ``make_shards(n)``
+builds N fully independent engine+network+service triples and a
+:class:`~repro.service.sharding.ShardedControlPlane` routes admitted
+jobs across them with deterministic placement policies, shard-local
+breaker/fault scoping, and rebalance-on-shed.  A 1-shard plane is
+bit-identical to the unsharded control plane.
 """
 
 from repro.service.breaker import BreakerState, CircuitBreaker
@@ -19,6 +26,7 @@ from repro.service.control import ControlPlane, ControlPolicy
 from repro.service.jobs import JobState, Priority, TransferJob, TransferReport
 from repro.service.policy import RetryPolicy
 from repro.service.service import FalconService
+from repro.service.sharding import DataShard, ShardedControlPlane, ShardRouter, make_shards
 from repro.service.tenancy import TenantSpec, TokenBucket
 
 __all__ = [
@@ -26,7 +34,11 @@ __all__ = [
     "CircuitBreaker",
     "ControlPlane",
     "ControlPolicy",
+    "DataShard",
     "FalconService",
+    "ShardRouter",
+    "ShardedControlPlane",
+    "make_shards",
     "JobState",
     "Priority",
     "RetryPolicy",

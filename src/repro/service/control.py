@@ -164,6 +164,9 @@ class ControlPlane:
         self._depth = 0
         self._breakers: dict[str, CircuitBreaker] = {}
         self._pumping = False
+        #: Dataset bytes waiting in the tenant queues (the shard router's
+        #: load gauge; kept in step with ``_depth`` at every touch point).
+        self._queued_bytes = 0.0
         #: Shed jobs in decision order (terminal REJECTED, with reasons).
         self.shed: list[TransferJob] = []
 
@@ -232,6 +235,7 @@ class ControlPlane:
         st.queue.append(job)
         st.cls.count += 1
         self._depth += 1
+        self._queued_bytes += job._extras["cost"]
         tracer = current_tracer()
         if tracer is not None:
             tracer.emit(
@@ -252,6 +256,49 @@ class ControlPlane:
     def depth(self) -> int:
         """Jobs currently waiting in control-plane queues (count)."""
         return self._depth
+
+    @property
+    def queued_bytes(self) -> float:
+        """Dataset bytes waiting in control-plane queues.
+
+        Together with the running set this is the load gauge the shard
+        router's ``least_loaded`` placement reads
+        (:class:`repro.service.sharding.ShardRouter`).
+        """
+        return self._queued_bytes
+
+    def admission_verdict(self, testbed: Testbed, priority: Priority) -> Optional[str]:
+        """Would a ``priority`` job for ``testbed`` be shed right now?
+
+        Side-effect-free preview of the admission pipeline *minus* the
+        quota stage (quotas are per tenant and, under sharding, global
+        rather than shard-local): returns the typed shed reason a
+        submission would get, or ``None`` if it would queue.  The shard
+        router uses this to try alternate shards before a saturated one
+        sheds a reroutable job.
+        """
+        now = self.service.engine.now
+        if not self._breaker(testbed).admits(now):
+            return SHED_BREAKER
+        depth = self.depth
+        if (
+            priority is Priority.BEST_EFFORT
+            and depth >= self.policy.degrade_at * self.policy.max_queue
+        ):
+            return SHED_DEGRADED
+        if depth >= self.policy.max_queue and not self._eviction_room(priority):
+            return SHED_QUEUE_FULL
+        return None
+
+    def shed_job(self, job: TransferJob, reason: str) -> None:
+        """Shed a registered-but-unqueued job with a typed reason.
+
+        External-router surface (mirrors :meth:`FalconService.reject`
+        being public for this plane): the sharded control plane sheds
+        quota-rejected jobs here so audit trail, events, and metrics
+        are identical to a locally shed job.
+        """
+        self._shed(job, reason)
 
     def queued(self) -> list[TransferJob]:
         """Waiting jobs in service order: class high-to-low, ring, FIFO."""
@@ -282,6 +329,17 @@ class ControlPlane:
             tracer.metrics.inc(f"control.shed.{reason}")
         self.shed.append(job)
         self.service.reject(job, reason)
+
+    def _eviction_room(self, priority: Priority) -> bool:
+        """Pure twin of :meth:`_evict_for`: could room be made?
+
+        True iff the lowest queued class is strictly below ``priority``
+        (the same predicate ``_evict_for`` acts on, without shedding).
+        """
+        for prio in reversed(self._class_order):
+            if any(self._tenants[t].queue for t in self._classes[prio].ring):
+                return prio < priority
+        return False
 
     def _evict_for(self, incoming: TransferJob) -> bool:
         """Make queue room for ``incoming`` by shedding a lower job.
@@ -314,6 +372,7 @@ class ControlPlane:
             st.queue.remove(job)
             st.cls.count -= 1
             self._depth -= 1
+            self._queued_bytes -= job._extras["cost"]
 
     # -- scheduling ------------------------------------------------------------
 
@@ -350,6 +409,7 @@ class ControlPlane:
                     job = st.queue.popleft()
                     cls.count -= 1
                     self._depth -= 1
+                    self._queued_bytes -= cost
                     if not st.queue:
                         st.deficit = 0.0
                     return job
@@ -397,6 +457,7 @@ class ControlPlane:
             st.queue.appendleft(victim)
             st.cls.count += 1
             self._depth += 1
+            self._queued_bytes += victim._extras["cost"]
         return True
 
     def _pump(self) -> None:

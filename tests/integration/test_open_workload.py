@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.open_workload import LEGS, run
+from repro.experiments.open_workload import LEGS, SHARD_LEG, run
 from repro.runner.suite import QUICK_PROFILE
 
 QUICK = QUICK_PROFILE["open-workload"]
@@ -31,15 +31,17 @@ class TestReplayDeterminism:
         again = run(seed=0, **QUICK)
         assert again.render() == result.render()
 
-    def test_legs_cover_nominal_overload_and_chaos(self, result):
-        assert [r.leg for r in result.runs] == [leg for leg, _, _ in LEGS]
+    def test_legs_cover_nominal_overload_chaos_and_sharded(self, result):
+        expected = [leg for leg, _, _ in LEGS] + [SHARD_LEG[0]]
+        assert [r.leg for r in result.runs] == expected
         assert result.runs[1].rho == 2.0
         assert result.runs[2].preset == "flaky-network"
+        assert len(result.runs[3].shards) == SHARD_LEG[1]
 
     def test_chaos_leg_actually_flakes(self, result):
         # Identical output would mean the quick horizon drew an empty
         # fault plan and the "chaos replay" smoke tests nothing.
-        nominal, _, flaky = result.runs
+        nominal, _, flaky, _ = result.runs
         assert flaky.render() != nominal.render()
 
 
@@ -74,3 +76,24 @@ class TestOverloadContract:
                 if t.completed:
                     assert t.p50_slowdown >= 1.0
                     assert t.p99_slowdown >= t.p50_slowdown
+
+
+class TestShardedLeg:
+    def test_only_sharded_leg_reports_shards(self, result):
+        for leg in result.runs[:-1]:
+            assert leg.shards == ()
+            assert leg.skew == 0.0
+
+    def test_every_submission_lands_on_exactly_one_shard(self, result):
+        sharded = result.runs[-1]
+        # Each submit registers the job on one shard (even shed jobs,
+        # for the audit trail), so routed counts partition submissions.
+        assert sum(s.routed for s in sharded.shards) == sharded.jobs_submitted
+
+    def test_all_shards_utilized_and_skew_bounded(self, result):
+        sharded = result.runs[-1]
+        assert all(s.utilization > 0.0 for s in sharded.shards)
+        assert all(s.completed > 0 for s in sharded.shards)
+        # Least-loaded placement should keep the fleet within a modest
+        # spread; 50% is a loose ceiling (observed ~8% at quick scale).
+        assert 0.0 <= sharded.skew < 0.5

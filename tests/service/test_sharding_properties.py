@@ -1,0 +1,128 @@
+"""Property-based churn across shards: no job lost, none double-counted.
+
+Hypothesis drives random interleavings of submit / cancel / crash /
+time-advance against a small multi-shard plane (tiny queues, single
+slots, rebalance on), then drains.  Whatever the schedule:
+
+* every submitted job is registered on **exactly one** shard — routing
+  (including rebalance-on-shed and the quota path) never drops a job
+  on the floor and never registers it twice;
+* after the drain, every job is in exactly one terminal state, and the
+  per-state counts partition the submission count;
+* every REJECTED job carries a typed reason from the closed
+  vocabulary;
+* the plane's aggregate ``depth`` always equals the sum of its
+  sub-planes' queues (checked after every operation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.service import (  # noqa: E402
+    ControlPolicy,
+    JobState,
+    Priority,
+    ShardedControlPlane,
+    TenantSpec,
+    make_shards,
+)
+from repro.service.control import (  # noqa: E402
+    SHED_BREAKER,
+    SHED_DEGRADED,
+    SHED_QUEUE_FULL,
+    SHED_QUOTA,
+)
+from repro.testbeds.presets import hpclab  # noqa: E402
+from repro.transfer.dataset import uniform_dataset  # noqa: E402
+from repro.units import MB  # noqa: E402
+
+REASONS = {SHED_QUOTA, SHED_QUEUE_FULL, SHED_DEGRADED, SHED_BREAKER}
+
+#: (op, arg) pairs; args index into tenants / live jobs deterministically.
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["submit", "cancel", "crash", "advance"]),
+        st.integers(min_value=0, max_value=5),
+    ),
+    max_size=30,
+)
+
+
+def make_rig(n_shards: int):
+    shards = make_shards(n_shards, seed=0, max_active=1)
+    plane = ShardedControlPlane(
+        shards,
+        ControlPolicy(max_queue=3, degrade_at=0.5, breaker_threshold=2, preemption=False),
+        placement="by_tenant",
+    )
+    plane.register_tenant(TenantSpec("scav", priority=Priority.BEST_EFFORT))
+    plane.register_tenant(TenantSpec("norm", quota_rate=0.5, quota_burst=3))
+    plane.register_tenant(TenantSpec("gold", weight=2.0, priority=Priority.HIGH))
+    return plane
+
+
+def check_accounting(plane, submitted):
+    assert plane.depth == sum(s.plane.depth for s in plane.shards)
+    # Exactly-once registration: each submitted job object lives in
+    # exactly one shard's service (identity, not name, so a duplicate
+    # registration could not hide behind equal names).
+    for job in submitted:
+        owners = [
+            shard.name
+            for shard in plane.shards
+            if any(j is job for j in shard.service.jobs)
+        ]
+        assert len(owners) == 1, f"{job.name} registered on {owners}"
+
+
+@settings(deadline=None, max_examples=20)
+@given(n_shards=st.sampled_from([2, 3]), ops=OPS)
+def test_churn_never_loses_or_double_counts_jobs(n_shards, ops):
+    plane = make_rig(n_shards)
+    tenants = ["scav", "norm", "gold"]
+    submitted = []
+    for op, arg in ops:
+        if op == "submit":
+            submitted.append(
+                plane.submit(
+                    hpclab,
+                    uniform_dataset(1 + arg % 3, 50 * MB),
+                    tenants[arg % 3],
+                    name=f"j{len(submitted)}",
+                )
+            )
+        elif op == "cancel":
+            live = [j for j in submitted if not j.state.is_terminal]
+            if live:
+                victim = live[arg % len(live)]
+                owner = next(
+                    s for s in plane.shards if any(j is victim for j in s.service.jobs)
+                )
+                owner.service.cancel(victim)
+        elif op == "crash":
+            running = [j for s in plane.shards for j in s.service.running()]
+            if running:
+                victim = running[arg % len(running)]
+                owner = next(
+                    s for s in plane.shards if any(j is victim for j in s.service.jobs)
+                )
+                owner.service.crash_job(victim)
+        else:  # advance
+            plane.run_until(plane.now + 0.5 * (1 + arg))
+        check_accounting(plane, submitted)
+    plane.drain(plane.now + 1800.0, 30.0)
+    assert plane.depth == 0
+    assert all(not s.service.running() for s in plane.shards)
+    check_accounting(plane, submitted)
+    # Terminal partition: each job in exactly one terminal state.
+    by_state = {state: 0 for state in JobState}
+    for job in submitted:
+        assert job.state.is_terminal, f"{job.name} stuck in {job.state}"
+        by_state[job.state] += 1
+        if job.state is JobState.REJECTED:
+            assert job.rejection_reason in REASONS
+    assert sum(by_state[s] for s in JobState if s.is_terminal) == len(submitted)
